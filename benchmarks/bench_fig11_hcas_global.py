@@ -1,0 +1,15 @@
+"""Fig. 11 — global certification of the HCAS monDEQ via domain splitting."""
+
+from _harness import run_once
+
+from repro.experiments.global_robustness import run_hcas
+
+
+def test_fig11_hcas_global_certification(benchmark, record_rows):
+    result = run_once(benchmark, run_hcas, scale="smoke", theta=-90.0)
+    record_rows("Fig. 11: HCAS coverage", result.summary())
+    # A substantial fraction of the slice must be certified (the paper
+    # reports 82.8 % of the relevant input region at full scale).
+    assert result.total_cells >= 1
+    assert 0.0 <= result.coverage <= 1.0
+    assert result.coverage > 0.3

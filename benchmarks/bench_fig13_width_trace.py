@@ -1,0 +1,19 @@
+"""Fig. 13 — mean concretisation width per solver iteration, Box vs CH-Zonotope."""
+
+from _harness import run_once
+
+from repro.experiments.local_robustness import run_width_trace
+
+
+def test_fig13_width_traces(benchmark, record_rows):
+    traces = run_once(benchmark, run_width_trace, scale="smoke", iterations=25)
+    summary = {
+        key: {"length": len(series), "final_width": round(series[-1], 4) if series else None}
+        for key, series in traces.items()
+    }
+    record_rows("Fig. 13: width traces (final mean width per configuration)", summary)
+    assert set(traces) == {"fb_box", "fb_chzonotope", "pr_box", "pr_chzonotope"}
+    # CH-Zonotope never ends wider than Box for the same solver.
+    for solver in ("fb", "pr"):
+        if traces[f"{solver}_box"] and traces[f"{solver}_chzonotope"]:
+            assert traces[f"{solver}_chzonotope"][-1] <= traces[f"{solver}_box"][-1] * 1.5

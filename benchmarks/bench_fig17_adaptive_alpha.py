@@ -1,0 +1,13 @@
+"""Fig. 17 — distribution of the adaptively selected FB damping alpha2."""
+
+from _harness import run_once
+
+from repro.experiments.local_robustness import run_adaptive_alpha
+
+
+def test_fig17_adaptive_alpha(benchmark, record_rows):
+    rows = run_once(
+        benchmark, run_adaptive_alpha, scale="smoke", alpha1_values=(0.02, 0.12), max_samples=3
+    )
+    record_rows("Fig. 17: selected alpha2 per sample", rows)
+    assert all(0.0 <= row["alpha2"] <= 1.0 for row in rows)

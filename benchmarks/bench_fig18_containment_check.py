@@ -1,0 +1,24 @@
+"""Fig. 18 — CH-Zonotope containment check vs the LP containment baseline."""
+
+from _harness import run_once
+
+from repro.experiments.domain_studies import run_containment_comparison
+
+
+def test_fig18_containment_check(benchmark, record_rows):
+    rows = run_once(
+        benchmark,
+        run_containment_comparison,
+        scale="smoke",
+        max_instances=3,
+        include_lp=True,
+        scaling_iterations=5,
+    )
+    record_rows("Fig. 18: precision and runtime of the containment checks", rows)
+    assert rows, "no containment instances were generated"
+    for row in rows:
+        # Theorem 4.2 is sound: whenever it reports containment the LP agrees.
+        if row["ch_contained"]:
+            assert row["lp_contained"]
+        # ... and it is orders of magnitude faster (paper: > 4 orders).
+        assert row["speedup"] > 10

@@ -1,0 +1,20 @@
+"""Fig. 19 — volume effect of error consolidation in low dimensions."""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments.domain_studies import run_consolidation_volume
+
+
+def test_fig19_consolidation_volume(benchmark, record_rows):
+    rows = run_once(
+        benchmark, run_consolidation_volume, latent_dims=(2, 3, 4), num_inputs=3, iterations=30
+    )
+    record_rows("Fig. 19: volume ratio R and growth G per dimension / solver", rows)
+    valid = [row for row in rows if np.isfinite(row["volume_ratio"])]
+    assert valid, "no non-degenerate samples"
+    for row in valid:
+        # Consolidation enlarges the volume (R >= 1); the subsequent solver
+        # iterations win part of it back (G <= R), the paper's Fig. 19 shape.
+        assert row["volume_ratio"] >= 1.0 - 1e-9
+        assert row["volume_growth"] <= row["volume_ratio"] + 1e-9

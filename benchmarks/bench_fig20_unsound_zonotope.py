@@ -1,0 +1,18 @@
+"""Fig. 20 — sound CH-Zonotope bounds vs an unsound plain-Zonotope replay."""
+
+from _harness import run_once
+
+from repro.experiments.local_robustness import run_unsound_zonotope_comparison
+
+
+def test_fig20_unsound_zonotope_comparison(benchmark, record_rows):
+    rows = run_once(
+        benchmark, run_unsound_zonotope_comparison, scale="smoke", max_samples=3
+    )
+    record_rows("Fig. 20: Craft bounds vs unsound Zonotope replay", rows)
+    assert rows, "no contained samples"
+    for row in rows:
+        # The paper's finding: the unsound replay never certifies a property
+        # that the sound CH-Zonotope analysis misses.
+        if not row["verified"]:
+            assert row["unsound_lower_bound"] <= max(row["craft_lower_bound"], 0.0) + 1e-6

@@ -1,0 +1,15 @@
+"""Figs. 2 and 4 — the 2-d running example (Craft vs Kleene iteration)."""
+
+from _harness import run_once
+
+from repro.experiments.running_example import run_running_example
+
+
+def test_fig2_running_example(benchmark, record_rows):
+    outcome = run_once(benchmark, run_running_example)
+    record_rows("Fig. 2/4: running example", outcome.as_dict())
+    # Craft certifies class 1 on the red input region, Kleene iteration's
+    # output abstraction straddles zero and fails (the paper's Fig. 2c).
+    assert outcome.craft_certified
+    assert not outcome.kleene_certified
+    assert outcome.craft_output_bounds[0] > 0.0 > outcome.kleene_output_bounds[0]

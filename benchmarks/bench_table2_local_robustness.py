@@ -1,0 +1,13 @@
+"""Table 2 — local robustness certification across architectures and datasets."""
+
+from _harness import run_once
+
+from repro.experiments.local_robustness import run_table2
+
+
+def test_table2_local_robustness(benchmark, record_rows):
+    rows = run_once(benchmark, run_table2, scale="smoke", models=["FCx40", "FCx87"])
+    record_rows("Table 2 (smoke scale): acc / bound / cont / cert / time", rows)
+    for row in rows:
+        assert row["cert"] <= row["bound"] <= row["acc"]
+        assert row["cont"] >= row["cert"]

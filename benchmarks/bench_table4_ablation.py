@@ -1,0 +1,18 @@
+"""Table 4 — ablation study on Craft's components."""
+
+from _harness import run_once
+
+from repro.experiments.ablation import run_table4
+
+
+def test_table4_ablation(benchmark, record_rows):
+    rows = run_once(
+        benchmark,
+        run_table4,
+        scale="smoke",
+        epsilon=0.03,
+        ablations=("reference", "no_zono_component", "only_pr", "no_expansion"),
+    )
+    record_rows("Table 4 (smoke scale): cont / cert / time per ablation", rows)
+    by_name = {row["ablation"]: row for row in rows}
+    assert by_name["no_zono_component"]["certified"] <= by_name["reference"]["certified"]

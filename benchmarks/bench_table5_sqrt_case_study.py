@@ -1,0 +1,26 @@
+"""Table 5 / 6 and Fig. 16 — the Householder square-root case study."""
+
+import numpy as np
+from _harness import run_once
+
+from repro.experiments.sqrt_case_study import run_fig16, run_table5
+
+
+def test_table5_sqrt_case_study(benchmark, record_rows):
+    rows = run_once(benchmark, run_table5)
+    record_rows("Table 5/6: root intervals per method", rows)
+    narrow = rows[0]
+    wide = rows[1]
+    # Paper shape: Craft converges on both intervals and stays close to the
+    # exact fixpoint set; standard Kleene iteration converges (loosely) on
+    # [16, 20] and blows up on [16, 25].
+    assert narrow["craft_converged"] and wide["craft_converged"]
+    assert narrow["craft_fixpoints"][1] - narrow["exact"][1] < 0.2
+    assert narrow["kleene_converged"]
+    assert (not wide["kleene_converged"]) or wide["kleene_fixpoints"][1] == np.inf
+
+
+def test_fig16_iteration_traces(benchmark, record_rows):
+    traces = run_once(benchmark, run_fig16, intervals=((16.0, 20.0),))
+    record_rows("Fig. 16: per-iteration sqrt(x) bounds", {k: v[:8] for k, v in traces.items()})
+    assert any(key.startswith("craft") for key in traces)

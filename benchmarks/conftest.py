@@ -1,0 +1,32 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) at the ``smoke``/``small`` scale and
+prints the resulting rows/series so the qualitative shape can be compared
+against the published numbers (EXPERIMENTS.md records one such run).
+
+The heavy experiments are executed exactly once per benchmark
+(``rounds=1``); pytest-benchmark still records the wall-clock time, which
+stands in for the runtime columns of the paper's tables.
+"""
+
+import json
+
+import pytest
+
+
+@pytest.fixture
+def record_rows(capsys):
+    """Helper printing experiment rows beneath the benchmark output."""
+
+    def _print(title, rows):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            if isinstance(rows, dict):
+                for key, value in rows.items():
+                    print(f"  {key}: {value}")
+            else:
+                for row in rows:
+                    print("  " + json.dumps(row, default=str))
+
+    return _print

@@ -1,0 +1,64 @@
+"""Quickstart: train a small monDEQ and certify its robustness with Craft.
+
+Run with ``python examples/quickstart.py``.  The script
+
+1. generates a synthetic MNIST-like dataset,
+2. trains a small fully-connected monDEQ by implicit differentiation,
+3. attacks a test sample with PGD (the empirical robustness check), and
+4. certifies an l-infinity ball around it with the Craft verifier
+   (CH-Zonotope domain, PR containment phase, FB tightening phase).
+"""
+
+import numpy as np
+
+from repro import CraftConfig, MonDEQ
+from repro.datasets.synthetic import make_mnist_like
+from repro.mondeq.attacks import PGDConfig, pgd_attack
+from repro.mondeq.training import TrainingConfig, train
+from repro.nn.metrics import accuracy
+from repro.verify.robustness import certify_sample
+
+
+def main() -> None:
+    print("=== 1. data ===")
+    data = make_mnist_like(size=10, num_classes=5, train_per_class=40, test_per_class=8, seed=0)
+    print(f"dataset: {data.name}, input dim {data.input_dim}, {data.num_classes} classes")
+
+    print("\n=== 2. training ===")
+    model = MonDEQ.random(
+        input_dim=data.input_dim, latent_dim=20, output_dim=data.num_classes,
+        monotonicity=20.0, seed=0, name="FCx20",
+    )
+    history = train(
+        model, data.x_train, data.y_train,
+        TrainingConfig(epochs=30, batch_size=32, learning_rate=5e-3, solver_tol=1e-5),
+        seed=0,
+    )
+    test_accuracy = accuracy(model.predict_batch(data.x_test), data.y_test)
+    print(f"final train accuracy {history.train_accuracy[-1]:.3f}, test accuracy {test_accuracy:.3f}")
+
+    print("\n=== 3. PGD attack (empirical robustness) ===")
+    epsilon = 0.05
+    x, label = data.x_test[0], int(data.y_test[0])
+    attack = pgd_attack(model, x, label, epsilon, PGDConfig(steps=20, restarts=2), seed=0)
+    print(f"sample 0 (label {label}): PGD {'found' if attack.success else 'found no'} "
+          f"adversarial example at eps={epsilon}")
+
+    print("\n=== 4. Craft certification ===")
+    config = CraftConfig(slope_optimization="reduced")
+    result = certify_sample(model, x, label, epsilon, config)
+    print(result.summary())
+    if result.certified:
+        print(f"certified: every input within ||.||_inf <= {epsilon} of the sample "
+              f"is classified {label} (logit margin {result.margin:.4f})")
+    else:
+        print("not certified at this radius; try a smaller epsilon")
+
+    tiny = certify_sample(model, x, label, 0.01, config)
+    print(f"at eps=0.01: {tiny.summary()}")
+    assert not (attack.success and result.certified), "soundness violated"
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=4, suppress=True)
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim for environments without PEP-517 build isolation/wheel.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` on offline
+machines whose setuptools predates full pyproject support.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Abstract Interpretation of Fixpoint Iterators with "
+        "Applications to Neural Networks' (PLDI 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

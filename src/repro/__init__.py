@@ -1,0 +1,60 @@
+"""Reproduction of *Abstract Interpretation of Fixpoint Iterators with
+Applications to Neural Networks* (PLDI 2023).
+
+The package is organised around the paper's two contributions and the
+substrates they need:
+
+``repro.domains``
+    Abstract-domain substrate: Box (interval), Zonotope, and the paper's
+    novel CH-Zonotope domain with error consolidation (Theorem 4.1) and the
+    efficient inclusion check (Theorem 4.2).
+
+``repro.core``
+    The domain-specific abstract interpretation framework for fixpoint
+    iterators: the contraction-based termination criterion (Theorem 3.1),
+    fixpoint-set preservation, a Kleene-iteration baseline, and the Craft
+    verifier (Algorithm 1).
+
+``repro.nn`` / ``repro.mondeq``
+    A numpy neural-network substrate and the monotone operator Deep
+    Equilibrium Model (monDEQ) architecture with Forward-Backward and
+    Peaceman-Rachford fixpoint solvers, implicit-differentiation training,
+    Lipschitz baselines and PGD attacks.
+
+``repro.verify``
+    Verification front-ends: local L-infinity robustness certification,
+    global certification via domain splitting, and baseline verifiers.
+
+``repro.datasets``
+    Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
+    mixtures, HCAS collision-avoidance MDP).
+
+``repro.numerics``
+    The Householder square-root case study (Section 6.5 / Appendix A).
+"""
+
+from repro.core.config import CraftConfig
+from repro.core.craft import CraftVerifier
+from repro.core.results import FixpointAbstraction, VerificationOutcome, VerificationResult
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.zonotope import Zonotope
+from repro.mondeq.model import MonDEQ
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CHZonotope",
+    "ClassificationSpec",
+    "CraftConfig",
+    "CraftVerifier",
+    "FixpointAbstraction",
+    "Interval",
+    "LinfBall",
+    "MonDEQ",
+    "VerificationOutcome",
+    "VerificationResult",
+    "Zonotope",
+    "__version__",
+]

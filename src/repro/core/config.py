@@ -1,0 +1,190 @@
+"""Configuration dataclasses for the fixpoint abstract-interpretation engines.
+
+The default values follow Appendix C / D.2 of the paper (consolidation every
+``r = 3`` iterations, PCA-basis recomputation every 30 steps, a history of
+the 10 most recent consolidated states, constant expansion with
+``w_mul = 1e-3`` and ``w_add = 1e-2``, ``n_max = 500`` iterations, abort
+width ``1e9``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+_VALID_DOMAINS = ("chzonotope", "box", "zonotope")
+_VALID_SOLVERS = ("pr", "fb")
+_VALID_EXPANSIONS = ("const", "exp", "none")
+_VALID_SLOPE_MODES = ("none", "reduced", "reference")
+
+
+@dataclass(frozen=True)
+class ContractionSettings:
+    """Settings of the phase-one contraction search (Theorem 3.1 / B.1)."""
+
+    max_iterations: int = 500
+    consolidate_every: int = 3
+    basis_recompute_every: int = 30
+    history_size: int = 10
+    abort_width: float = 1e9
+    track_trace: bool = True
+
+    def __post_init__(self):
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be positive")
+        if self.consolidate_every < 1:
+            raise ConfigurationError("consolidate_every must be positive")
+        if self.basis_recompute_every < 1:
+            raise ConfigurationError("basis_recompute_every must be positive")
+        if self.history_size < 1:
+            raise ConfigurationError("history_size must be positive")
+        if self.abort_width <= 0:
+            raise ConfigurationError("abort_width must be positive")
+
+
+@dataclass(frozen=True)
+class KleeneSettings:
+    """Settings of the Kleene-iteration baseline (Section 2.2)."""
+
+    max_iterations: int = 200
+    semantic_unrolling: int = 2
+    widen_after: int = 50
+    widening_threshold: float = 1e6
+    abort_width: float = 1e9
+    track_trace: bool = True
+
+    def __post_init__(self):
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be positive")
+        if self.semantic_unrolling < 0:
+            raise ConfigurationError("semantic_unrolling must be non-negative")
+        if self.widen_after < 0:
+            raise ConfigurationError("widen_after must be non-negative")
+
+
+@dataclass(frozen=True)
+class CraftConfig:
+    """Configuration of the Craft verifier (Algorithm 1 + Appendix C/D).
+
+    Attributes
+    ----------
+    domain:
+        Abstract domain to use: ``"chzonotope"`` (default), ``"box"``
+        (Table 4 "No Zono component") or ``"zonotope"`` (CH-Zonotope without
+        the Box component, Table 4 "No Box component").
+    solver1, alpha1:
+        Operator-splitting method and damping parameter used in the
+        containment-finding phase (default Peaceman–Rachford, alpha = 0.1).
+    solver2, alpha2, alpha2_grid:
+        Method used in the tightening phase.  ``alpha2 = None`` selects the
+        damping adaptively by line search over ``alpha2_grid`` (Appendix E.1);
+        the grid is ignored when ``alpha2`` is fixed.
+    expansion, w_mul, w_add:
+        Expansion schedule of Eq. (10): ``"const"`` keeps the parameters
+        fixed, ``"exp"`` grows them geometrically every second consolidation
+        (Appendix D.2), ``"none"`` disables expansion (Table 4 ablation).
+    slope_optimization:
+        ReLU-slope optimisation mode: ``"none"``, ``"reduced"`` or
+        ``"reference"`` (coarser / finer candidate grids, Section 6.3).
+    same_iteration_containment:
+        Ablation switch: when ``True`` the state used for certification must
+        itself be contained in its predecessor (Table 4 "Same iter.
+        containment") instead of relying on fixpoint-set preservation.
+    use_box_component:
+        When ``False`` the ReLU transformer writes fresh error terms into
+        generator columns instead of the Box component.
+    tighten_max_iterations, tighten_patience:
+        Phase-two budget and the no-improvement abort heuristic (3 r' steps
+        in Appendix C; here expressed directly as a step count).
+    """
+
+    domain: str = "chzonotope"
+    solver1: str = "pr"
+    alpha1: float = 0.1
+    solver2: str = "fb"
+    alpha2: Optional[float] = None
+    alpha2_grid: Tuple[float, ...] = (0.02, 0.03, 0.04, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1.0)
+    contraction: ContractionSettings = field(default_factory=ContractionSettings)
+    expansion: str = "const"
+    w_mul: float = 1e-3
+    w_add: float = 1e-2
+    expansion_mul_growth: float = 1.1
+    expansion_add_growth: float = 1.2
+    expansion_growth_every: int = 2
+    slope_optimization: str = "none"
+    slope_candidates_reduced: Tuple[float, ...] = (-0.2, -0.1, 0.1, 0.2)
+    slope_candidates_reference: Tuple[float, ...] = (-0.3, -0.2, -0.1, -0.05, 0.05, 0.1, 0.2, 0.3)
+    slope_margin_threshold: float = 1.0
+    same_iteration_containment: bool = False
+    use_box_component: bool = True
+    tighten_max_iterations: int = 150
+    tighten_patience: int = 30
+    concrete_tol: float = 1e-9
+    concrete_max_iterations: int = 2000
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.domain not in _VALID_DOMAINS:
+            raise ConfigurationError(
+                f"domain must be one of {_VALID_DOMAINS}, got {self.domain!r}"
+            )
+        if self.solver1 not in _VALID_SOLVERS or self.solver2 not in _VALID_SOLVERS:
+            raise ConfigurationError(
+                f"solvers must be one of {_VALID_SOLVERS}, got "
+                f"{self.solver1!r} / {self.solver2!r}"
+            )
+        if self.expansion not in _VALID_EXPANSIONS:
+            raise ConfigurationError(
+                f"expansion must be one of {_VALID_EXPANSIONS}, got {self.expansion!r}"
+            )
+        if self.slope_optimization not in _VALID_SLOPE_MODES:
+            raise ConfigurationError(
+                f"slope_optimization must be one of {_VALID_SLOPE_MODES}, "
+                f"got {self.slope_optimization!r}"
+            )
+        if not 0.0 < self.alpha1:
+            raise ConfigurationError("alpha1 must be positive")
+        if self.alpha2 is not None and not 0.0 <= self.alpha2 <= 1.0:
+            raise ConfigurationError("alpha2 must lie in [0, 1] for FB fixpoint preservation")
+        if self.w_mul < 0 or self.w_add < 0:
+            raise ConfigurationError("expansion parameters must be non-negative")
+        if self.tighten_max_iterations < 1:
+            raise ConfigurationError("tighten_max_iterations must be positive")
+        if self.tighten_patience < 1:
+            raise ConfigurationError("tighten_patience must be positive")
+        if not self.alpha2_grid:
+            raise ConfigurationError("alpha2_grid must not be empty")
+
+    # Convenience constructors for the ablation study (Table 4). ----------
+
+    def with_updates(self, **kwargs) -> "CraftConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def reference(cls) -> "CraftConfig":
+        """The reference configuration of Table 4 (PR then FB, slope opt on)."""
+        return cls(slope_optimization="reference")
+
+    @classmethod
+    def ablation(cls, name: str) -> "CraftConfig":
+        """Named ablation configurations matching the rows of Table 4."""
+        base = cls.reference()
+        ablations = {
+            "reference": base,
+            "no_zono_component": base.with_updates(domain="box", slope_optimization="none"),
+            "no_box_component": base.with_updates(use_box_component=False),
+            "only_pr": base.with_updates(solver2="pr", alpha2=None),
+            "only_fb": base.with_updates(solver1="fb", alpha1=0.04),
+            "no_lambda_optimization": base.with_updates(slope_optimization="none"),
+            "reduced_lambda_optimization": base.with_updates(slope_optimization="reduced"),
+            "same_iteration_containment": base.with_updates(same_iteration_containment=True),
+            "no_expansion": base.with_updates(expansion="none", w_mul=0.0, w_add=0.0),
+        }
+        if name not in ablations:
+            raise ConfigurationError(
+                f"unknown ablation {name!r}; choose from {sorted(ablations)}"
+            )
+        return ablations[name]

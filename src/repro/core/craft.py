@@ -1,0 +1,374 @@
+"""The Craft verifier — Algorithm 1 of the paper.
+
+Craft (Convex Relaxation Abstract Fixpoint iTeration) verifies properties of
+programs that compute fixpoints of convergent iterative solvers.  It runs in
+two phases:
+
+1. **Containment phase** (lines 5–8 of Algorithm 1): iterate a sound
+   abstract transformer of the fixpoint solver — consolidating and expanding
+   the abstraction on the way — until the contraction-based termination
+   criterion (Theorem 3.1 / B.1) proves that the current abstract state
+   contains the true fixpoint set.
+2. **Tightening phase** (lines 10–14): apply further iterations of a
+   *fixpoint-set-preserving* abstract solver (Definition 3.2, Theorems 3.3
+   and 5.1) — possibly with a different operator-splitting method, an
+   adaptively chosen damping parameter (Appendix E.1) and optimised ReLU
+   slopes (Section 6.3) — and check the postcondition on the resulting
+   output abstraction after every step.
+
+The verifier is domain- and model-agnostic: the model-specific pieces
+(abstract solver steps, output map, postcondition) are packaged in a
+:class:`FixpointProblem`, which the monDEQ front-end
+(:mod:`repro.verify.robustness`) and the Householder case study
+(:mod:`repro.numerics.householder`) construct.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.core.contraction import ContractionEngine, DomainOps, domain_ops_for
+from repro.core.expansion import ExpansionSchedule
+from repro.core.results import (
+    ContractionResult,
+    FixpointAbstraction,
+    PostconditionCheck,
+    VerificationOutcome,
+    VerificationResult,
+)
+from repro.domains.base import AbstractElement
+from repro.exceptions import VerificationError
+
+StepFunction = Callable[[AbstractElement], AbstractElement]
+StepFactory = Callable[[str, float, float], StepFunction]
+OutputMap = Callable[[AbstractElement], AbstractElement]
+Postcondition = Callable[[AbstractElement], PostconditionCheck]
+
+
+@dataclass
+class FixpointProblem:
+    """An abstract fixpoint-verification problem handed to Craft.
+
+    Attributes
+    ----------
+    input_element:
+        Abstraction of the precondition (the set of inputs ``X``).
+    initial_state:
+        Abstraction of the initial solver state ``S_0``.  Following
+        Algorithm 1 (line 2) this is typically the singleton containing the
+        concrete fixpoint of the centre input.
+    contraction_step:
+        The abstract solver iteration ``g#_alpha1(X, .)`` used in the
+        containment phase (the input abstraction is baked in).
+    tightening_step_factory:
+        ``factory(solver_name, alpha, slope_delta)`` building a
+        fixpoint-set-preserving abstract iteration for the tightening phase.
+        ``slope_delta`` shifts the ReLU relaxation slopes away from the
+        minimum-area default and is only exercised when slope optimisation
+        is enabled.
+    extract_output:
+        Maps a solver-state abstraction ``S`` to the output abstraction
+        ``Y`` the postcondition talks about (e.g. select the ``z`` block and
+        apply the classification layer).
+    postcondition:
+        Evaluates the postcondition on an output abstraction; ``None`` when
+        the caller only wants the fixpoint-set abstraction.
+    description:
+        Free-form description used in logs and results.
+    """
+
+    input_element: AbstractElement
+    initial_state: AbstractElement
+    contraction_step: StepFunction
+    tightening_step_factory: StepFactory
+    extract_output: OutputMap
+    postcondition: Optional[Postcondition] = None
+    description: str = ""
+
+
+@dataclass
+class _PhaseTwoOutcome:
+    certified: bool
+    margin: float
+    iterations: int
+    state: AbstractElement
+    output: Optional[AbstractElement]
+    alpha: Optional[float]
+    solver: Optional[str]
+    slope_delta: float
+    width_trace: List[float] = field(default_factory=list)
+
+
+class CraftVerifier:
+    """The two-phase Craft verification algorithm."""
+
+    def __init__(self, config: Optional[CraftConfig] = None, ops: Optional[DomainOps] = None):
+        self._config = config if config is not None else CraftConfig()
+        self._ops = ops if ops is not None else domain_ops_for(self._config.domain)
+
+    @property
+    def config(self) -> CraftConfig:
+        """The configuration this verifier was built with."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Phase one
+    # ------------------------------------------------------------------
+
+    def find_fixpoint_abstraction(self, problem: FixpointProblem) -> ContractionResult:
+        """Run the containment phase only (Theorem 3.1 / B.1)."""
+        expansion = ExpansionSchedule.from_config(self._config)
+        engine = ContractionEngine(self._config.contraction, self._ops, expansion)
+        return engine.run(problem.contraction_step, problem.initial_state)
+
+    # ------------------------------------------------------------------
+    # Full verification (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: FixpointProblem) -> VerificationResult:
+        """Run both phases and report the verification outcome."""
+        if problem.postcondition is None:
+            raise VerificationError(
+                "solve() requires a postcondition; use compute_fixpoint_set() to "
+                "obtain the fixpoint abstraction alone"
+            )
+        start = time.perf_counter()
+        contraction = self.find_fixpoint_abstraction(problem)
+
+        if not contraction.contained:
+            outcome = (
+                VerificationOutcome.DIVERGED
+                if contraction.diverged
+                else VerificationOutcome.NO_CONTAINMENT
+            )
+            elapsed = time.perf_counter() - start
+            return VerificationResult(
+                outcome=outcome,
+                contained=False,
+                certified=False,
+                margin=-np.inf,
+                iterations_phase1=contraction.iterations,
+                iterations_phase2=0,
+                time_seconds=elapsed,
+                fixpoint_abstraction=FixpointAbstraction(
+                    element=contraction.state,
+                    contained=False,
+                    iterations_phase1=contraction.iterations,
+                    iterations_phase2=0,
+                    width_trace_phase1=contraction.width_trace,
+                ),
+                notes="containment phase did not detect contraction",
+            )
+
+        phase_two = self._tighten_and_certify(problem, contraction)
+        elapsed = time.perf_counter() - start
+
+        outcome = (
+            VerificationOutcome.VERIFIED if phase_two.certified else VerificationOutcome.UNKNOWN
+        )
+        abstraction = FixpointAbstraction(
+            element=phase_two.state,
+            contained=True,
+            iterations_phase1=contraction.iterations,
+            iterations_phase2=phase_two.iterations,
+            width_trace_phase1=contraction.width_trace,
+            width_trace_phase2=phase_two.width_trace,
+        )
+        return VerificationResult(
+            outcome=outcome,
+            contained=True,
+            certified=phase_two.certified,
+            margin=phase_two.margin,
+            iterations_phase1=contraction.iterations,
+            iterations_phase2=phase_two.iterations,
+            time_seconds=elapsed,
+            selected_alpha2=phase_two.alpha,
+            selected_solver2=phase_two.solver,
+            slope_optimized=phase_two.slope_delta != 0.0,
+            fixpoint_abstraction=abstraction,
+            output_element=phase_two.output,
+        )
+
+    def compute_fixpoint_set(
+        self, problem: FixpointProblem, tighten_iterations: int = 0
+    ) -> FixpointAbstraction:
+        """Return a sound fixpoint-set abstraction without checking a postcondition.
+
+        Used by the Householder case study and the width-trace experiments:
+        phase one runs as usual and, when contraction was detected,
+        ``tighten_iterations`` fixpoint-set-preserving iterations of the
+        phase-two solver are applied to tighten the abstraction.
+        """
+        contraction = self.find_fixpoint_abstraction(problem)
+        state = contraction.state
+        width_trace_two: List[float] = []
+        iterations_two = 0
+        if contraction.contained and tighten_iterations > 0:
+            alpha = self._default_alpha2()
+            step = problem.tightening_step_factory(self._config.solver2, alpha, 0.0)
+            for _ in range(tighten_iterations):
+                state = step(state)
+                width_trace_two.append(state.mean_width)
+                iterations_two += 1
+        return FixpointAbstraction(
+            element=state,
+            contained=contraction.contained,
+            iterations_phase1=contraction.iterations,
+            iterations_phase2=iterations_two,
+            width_trace_phase1=contraction.width_trace,
+            width_trace_phase2=width_trace_two,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase two internals
+    # ------------------------------------------------------------------
+
+    def _default_alpha2(self) -> float:
+        if self._config.solver2 == "pr":
+            return self._config.alpha1
+        if self._config.alpha2 is not None:
+            return self._config.alpha2
+        return self._config.alpha2_grid[len(self._config.alpha2_grid) // 2]
+
+    def _candidate_parameters(self) -> List[Tuple[str, float]]:
+        """Candidate (solver, alpha) pairs for the tightening phase.
+
+        Peaceman–Rachford preserves fixpoints only for the *fixed* alpha used
+        to define the auxiliary variables, so PR candidates reuse ``alpha1``.
+        Forward–Backward splitting preserves fixpoints for any alpha in
+        [0, 1] (Theorem 5.1), so FB candidates span the line-search grid.
+        """
+        config = self._config
+        if config.solver2 == "pr":
+            return [("pr", config.alpha1)]
+        if config.alpha2 is not None:
+            return [("fb", config.alpha2)]
+        return [("fb", float(alpha)) for alpha in config.alpha2_grid]
+
+    def _slope_deltas(self) -> Sequence[float]:
+        config = self._config
+        if config.slope_optimization == "none":
+            return ()
+        if config.slope_optimization == "reduced":
+            return config.slope_candidates_reduced
+        return config.slope_candidates_reference
+
+    def _tighten_and_certify(
+        self, problem: FixpointProblem, contraction: ContractionResult
+    ) -> _PhaseTwoOutcome:
+        config = self._config
+        probe_budget = max(5, config.tighten_max_iterations // 5)
+
+        candidates = self._candidate_parameters()
+        probes = [
+            self._run_tightening(problem, contraction, solver, alpha, 0.0, probe_budget)
+            for solver, alpha in candidates
+        ]
+        best = max(probes, key=lambda outcome: outcome.margin)
+        if best.certified:
+            return best
+
+        # Continue the most promising candidate with the full budget.
+        full = self._run_tightening(
+            problem,
+            contraction,
+            best.solver,
+            best.alpha,
+            0.0,
+            config.tighten_max_iterations,
+        )
+        if full.margin < best.margin:
+            full = best
+        if full.certified:
+            return full
+
+        # Slope optimisation: only for samples already close to certification
+        # (Section 6.3) — i.e. whose margin is within the configured threshold.
+        if self._slope_deltas() and full.margin > -config.slope_margin_threshold:
+            for delta in self._slope_deltas():
+                attempt = self._run_tightening(
+                    problem,
+                    contraction,
+                    full.solver,
+                    full.alpha,
+                    float(delta),
+                    config.tighten_max_iterations,
+                )
+                if attempt.margin > full.margin:
+                    full = attempt
+                if full.certified:
+                    break
+        return full
+
+    def _run_tightening(
+        self,
+        problem: FixpointProblem,
+        contraction: ContractionResult,
+        solver: str,
+        alpha: float,
+        slope_delta: float,
+        budget: int,
+    ) -> _PhaseTwoOutcome:
+        config = self._config
+        step = problem.tightening_step_factory(solver, alpha, slope_delta)
+        state = contraction.state
+        previous = contraction.reference if contraction.reference is not None else state
+
+        best_margin = -np.inf
+        best_state = state
+        best_output: Optional[AbstractElement] = None
+        certified = False
+        since_improvement = 0
+        width_trace: List[float] = []
+        iterations = 0
+
+        for iterations in range(1, budget + 1):
+            new_state = step(state)
+            width_trace.append(new_state.mean_width)
+
+            usable = True
+            if config.same_iteration_containment:
+                # Ablation: only states contained in their predecessor may be
+                # used for certification (no reliance on Definition 3.2).
+                proper_previous = self._ops.consolidate(previous, None, 0.0, 0.0)
+                usable = self._ops.contains(proper_previous, new_state)
+
+            if usable:
+                output = problem.extract_output(new_state)
+                check = problem.postcondition(output)
+                if check.margin > best_margin:
+                    best_margin = check.margin
+                    best_state = new_state
+                    best_output = output
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
+                if check.holds:
+                    certified = True
+                    break
+            else:
+                since_improvement += 1
+
+            if not np.all(np.isfinite(new_state.width)) or new_state.max_width > config.contraction.abort_width:
+                break
+            if since_improvement >= config.tighten_patience:
+                break
+            previous = state
+            state = new_state
+
+        return _PhaseTwoOutcome(
+            certified=certified,
+            margin=float(best_margin),
+            iterations=iterations,
+            state=best_state,
+            output=best_output,
+            alpha=alpha,
+            solver=solver,
+            slope_delta=slope_delta,
+            width_trace=width_trace,
+        )

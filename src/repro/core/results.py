@@ -1,0 +1,138 @@
+"""Result types returned by the fixpoint abstract-interpretation engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.domains.base import AbstractElement
+
+
+class VerificationOutcome(enum.Enum):
+    """Outcome of a single verification query.
+
+    ``VERIFIED``
+        The postcondition was proven for every point of the precondition.
+    ``UNKNOWN``
+        A sound fixpoint abstraction was found but the postcondition could
+        not be shown (the verifier is incomplete, Section 5.2).
+    ``NO_CONTAINMENT``
+        Phase one never detected contraction (Theorem 3.1 precondition not
+        met), so no sound fixpoint abstraction exists for this query.
+    ``DIVERGED``
+        The abstract iteration exceeded the divergence-abort width
+        (Appendix C, "Abortion Heuristics").
+    ``MISCLASSIFIED``
+        The concrete network already misclassifies the centre input, so
+        the robustness property is trivially false.
+    """
+
+    VERIFIED = "verified"
+    UNKNOWN = "unknown"
+    NO_CONTAINMENT = "no_containment"
+    DIVERGED = "diverged"
+    MISCLASSIFIED = "misclassified"
+
+
+@dataclass
+class PostconditionCheck:
+    """Result of evaluating a postcondition on an output abstraction.
+
+    Attributes
+    ----------
+    holds:
+        Whether the postcondition is proven on the abstraction.
+    margin:
+        A real-valued margin; positive values prove the property and the
+        magnitude measures slack (used by the adaptive-alpha line search and
+        the abort heuristic).
+    lower_bounds:
+        Optional per-constraint lower bounds (e.g. logit differences),
+        recorded for Fig. 20-style analyses.
+    """
+
+    holds: bool
+    margin: float
+    lower_bounds: Optional[np.ndarray] = None
+
+
+@dataclass
+class ContractionResult:
+    """Result of the phase-one contraction search (Theorem 3.1 / B.1)."""
+
+    contained: bool
+    state: AbstractElement
+    reference: Optional[AbstractElement]
+    iterations: int
+    consolidations: int
+    width_trace: List[float] = field(default_factory=list)
+    diverged: bool = False
+
+    @property
+    def mean_width(self) -> float:
+        """Mean concretisation width of the final state."""
+        return self.state.mean_width
+
+
+@dataclass
+class KleeneResult:
+    """Result of the Kleene-iteration baseline."""
+
+    converged: bool
+    state: AbstractElement
+    iterations: int
+    joins: int
+    widenings: int
+    width_trace: List[float] = field(default_factory=list)
+    diverged: bool = False
+
+
+@dataclass
+class FixpointAbstraction:
+    """A sound abstraction of the true fixpoint set plus provenance data."""
+
+    element: AbstractElement
+    contained: bool
+    iterations_phase1: int
+    iterations_phase2: int
+    width_trace_phase1: List[float] = field(default_factory=list)
+    width_trace_phase2: List[float] = field(default_factory=list)
+
+    @property
+    def total_iterations(self) -> int:
+        return self.iterations_phase1 + self.iterations_phase2
+
+
+@dataclass
+class VerificationResult:
+    """Full result of one Craft verification query (Algorithm 1)."""
+
+    outcome: VerificationOutcome
+    contained: bool
+    certified: bool
+    margin: float
+    iterations_phase1: int
+    iterations_phase2: int
+    time_seconds: float
+    selected_alpha2: Optional[float] = None
+    selected_solver2: Optional[str] = None
+    slope_optimized: bool = False
+    fixpoint_abstraction: Optional[FixpointAbstraction] = None
+    output_element: Optional[AbstractElement] = None
+    notes: str = ""
+
+    @property
+    def verified(self) -> bool:
+        """Alias used throughout the experiment harness."""
+        return self.outcome is VerificationOutcome.VERIFIED
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by the example scripts."""
+        return (
+            f"{self.outcome.value:>15} | contained={self.contained} | "
+            f"margin={self.margin:+.4f} | iters={self.iterations_phase1}+{self.iterations_phase2} | "
+            f"{self.time_seconds:.2f}s"
+        )

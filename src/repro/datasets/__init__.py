@@ -1,0 +1,29 @@
+"""Dataset substrate.
+
+The paper evaluates on MNIST, CIFAR10 and the HCAS collision-avoidance
+table.  None of those are available in this offline environment, so this
+subpackage generates synthetic stand-ins that exercise the same code paths
+(see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.datasets.synthetic` — image-classification datasets with
+  MNIST-like and CIFAR-like geometry (class prototypes + structured noise,
+  pixel values in ``[0, 1]``).
+* :mod:`repro.datasets.gaussian` — the Gaussian-mixture toy dataset of the
+  error-consolidation case study (Appendix E.3).
+* :mod:`repro.datasets.hcas` — a horizontal collision-avoidance MDP solved
+  by value iteration, producing the tabular policy the HCAS monDEQ is
+  trained on (Section 6.2).
+"""
+
+from repro.datasets.gaussian import make_gaussian_mixture
+from repro.datasets.synthetic import Dataset, make_cifar_like, make_mnist_like
+from repro.datasets.hcas import HCASDataset, make_hcas_dataset
+
+__all__ = [
+    "Dataset",
+    "HCASDataset",
+    "make_cifar_like",
+    "make_gaussian_mixture",
+    "make_hcas_dataset",
+    "make_mnist_like",
+]

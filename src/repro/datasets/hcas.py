@@ -1,0 +1,195 @@
+"""HCAS (Horizontal Collision Avoidance System) data substrate (Section 6.2).
+
+The paper trains a monDEQ on the HCAS look-up table of Julian &
+Kochenderfer 2019: a policy mapping the relative geometry of an intruder
+aircraft — relative position ``(x, y)`` in kilo-feet and relative heading
+``theta`` — to one of five advisories (COC, WL, WR, SL, SR), obtained by
+solving a Markov Decision Process.  The original table is not available
+offline, so this module builds a scaled-down but structurally faithful
+substitute:
+
+1. discretise the state space ``(x, y, theta)`` on a grid,
+2. define encounter dynamics (own ship flies straight; each advisory turns
+   it at a fixed rate; the intruder flies straight at its heading),
+3. reward = large penalty for a near-mid-air collision (range below the
+   NMAC threshold) plus a small penalty for alerting,
+4. solve the finite-horizon MDP by value iteration, and
+5. export the resulting greedy policy as a tabular dataset with normalised
+   features, exactly what the monDEQ is trained and certified on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike, as_generator
+
+ACTION_NAMES = ("COC", "WL", "WR", "SL", "SR")
+# Turn rates in degrees per step for each advisory (own ship).
+ACTION_TURN_RATES = (0.0, 2.0, -2.0, 4.0, -4.0)
+ALERT_COST = (0.0, 0.02, 0.02, 0.05, 0.05)
+
+
+@dataclass(frozen=True)
+class HCASGrid:
+    """Discretisation of the HCAS state space."""
+
+    x_range: Tuple[float, float] = (-10.0, 25.0)
+    y_range: Tuple[float, float] = (-15.0, 20.0)
+    x_points: int = 21
+    y_points: int = 21
+    theta_points: int = 9
+    horizon: int = 25
+    step_distance: float = 1.0
+    nmac_radius: float = 2.5
+    discount: float = 0.97
+
+    def __post_init__(self):
+        if min(self.x_points, self.y_points, self.theta_points) < 2:
+            raise DatasetError("each grid axis needs at least two points")
+        if self.horizon < 1:
+            raise DatasetError("the planning horizon must be positive")
+
+    def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        xs = np.linspace(*self.x_range, self.x_points)
+        ys = np.linspace(*self.y_range, self.y_points)
+        thetas = np.linspace(-180.0, 180.0, self.theta_points, endpoint=False)
+        return xs, ys, thetas
+
+
+@dataclass
+class HCASDataset:
+    """The solved policy table plus the flattened training data."""
+
+    grid: HCASGrid
+    features: np.ndarray
+    labels: np.ndarray
+    states: np.ndarray
+    q_values: np.ndarray
+    feature_low: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    feature_scale: np.ndarray = field(default_factory=lambda: np.ones(3))
+
+    @property
+    def num_actions(self) -> int:
+        return len(ACTION_NAMES)
+
+    def normalise(self, states: np.ndarray) -> np.ndarray:
+        """Map raw ``(x, y, theta)`` states into the ``[0, 1]`` feature cube."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        return (states - self.feature_low) / self.feature_scale
+
+    def denormalise(self, features: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalise`."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return features * self.feature_scale + self.feature_low
+
+    def policy_slice(self, theta: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Policy labels over the ``(x, y)`` grid at the closest ``theta`` slice.
+
+        Returns the x-axis, y-axis and a ``(len(ys), len(xs))`` label grid —
+        the data shown in the left panel of Fig. 11.
+        """
+        xs, ys, thetas = self.grid.axes()
+        theta_index = int(np.argmin(np.abs(thetas - theta)))
+        labels = np.zeros((ys.shape[0], xs.shape[0]), dtype=int)
+        for index, state in enumerate(self.states):
+            if int(round((state[2] - thetas[0]) / (thetas[1] - thetas[0]))) != theta_index:
+                continue
+            x_index = int(np.argmin(np.abs(xs - state[0])))
+            y_index = int(np.argmin(np.abs(ys - state[1])))
+            labels[y_index, x_index] = self.labels[index]
+        return xs, ys, labels
+
+
+def _step_state(state: np.ndarray, action: int, grid: HCASGrid) -> np.ndarray:
+    """Relative-geometry dynamics for one time step.
+
+    The intruder advances along its heading; the own ship advances along the
+    +x axis and turns according to the advisory, which (in the relative
+    frame) rotates the intruder position the opposite way and shifts the
+    relative heading.
+    """
+    x, y, theta = state
+    theta_rad = np.deg2rad(theta)
+    # Intruder motion in the own-ship frame.
+    x = x + grid.step_distance * np.cos(theta_rad)
+    y = y + grid.step_distance * np.sin(theta_rad)
+    # Own-ship forward motion.
+    x = x - grid.step_distance
+    # Own-ship turn: rotate the relative frame.
+    turn = np.deg2rad(ACTION_TURN_RATES[action])
+    cos_t, sin_t = np.cos(-turn), np.sin(-turn)
+    x, y = cos_t * x - sin_t * y, sin_t * x + cos_t * y
+    theta = ((theta - ACTION_TURN_RATES[action] + 180.0) % 360.0) - 180.0
+    return np.array([x, y, theta])
+
+
+def _rollout_reward(state: np.ndarray, action: int, grid: HCASGrid) -> float:
+    """Discounted reward of issuing ``action`` now and flying it for ``horizon`` steps.
+
+    The advisory is held for the whole encounter (a receding-horizon
+    simplification of the original MDP that avoids discretisation aliasing
+    on coarse grids): the own ship keeps turning at the advisory's rate, the
+    intruder flies straight, and every step inside the NMAC radius incurs
+    the collision penalty on top of the per-step alerting cost.
+    """
+    reward = 0.0
+    discount = 1.0
+    current = state.copy()
+    for _ in range(grid.horizon):
+        current = _step_state(current, action, grid)
+        separation = float(np.linalg.norm(current[:2]))
+        step_reward = -ALERT_COST[action]
+        if separation < grid.nmac_radius:
+            step_reward -= 1.0
+        reward += discount * step_reward
+        discount *= grid.discount
+    return reward
+
+
+def solve_hcas_mdp(grid: HCASGrid) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Finite-horizon evaluation of each advisory over the discretised states.
+
+    For every grid state the five advisories are scored by simulating the
+    (deterministic, continuous-state) encounter dynamics for ``horizon``
+    steps (:func:`_rollout_reward`); the policy label is the argmax.
+    Returns the state table ``(N, 3)``, the policy labels ``(N,)`` and the
+    score table ``(N, 5)``.
+    """
+    xs, ys, thetas = grid.axes()
+    states = np.array([[x, y, theta] for x in xs for y in ys for theta in thetas])
+    num_actions = len(ACTION_NAMES)
+    q_values = np.zeros((states.shape[0], num_actions))
+    for index, state in enumerate(states):
+        for action in range(num_actions):
+            q_values[index, action] = _rollout_reward(state, action, grid)
+    labels = q_values.argmax(axis=1)
+    return states, labels.astype(int), q_values
+
+
+def make_hcas_dataset(grid: HCASGrid = None, seed: SeedLike = 0) -> HCASDataset:
+    """Solve the MDP and package the policy table as a training dataset."""
+    grid = grid if grid is not None else HCASGrid()
+    rng = as_generator(seed)
+    states, labels, q_values = solve_hcas_mdp(grid)
+
+    feature_low = np.array([grid.x_range[0], grid.y_range[0], -180.0])
+    feature_scale = np.array(
+        [grid.x_range[1] - grid.x_range[0], grid.y_range[1] - grid.y_range[0], 360.0]
+    )
+    features = (states - feature_low) / feature_scale
+
+    order = rng.permutation(states.shape[0])
+    return HCASDataset(
+        grid=grid,
+        features=features[order],
+        labels=labels[order],
+        states=states[order],
+        q_values=q_values[order],
+        feature_low=feature_low,
+        feature_scale=feature_scale,
+    )

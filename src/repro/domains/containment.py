@@ -1,0 +1,217 @@
+"""Zonotope containment checks beyond Theorem 4.2.
+
+Exact zonotope-in-zonotope containment is co-NP-complete (Kulmburg &
+Althoff 2021).  The paper compares its O(p^3) CH-Zonotope check
+(Theorem 4.2) against the approximate — but in low dimensions close to
+lossless — LP encoding of Sadraddini & Tedrake 2019 (their Theorem 3),
+which requires solving a linear program in O(k_inner * k_outer) variables
+and is the "Zonotope Cont." baseline of Fig. 18.
+
+This module implements:
+
+* :func:`lp_containment` / :func:`lp_containment_margin` — the
+  Sadraddini–Tedrake LP check with :func:`scipy.optimize.linprog` (HiGHS)
+  as the solver backend (substituting the paper's Gurobi).
+* :func:`sample_containment_counterexample` — a sampling-based falsifier
+  used by the test-suite to confirm that sound checks never claim
+  containment of sets that stick out.
+* :func:`chzonotope_containment_scaling` — the binary-search procedure of
+  Appendix E.2 that measures how much an inner element can be inflated
+  before a given check stops proving containment (the precision metric of
+  Fig. 18a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import DomainError
+
+ZonotopeLike = Union[Zonotope, CHZonotope]
+
+
+def _as_zonotope(element: ZonotopeLike) -> Zonotope:
+    if isinstance(element, CHZonotope):
+        return element.to_zonotope()
+    if isinstance(element, Zonotope):
+        return element
+    raise DomainError(f"expected a zonotope-like element, got {type(element).__name__}")
+
+
+@dataclass(frozen=True)
+class LPContainmentResult:
+    """Result of the Sadraddini–Tedrake containment LP.
+
+    Attributes
+    ----------
+    contained:
+        Whether the LP proves ``inner ⊆ outer`` (margin <= 1).
+    margin:
+        The optimal value ``t*``; values ``<= 1`` prove containment and the
+        gap to 1 quantifies how much slack remains.
+    solver_status:
+        Status string from the LP solver (for diagnostics).
+    """
+
+    contained: bool
+    margin: float
+    solver_status: str
+
+
+def lp_containment_margin(inner: ZonotopeLike, outer: ZonotopeLike) -> LPContainmentResult:
+    """Solve the Sadraddini–Tedrake containment LP.
+
+    ``inner = {a' + A' nu'}`` is contained in ``outer = {a + A nu}`` if there
+    exist a matrix ``Gamma`` and a vector ``beta`` with::
+
+        A Gamma = A',   A beta = a' - a,   || [Gamma, beta] ||_inf <= 1
+
+    where the norm is the maximum absolute row sum.  We minimise that norm
+    (variable ``t``) subject to the equality constraints; containment is
+    proven iff the optimum is ``<= 1``.
+    """
+    inner_z = _as_zonotope(inner)
+    outer_z = _as_zonotope(outer)
+    if inner_z.dim != outer_z.dim:
+        raise DomainError("containment check requires matching dimensions")
+
+    p = inner_z.dim
+    k_in = max(inner_z.num_generators, 0)
+    k_out = outer_z.num_generators
+    if k_out == 0:
+        # The outer set is a single point; containment iff inner is the same point.
+        same_center = np.allclose(inner_z.center, outer_z.center)
+        degenerate = k_in == 0 or not np.any(inner_z.generators)
+        contained = bool(same_center and degenerate)
+        return LPContainmentResult(contained, 0.0 if contained else np.inf, "degenerate")
+
+    a_out = outer_z.generators
+    a_in = inner_z.generators if k_in else np.zeros((p, 0))
+    center_diff = inner_z.center - outer_z.center
+
+    # Decision variables: Gamma+ (k_out*k_in), Gamma- (k_out*k_in),
+    # beta+ (k_out), beta- (k_out), t (1).  Column-major stacking of Gamma.
+    n_gamma = k_out * k_in
+    n_vars = 2 * n_gamma + 2 * k_out + 1
+
+    cost = np.zeros(n_vars)
+    cost[-1] = 1.0
+
+    # Equality constraints: A_out (Gamma+ - Gamma-) = A_in  (p * k_in rows)
+    #                       A_out (beta+ - beta-)   = center_diff (p rows)
+    eq_rows = p * k_in + p
+    a_eq = np.zeros((eq_rows, n_vars))
+    b_eq = np.zeros(eq_rows)
+    for j in range(k_in):
+        row_slice = slice(j * p, (j + 1) * p)
+        col_slice = slice(j * k_out, (j + 1) * k_out)
+        a_eq[row_slice, col_slice] = a_out
+        a_eq[row_slice, n_gamma + j * k_out : n_gamma + (j + 1) * k_out] = -a_out
+        b_eq[row_slice] = a_in[:, j]
+    beta_rows = slice(p * k_in, p * k_in + p)
+    a_eq[beta_rows, 2 * n_gamma : 2 * n_gamma + k_out] = a_out
+    a_eq[beta_rows, 2 * n_gamma + k_out : 2 * n_gamma + 2 * k_out] = -a_out
+    b_eq[beta_rows] = center_diff
+
+    # Row-sum constraints: for each row i of [Gamma, beta]:
+    #   sum_j (Gamma+_ij + Gamma-_ij) + beta+_i + beta-_i - t <= 0
+    a_ub = np.zeros((k_out, n_vars))
+    for i in range(k_out):
+        for j in range(k_in):
+            a_ub[i, j * k_out + i] = 1.0
+            a_ub[i, n_gamma + j * k_out + i] = 1.0
+        a_ub[i, 2 * n_gamma + i] = 1.0
+        a_ub[i, 2 * n_gamma + k_out + i] = 1.0
+        a_ub[i, -1] = -1.0
+    b_ub = np.zeros(k_out)
+
+    bounds = [(0, None)] * (n_vars - 1) + [(0, None)]
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return LPContainmentResult(False, np.inf, result.message)
+    margin = float(result.x[-1])
+    return LPContainmentResult(margin <= 1.0 + 1e-7, margin, "optimal")
+
+
+def lp_containment(inner: ZonotopeLike, outer: ZonotopeLike) -> bool:
+    """Boolean wrapper around :func:`lp_containment_margin`."""
+    return lp_containment_margin(inner, outer).contained
+
+
+def sample_containment_counterexample(
+    inner: ZonotopeLike,
+    outer: ZonotopeLike,
+    samples: int = 256,
+    rng: Optional[np.random.Generator] = None,
+    tol: float = 1e-7,
+) -> Optional[np.ndarray]:
+    """Search for a point of ``inner`` that is provably outside ``outer``.
+
+    Returns the counterexample point or ``None`` if none was found among the
+    sampled (vertex-biased) candidates.  Used by soundness tests: a check
+    that claims containment must never admit a counterexample.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    inner_z = _as_zonotope(inner)
+    candidates = np.vstack(
+        [
+            inner_z.sample_vertices(samples // 2 + 1, rng),
+            inner_z.sample(samples // 2 + 1, rng),
+        ]
+    )
+    for point in candidates:
+        if not _as_zonotope(outer).contains_point(point, tol=tol):
+            return point
+    return None
+
+
+def chzonotope_containment_scaling(
+    inner: CHZonotope,
+    outer: CHZonotope,
+    check: Callable[[CHZonotope, CHZonotope], bool],
+    lo: float = 1.0,
+    hi: float = 4.0,
+    iterations: int = 30,
+) -> float:
+    """Largest scaling factor of ``inner`` (about its centre) for which
+    ``check(scaled_inner, outer)`` still reports containment.
+
+    This is the precision metric of Appendix E.2 / Fig. 18a: applying it to
+    both Theorem 4.2 and the LP check on the same pairs quantifies the
+    relative precision loss of the fast check.  Binary search over the
+    scaling factor; returns ``0.0`` if even the unscaled inner element is
+    not proven contained.
+    """
+    if not check(inner, outer):
+        return 0.0
+
+    def scaled(factor: float) -> CHZonotope:
+        center = inner.center
+        return CHZonotope(
+            center, factor * inner.generators, factor * inner.box
+        )
+
+    if check(scaled(hi), outer):
+        return hi
+    low, high = lo, hi
+    for _ in range(iterations):
+        mid = 0.5 * (low + high)
+        if check(scaled(mid), outer):
+            low = mid
+        else:
+            high = mid
+    return low

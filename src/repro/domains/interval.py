@@ -1,0 +1,249 @@
+"""The Box (interval) abstract domain.
+
+The simplest domain in Table 1 of the paper: constant representation size,
+O(p) inclusion checks, cheap propagation, but (as the evaluation confirms)
+too imprecise to certify monDEQ robustness on its own.  It is used
+
+* as a baseline domain for the Craft engine (Fig. 13, Table 4 "No Zono"),
+* for interval bound propagation (IBP) baselines, and
+* internally by the zonotope domains to compute concretisation bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.domains.base import AbstractElement
+from repro.exceptions import DimensionMismatchError, DomainError
+from repro.utils.validation import ensure_vector
+
+
+class Interval(AbstractElement):
+    """Axis-aligned box ``[lower, upper]`` in R^p."""
+
+    __slots__ = ("_lower", "_upper")
+
+    def __init__(self, lower, upper):
+        lower = ensure_vector(lower, "lower")
+        upper = ensure_vector(upper, "upper", dim=lower.shape[0])
+        if np.any(lower > upper + 1e-12):
+            raise DomainError("Interval lower bounds must not exceed upper bounds")
+        self._lower = lower
+        self._upper = np.maximum(upper, lower)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point) -> "Interval":
+        """Degenerate box containing exactly ``point``."""
+        point = ensure_vector(point, "point")
+        return cls(point, point)
+
+    @classmethod
+    def from_center_radius(cls, center, radius) -> "Interval":
+        """Box ``center +/- radius`` (radius may be a scalar or a vector)."""
+        center = ensure_vector(center, "center")
+        radius = np.broadcast_to(np.asarray(radius, dtype=float), center.shape)
+        if np.any(radius < 0):
+            raise DomainError("radius must be non-negative")
+        return cls(center - radius, center + radius)
+
+    @classmethod
+    def hull_of_points(cls, points) -> "Interval":
+        """Smallest box containing every row of ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # AbstractElement interface
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self._lower.shape[0]
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower bound vector (copy)."""
+        return self._lower.copy()
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper bound vector (copy)."""
+        return self._upper.copy()
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self._lower + self._upper)
+
+    @property
+    def radius(self) -> np.ndarray:
+        """Half-width per dimension."""
+        return 0.5 * (self._upper - self._lower)
+
+    def concretize_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._lower.copy(), self._upper.copy()
+
+    def affine(self, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> "Interval":
+        weight = np.asarray(weight, dtype=float)
+        if weight.ndim != 2 or weight.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"weight must have shape (m, {self.dim}), got {weight.shape}"
+            )
+        center = weight @ self.center
+        radius = np.abs(weight) @ self.radius
+        if bias is not None:
+            center = center + ensure_vector(bias, "bias", dim=weight.shape[0])
+        return Interval(center - radius, center + radius)
+
+    def relu(
+        self, slopes: Optional[np.ndarray] = None, pass_through: Optional[np.ndarray] = None
+    ) -> "Interval":
+        # The exact interval ReLU ignores the slope parameter: clipping the
+        # bounds is both sound and optimal for a box.
+        del slopes
+        lower = np.maximum(self._lower, 0.0)
+        upper = np.maximum(self._upper, 0.0)
+        if pass_through is not None:
+            pass_through = np.asarray(pass_through, dtype=bool)
+            lower = np.where(pass_through, self._lower, lower)
+            upper = np.where(pass_through, self._upper, upper)
+        return Interval(lower, upper)
+
+    def scale(self, factor: float) -> "Interval":
+        factor = float(factor)
+        lo = factor * self._lower
+        hi = factor * self._upper
+        return Interval(np.minimum(lo, hi), np.maximum(lo, hi))
+
+    def translate(self, offset: np.ndarray) -> "Interval":
+        offset = ensure_vector(offset, "offset", dim=self.dim)
+        return Interval(self._lower + offset, self._upper + offset)
+
+    def sum(self, other: "Interval") -> "Interval":
+        other = self._coerce(other)
+        return Interval(self._lower + other._lower, self._upper + other._upper)
+
+    def contains_point(self, point: np.ndarray, tol: float = 1e-9) -> bool:
+        point = ensure_vector(point, "point", dim=self.dim)
+        return bool(
+            np.all(point >= self._lower - tol) and np.all(point <= self._upper + tol)
+        )
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self._lower, self._upper, size=(count, self.dim))
+
+    # ------------------------------------------------------------------
+    # Lattice operations (used by the Kleene baseline)
+    # ------------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (interval hull)."""
+        other = self._coerce(other)
+        return Interval(
+            np.minimum(self._lower, other._lower), np.maximum(self._upper, other._upper)
+        )
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Greatest lower bound, or ``None`` when the boxes are disjoint."""
+        other = self._coerce(other)
+        lower = np.maximum(self._lower, other._lower)
+        upper = np.minimum(self._upper, other._upper)
+        if np.any(lower > upper):
+            return None
+        return Interval(lower, upper)
+
+    def widen(self, other: "Interval", threshold: float = np.inf) -> "Interval":
+        """Standard interval widening against ``other`` (the newer iterate).
+
+        Bounds that grew are pushed to ``-threshold`` / ``threshold``; bounds
+        that grew *beyond* the threshold escalate to infinity, guaranteeing
+        termination of Kleene iteration.  The result contains both operands.
+        """
+        other = self._coerce(other)
+        lower_grew = other._lower < self._lower - 1e-12
+        upper_grew = other._upper > self._upper + 1e-12
+        lower = np.where(
+            lower_grew,
+            np.where(other._lower < -threshold, -np.inf, np.minimum(-threshold, other._lower)),
+            np.minimum(self._lower, other._lower),
+        )
+        upper = np.where(
+            upper_grew,
+            np.where(other._upper > threshold, np.inf, np.maximum(threshold, other._upper)),
+            np.maximum(self._upper, other._upper),
+        )
+        return Interval(lower, upper)
+
+    def is_subset_of(self, other: "Interval", tol: float = 1e-9) -> bool:
+        """Exact inclusion check (O(p))."""
+        other = self._coerce(other)
+        return bool(
+            np.all(self._lower >= other._lower - tol)
+            and np.all(self._upper <= other._upper + tol)
+        )
+
+    def intersects(self, other: "Interval") -> bool:
+        """Return ``True`` when the two boxes overlap."""
+        return self.meet(other) is not None
+
+    def split(self, axis: Optional[int] = None) -> Tuple["Interval", "Interval"]:
+        """Bisect the box along ``axis`` (widest axis by default).
+
+        Used by the domain-splitting global certification (Section 6.2).
+        """
+        if axis is None:
+            axis = int(np.argmax(self.width))
+        if not 0 <= axis < self.dim:
+            raise DomainError(f"axis {axis} out of range for dimension {self.dim}")
+        mid = 0.5 * (self._lower[axis] + self._upper[axis])
+        left_upper = self._upper.copy()
+        left_upper[axis] = mid
+        right_lower = self._lower.copy()
+        right_lower[axis] = mid
+        return Interval(self._lower, left_upper), Interval(right_lower, self._upper)
+
+    def clip(self, lower: float, upper: float) -> "Interval":
+        """Intersect with the box ``[lower, upper]^p`` (e.g. valid pixel range)."""
+        return Interval(
+            np.clip(self._lower, lower, upper), np.clip(self._upper, lower, upper)
+        )
+
+    @property
+    def volume(self) -> float:
+        """Product of widths (exact box volume)."""
+        return float(np.prod(self.width))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return bool(
+            np.allclose(self._lower, other._lower) and np.allclose(self._upper, other._upper)
+        )
+
+    def __hash__(self):  # pragma: no cover - intervals are not hashable
+        raise TypeError("Interval elements are mutable-value objects and unhashable")
+
+    def _coerce(self, other: "Interval") -> "Interval":
+        if not isinstance(other, Interval):
+            raise DomainError(f"expected an Interval, got {type(other).__name__}")
+        if other.dim != self.dim:
+            raise DimensionMismatchError(
+                f"dimension mismatch: {self.dim} vs {other.dim}"
+            )
+        return other
+
+
+def interval_hull(elements: Iterable[Interval]) -> Interval:
+    """Interval hull (join) of a non-empty iterable of boxes."""
+    elements = list(elements)
+    if not elements:
+        raise DomainError("interval_hull requires at least one element")
+    result = elements[0]
+    for element in elements[1:]:
+        result = result.join(element)
+    return result

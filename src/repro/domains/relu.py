@@ -1,0 +1,149 @@
+"""Shared ReLU-relaxation arithmetic.
+
+All zonotope-family domains use the same parametrised single-neuron ReLU
+relaxation (Singh et al. 2018, adapted in Section 4 of the paper): for an
+input range ``[l, u]`` that crosses zero, the ReLU output is enclosed in the
+band ``lambda * x + mu +/- mu`` where
+
+* ``mu = (1 - lambda) * u / 2``  if ``0 <= lambda <= u / (u - l)``
+* ``mu = -lambda * l / 2``        if ``u / (u - l) <= lambda <= 1``
+
+and the default (minimum 2-d area) choice is ``lambda = u / (u - l)``.
+This module computes, per dimension, the triple ``(lambda, mu_center,
+mu_error)`` describing the affine replacement ``y = lambda*x + mu_center``
+with a fresh error term of magnitude ``mu_error``; stable neurons
+(``u <= 0`` or ``l >= 0``) are handled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+
+@dataclass(frozen=True)
+class ReLURelaxation:
+    """Per-dimension affine relaxation of the ReLU.
+
+    Attributes
+    ----------
+    slopes:
+        The slope ``lambda`` applied to the pre-activation, per dimension.
+    offsets:
+        The additive centre shift ``mu`` per dimension.
+    new_errors:
+        The magnitude of the fresh error term per dimension (zero for
+        stable neurons).
+    crossing:
+        Boolean mask of dimensions whose input range crosses zero.
+    """
+
+    slopes: np.ndarray
+    offsets: np.ndarray
+    new_errors: np.ndarray
+    crossing: np.ndarray
+
+
+def default_slopes(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Return the minimum-area slopes ``u / (u - l)`` (clipped to [0, 1])."""
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    span = upper - lower
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slopes = np.where(span > 0, upper / np.where(span > 0, span, 1.0), 0.0)
+    return np.clip(slopes, 0.0, 1.0)
+
+
+def relu_relaxation(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    slopes: Optional[np.ndarray] = None,
+    pass_through: Optional[np.ndarray] = None,
+) -> ReLURelaxation:
+    """Compute the sound affine ReLU relaxation for bounds ``[lower, upper]``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Element-wise pre-activation bounds.
+    slopes:
+        Optional user-provided slopes in ``[0, 1]`` for crossing neurons
+        (slope optimisation); ``None`` selects the minimum-area slopes.
+    pass_through:
+        Optional boolean mask of dimensions to which the ReLU is *not*
+        applied (they are mapped by the identity).  The joint-space monDEQ
+        abstract solvers use this for the input block of the state.
+
+    Returns
+    -------
+    ReLURelaxation
+        The per-dimension ``(lambda, mu, mu)`` triple.  For inactive
+        neurons (``upper <= 0``) the relaxation maps everything to zero;
+        for active neurons (``lower >= 0``) it is the identity.
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape:
+        raise DomainError("lower and upper bounds must have the same shape")
+    if np.any(lower > upper + 1e-12):
+        raise DomainError("lower bounds exceed upper bounds")
+
+    dim = lower.shape[0]
+    inactive = upper <= 0.0
+    active = lower >= 0.0
+    if pass_through is not None:
+        pass_through = np.asarray(pass_through, dtype=bool)
+        if pass_through.shape != (dim,):
+            raise DomainError("pass_through mask must match the element dimension")
+        inactive = inactive & ~pass_through
+        active = active | pass_through
+    crossing = ~(inactive | active)
+
+    out_slopes = np.zeros(dim)
+    out_offsets = np.zeros(dim)
+    out_errors = np.zeros(dim)
+
+    out_slopes[active] = 1.0
+
+    if np.any(crossing):
+        l_c = lower[crossing]
+        u_c = upper[crossing]
+        if slopes is None:
+            lam = u_c / (u_c - l_c)
+        else:
+            slopes = np.asarray(slopes, dtype=float)
+            if slopes.shape not in ((dim,), ()):
+                raise DomainError("slopes must be a scalar or match the element dimension")
+            lam = np.clip(np.broadcast_to(slopes, (dim,))[crossing], 0.0, 1.0)
+        # Height of the sound band max(-lambda*l, (1-lambda)*u); mu is half of it.
+        gap = np.maximum(-lam * l_c, (1.0 - lam) * u_c)
+        mu = gap / 2.0
+        out_slopes[crossing] = lam
+        out_offsets[crossing] = mu
+        out_errors[crossing] = mu
+
+    return ReLURelaxation(
+        slopes=out_slopes,
+        offsets=out_offsets,
+        new_errors=out_errors,
+        crossing=crossing,
+    )
+
+
+def relaxation_is_sound(relaxation: ReLURelaxation, lower: np.ndarray, upper: np.ndarray,
+                        samples: int = 64, rng: Optional[np.random.Generator] = None) -> bool:
+    """Sampling check that the relaxation band contains ReLU on ``[lower, upper]``.
+
+    Intended for tests and debugging; never used on the verification path.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    xs = rng.uniform(lower, upper, size=(samples, lower.shape[0]))
+    ys = np.maximum(xs, 0.0)
+    approx = relaxation.slopes * xs + relaxation.offsets
+    return bool(np.all(np.abs(ys - approx) <= relaxation.new_errors + 1e-9))

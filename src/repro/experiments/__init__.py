@@ -1,0 +1,29 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module exposes plain functions returning dictionaries / dataclasses so
+that the pytest-benchmark harness in ``benchmarks/``, the example scripts in
+``examples/`` and EXPERIMENTS.md generation all share the same code.
+
+| Paper artefact | Runner |
+|---|---|
+| Table 2 (local robustness)         | :func:`repro.experiments.local_robustness.run_table2` |
+| Table 3 (SemiSDP comparison)       | :func:`repro.experiments.local_robustness.run_table3` |
+| Table 4 (ablation study)           | :func:`repro.experiments.ablation.run_table4` |
+| Table 5 / 6, Fig. 16 (square root) | :func:`repro.experiments.sqrt_case_study.run_table5` |
+| Fig. 2 / 4 (running example)       | :func:`repro.experiments.running_example.run_running_example` |
+| Fig. 11 (HCAS global)              | :func:`repro.experiments.global_robustness.run_hcas` |
+| Fig. 12 (alpha stability)          | :func:`repro.experiments.local_robustness.run_alpha_stability` |
+| Fig. 13 (width traces)             | :func:`repro.experiments.local_robustness.run_width_trace` |
+| Fig. 17 (adaptive alpha2)          | :func:`repro.experiments.local_robustness.run_adaptive_alpha` |
+| Fig. 18 (containment checks)       | :func:`repro.experiments.domain_studies.run_containment_comparison` |
+| Fig. 19 (consolidation volume)     | :func:`repro.experiments.domain_studies.run_consolidation_volume` |
+| Fig. 20 (unsound Zonotope bounds)  | :func:`repro.experiments.local_robustness.run_unsound_zonotope_comparison` |
+
+All runners accept a ``scale`` argument (``"smoke"``, ``"small"``, ``"full"``)
+controlling model sizes and sample counts so that the full suite stays
+runnable on a laptop CPU.
+"""
+
+from repro.experiments.model_zoo import ModelSpec, get_dataset, get_model, MODEL_SPECS
+
+__all__ = ["MODEL_SPECS", "ModelSpec", "get_dataset", "get_model"]

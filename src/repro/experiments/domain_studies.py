@@ -1,0 +1,226 @@
+"""CH-Zonotope domain studies: containment checks (Fig. 18) and error
+consolidation volume (Fig. 19, Appendix E.2/E.3)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.containment import chzonotope_containment_scaling, lp_containment_margin
+from repro.domains.volume import is_degenerate, zonotope_volume
+from repro.datasets.gaussian import make_gaussian_mixture
+from repro.experiments.model_zoo import get_model
+from repro.mondeq.abstract_solvers import build_initial_state, layout_for, make_abstract_step
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import solve_fixpoint
+from repro.mondeq.training import TrainingConfig, train
+from repro.utils.rng import as_generator
+from repro.verify.specs import LinfBall
+
+
+# ----------------------------------------------------------------------
+# Fig. 18 — CH-Zonotope containment vs the LP containment baseline
+# ----------------------------------------------------------------------
+
+
+def _containment_instances(
+    model: MonDEQ,
+    xs: np.ndarray,
+    epsilon: float,
+    alpha: float,
+    max_instances: int,
+) -> List[Dict]:
+    """Generate (inner, outer) CH-Zonotope pairs as they arise inside Craft.
+
+    For each sample the FB abstract iteration is run until the Theorem 4.2
+    check first succeeds; the consolidated reference and the contained
+    iterate form one containment instance (the setting of Appendix E.2).
+    """
+    layout = layout_for(model, "fb")
+    instances = []
+    for x in xs:
+        if len(instances) >= max_instances:
+            break
+        ball = LinfBall(center=np.asarray(x, dtype=float).reshape(-1), epsilon=epsilon)
+        concrete = solve_fixpoint(model, ball.center, method="fb", alpha=alpha)
+        state = build_initial_state(model, layout, concrete.z, domain=CHZonotope)
+        step = make_abstract_step(model, layout, ball.to_chzonotope(), "fb", alpha)
+        reference: Optional[CHZonotope] = None
+        for iteration in range(120):
+            if iteration % 3 == 0:
+                state = state.consolidate(w_mul=1e-3, w_add=1e-2)
+                reference = state
+            state = step(state)
+            if reference is not None and reference.contains(state):
+                instances.append({"outer": reference, "inner": state, "sample": x})
+                break
+    return instances
+
+
+def run_containment_comparison(
+    scale: str = "small",
+    model_name: str = "FCx40",
+    epsilon: float = 0.05,
+    max_instances: int = 8,
+    include_lp: bool = True,
+    scaling_iterations: int = 6,
+) -> List[Dict]:
+    """Precision (maximal inner scaling) and runtime of the two checks (Fig. 18).
+
+    For every containment instance the runner reports the largest scaling
+    factor of the inner element for which each check still proves
+    containment (binary search, Appendix E.2) and the wall-clock time of a
+    single check.
+    """
+    model, dataset = get_model(model_name, scale)
+    alpha = 0.4 * model.fb_alpha_bound()
+    instances = _containment_instances(
+        model, dataset.x_test, epsilon, alpha, max_instances
+    )
+    rows = []
+    for instance in instances:
+        outer: CHZonotope = instance["outer"]
+        inner: CHZonotope = instance["inner"]
+
+        start = time.perf_counter()
+        ch_contained = outer.contains(inner)
+        ch_time = time.perf_counter() - start
+        ch_scaling = chzonotope_containment_scaling(
+            inner, outer, lambda i, o: o.contains(i), iterations=scaling_iterations
+        )
+        row = {
+            "dimension": outer.dim,
+            "inner_generators": inner.num_generators,
+            "ch_contained": bool(ch_contained),
+            "ch_time": ch_time,
+            "ch_scaling": ch_scaling,
+        }
+        if include_lp:
+            start = time.perf_counter()
+            lp_result = lp_containment_margin(inner, outer)
+            lp_time = time.perf_counter() - start
+            lp_scaling = chzonotope_containment_scaling(
+                inner, outer,
+                lambda i, o: lp_containment_margin(i, o).contained,
+                iterations=scaling_iterations,
+            )
+            row.update(
+                {
+                    "lp_contained": bool(lp_result.contained),
+                    "lp_margin": lp_result.margin,
+                    "lp_time": lp_time,
+                    "lp_scaling": lp_scaling,
+                    "precision_ratio": ch_scaling / lp_scaling if lp_scaling > 0 else np.nan,
+                    "speedup": lp_time / ch_time if ch_time > 0 else np.nan,
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 19 — volume effect of error consolidation in low dimensions
+# ----------------------------------------------------------------------
+
+
+def run_consolidation_volume(
+    latent_dims: Sequence[int] = (2, 3, 4),
+    solvers: Sequence[str] = ("fb", "pr"),
+    epsilon: float = 0.05,
+    iterations: int = 60,
+    growth_window: int = 5,
+    num_inputs: int = 10,
+    seed: int = 0,
+) -> List[Dict]:
+    """Volume ratio R (consolidation) and growth G (consolidation + solver
+    contraction) per latent dimension and solver (Fig. 19).
+
+    Small monDEQs are trained on the Gaussian-mixture toy dataset; exact
+    zonotope volumes are tractable in 2–4 dimensions.
+    """
+    rng = as_generator(seed)
+    xs_all, ys_all = make_gaussian_mixture(num_samples=240, input_dim=5, num_classes=3, seed=seed)
+    rows = []
+    for latent_dim in latent_dims:
+        # A small monotonicity parameter and a positive bias keep the toy
+        # fixpoints away from the all-inactive regime; following Appendix
+        # E.3, samples where a latent dimension still collapses to zero are
+        # excluded from the volume statistics.
+        model = MonDEQ.random(
+            input_dim=5, latent_dim=latent_dim, output_dim=3,
+            monotonicity=3.0, scale=1.0, seed=latent_dim, name=f"toy-{latent_dim}d",
+        )
+        model.bias[:] = 0.5
+        train(
+            model, xs_all[:180], ys_all[:180],
+            TrainingConfig(epochs=15, batch_size=32, learning_rate=1e-2, solver_tol=1e-6),
+            seed=seed,
+        )
+        for solver in solvers:
+            layout = layout_for(model, solver)
+            alpha = 0.4 * model.fb_alpha_bound() if solver == "fb" else 0.1
+            ratios = []
+            growths = []
+            candidates = rng.permutation(np.arange(180, 240))
+            used = 0
+            for index in candidates:
+                if used >= num_inputs:
+                    break
+                x = xs_all[index]
+                ball = LinfBall(center=x, epsilon=epsilon)
+                concrete = solve_fixpoint(model, x, method=solver, alpha=alpha)
+                if np.any(concrete.z <= 1e-6):
+                    continue
+                used += 1
+                state = build_initial_state(model, layout, concrete.z, domain=CHZonotope)
+                step = make_abstract_step(model, layout, ball.to_chzonotope(), solver, alpha)
+                sample_ratios = []
+                sample_growths = []
+                warmup = max(6, iterations // 4)
+                z_selector = layout.z_selector()
+
+                def z_volume(element):
+                    # Volumes are measured on the z block only: the PR
+                    # auxiliary block coincides with z on active neurons, so
+                    # the joint (z, u) volume is numerically degenerate.
+                    return zonotope_volume(element.affine(z_selector), exact_limit=64)
+
+                for iteration in range(iterations):
+                    state = step(state)
+                    if (iteration + 1) % 3:
+                        continue
+                    consolidated = state.consolidate()
+                    measure = iteration >= warmup and not is_degenerate(
+                        state.affine(z_selector)
+                    )
+                    if measure:
+                        try:
+                            volume_before = z_volume(state)
+                            volume_after = z_volume(consolidated)
+                            rolled = consolidated
+                            for _ in range(growth_window):
+                                rolled = step(rolled)
+                            volume_rolled = z_volume(rolled.consolidate())
+                        except Exception:  # too many generators for the exact formula
+                            measure = False
+                    if measure and volume_before > 0:
+                        sample_ratios.append(volume_after / volume_before)
+                        sample_growths.append(volume_rolled / volume_before)
+                    state = consolidated
+                if sample_ratios:
+                    ratios.append(float(np.mean(sample_ratios)))
+                    growths.append(float(np.mean(sample_growths)))
+            rows.append(
+                {
+                    "latent_dim": int(latent_dim),
+                    "solver": solver,
+                    "volume_ratio": float(np.median(ratios)) if ratios else np.nan,
+                    "volume_growth": float(np.median(growths)) if growths else np.nan,
+                    "inputs": len(ratios),
+                }
+            )
+    return rows

@@ -1,0 +1,186 @@
+"""Named monDEQ architectures trained on the synthetic datasets.
+
+The paper evaluates FCx40 … FCx200 and ConvSmall monDEQs trained on MNIST
+and CIFAR10.  This zoo provides scaled-down but structurally matching
+counterparts trained on the synthetic stand-in datasets (see DESIGN.md);
+the ``scale`` argument controls how far they are scaled down:
+
+* ``smoke`` — tiny models for unit tests and CI (seconds).
+* ``small`` — the default for the benchmark harness (a few minutes total).
+* ``full``  — the largest configuration this environment supports.
+
+Models are trained on demand and cached in memory (and optionally on disk)
+so that different experiments share them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.datasets.synthetic import Dataset, make_cifar_like, make_mnist_like
+from repro.exceptions import ConfigurationError
+from repro.mondeq.conv import make_conv_mondeq
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.training import TrainingConfig, train
+
+_SCALES = ("smoke", "small", "full")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Description of one zoo entry."""
+
+    name: str
+    dataset: str
+    latent_dim: int
+    convolutional: bool = False
+    latent_channels: int = 4
+    monotonicity: float = 20.0
+    epochs: int = 30
+    learning_rate: float = 5e-3
+    seed: int = 0
+
+    def scaled(self, scale: str) -> "ModelSpec":
+        """Return the spec adjusted for the requested scale."""
+        if scale not in _SCALES:
+            raise ConfigurationError(f"unknown scale {scale!r}; choose from {_SCALES}")
+        if scale == "full":
+            return self
+        if scale == "small":
+            return replace(self, latent_dim=max(8, self.latent_dim // 2), epochs=max(10, self.epochs // 2))
+        return replace(self, latent_dim=max(6, self.latent_dim // 4), epochs=8)
+
+
+# The paper's architectures, scaled to this environment (DESIGN.md).
+MODEL_SPECS: Dict[str, ModelSpec] = {
+    "FCx40": ModelSpec(name="FCx40", dataset="mnist_like", latent_dim=40),
+    "FCx87": ModelSpec(name="FCx87", dataset="mnist_like", latent_dim=87 // 2),
+    "FCx100": ModelSpec(name="FCx100", dataset="mnist_like", latent_dim=100 // 2),
+    "FCx200": ModelSpec(name="FCx200", dataset="mnist_like", latent_dim=200 // 4),
+    "ConvSmall-MNIST": ModelSpec(
+        name="ConvSmall-MNIST", dataset="mnist_like", latent_dim=0,
+        convolutional=True, latent_channels=4,
+    ),
+    "FCx200-CIFAR": ModelSpec(name="FCx200-CIFAR", dataset="cifar_like", latent_dim=200 // 4),
+    "ConvSmall-CIFAR": ModelSpec(
+        name="ConvSmall-CIFAR", dataset="cifar_like", latent_dim=0,
+        convolutional=True, latent_channels=4,
+    ),
+    "HCAS-FCx100": ModelSpec(
+        name="HCAS-FCx100", dataset="hcas", latent_dim=24, epochs=40, learning_rate=1e-2
+    ),
+}
+
+_DATASET_CACHE: Dict[Tuple[str, str], Dataset] = {}
+_MODEL_CACHE: Dict[Tuple[str, str], Tuple[MonDEQ, Dataset]] = {}
+
+
+def get_dataset(name: str, scale: str = "small") -> Dataset:
+    """Return (and cache) the named dataset at the requested scale."""
+    if scale not in _SCALES:
+        raise ConfigurationError(f"unknown scale {scale!r}; choose from {_SCALES}")
+    key = (name, scale)
+    if key in _DATASET_CACHE:
+        return _DATASET_CACHE[key]
+    sizes = {"smoke": (8, 4, 3), "small": (10, 40, 8), "full": (14, 60, 12)}
+    image_size, train_per_class, test_per_class = sizes[scale]
+    num_classes = 3 if scale == "smoke" else 5
+    if name == "mnist_like":
+        dataset = make_mnist_like(
+            size=image_size, num_classes=num_classes,
+            train_per_class=train_per_class, test_per_class=test_per_class, seed=0,
+        )
+    elif name == "cifar_like":
+        dataset = make_cifar_like(
+            size=max(6, image_size - 2), num_classes=num_classes,
+            train_per_class=train_per_class, test_per_class=test_per_class, seed=1,
+        )
+    elif name == "hcas":
+        from repro.datasets.hcas import HCASGrid, make_hcas_dataset
+
+        grids = {
+            "smoke": HCASGrid(x_points=7, y_points=7, theta_points=5, horizon=12),
+            "small": HCASGrid(x_points=11, y_points=11, theta_points=7, horizon=20),
+            "full": HCASGrid(),
+        }
+        hcas = make_hcas_dataset(grids[scale], seed=0)
+        split = int(0.85 * hcas.features.shape[0])
+        dataset = Dataset(
+            name="hcas",
+            x_train=hcas.features[:split],
+            y_train=hcas.labels[:split],
+            x_test=hcas.features[split:],
+            y_test=hcas.labels[split:],
+            num_classes=hcas.num_actions,
+            image_shape=(3,),
+        )
+    else:
+        raise ConfigurationError(f"unknown dataset {name!r}")
+    _DATASET_CACHE[key] = dataset
+    return dataset
+
+
+def _build_model(spec: ModelSpec, dataset: Dataset, scale: str) -> MonDEQ:
+    if spec.convolutional:
+        channels, size = dataset.image_shape[0], dataset.image_shape[1]
+        latent_channels = max(2, spec.latent_channels // (2 if scale == "smoke" else 1))
+        model, _ = make_conv_mondeq(
+            image_size=size, in_channels=channels, latent_channels=latent_channels,
+            output_dim=dataset.num_classes, monotonicity=spec.monotonicity,
+            seed=spec.seed, name=spec.name,
+        )
+        return model
+    return MonDEQ.random(
+        input_dim=dataset.input_dim, latent_dim=spec.latent_dim,
+        output_dim=dataset.num_classes, monotonicity=spec.monotonicity,
+        seed=spec.seed, name=spec.name,
+    )
+
+
+def get_model(
+    name: str, scale: str = "small", cache_dir: Optional[str] = None
+) -> Tuple[MonDEQ, Dataset]:
+    """Return (and cache) a trained model of the named architecture.
+
+    ``cache_dir`` optionally persists trained weights to ``.npz`` files so
+    repeated benchmark invocations skip training.
+    """
+    if name not in MODEL_SPECS:
+        raise ConfigurationError(f"unknown model {name!r}; choose from {sorted(MODEL_SPECS)}")
+    key = (name, scale)
+    if key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+
+    spec = MODEL_SPECS[name].scaled(scale)
+    dataset = get_dataset(spec.dataset, scale)
+
+    cached_path = None
+    if cache_dir is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        cached_path = os.path.join(cache_dir, f"{name}_{scale}.npz")
+        if os.path.exists(cached_path):
+            model = MonDEQ.load(cached_path)
+            _MODEL_CACHE[key] = (model, dataset)
+            return model, dataset
+
+    model = _build_model(spec, dataset, scale)
+    config = TrainingConfig(
+        epochs=spec.epochs,
+        batch_size=32,
+        learning_rate=spec.learning_rate,
+        solver_tol=1e-5,
+        solver_max_iterations=150,
+    )
+    train(model, dataset.x_train, dataset.y_train, config, seed=spec.seed)
+    if cached_path is not None:
+        model.save(cached_path)
+    _MODEL_CACHE[key] = (model, dataset)
+    return model, dataset
+
+
+def clear_caches() -> None:
+    """Drop all cached datasets and models (used by tests)."""
+    _DATASET_CACHE.clear()
+    _MODEL_CACHE.clear()

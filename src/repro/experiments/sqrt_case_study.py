@@ -1,0 +1,78 @@
+"""Square-root case study (Section 6.5, Appendix A; Tables 5/6, Fig. 16)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.numerics.householder import (
+    analyze_root_craft,
+    analyze_root_kleene,
+    exact_root_interval,
+)
+
+DEFAULT_INTERVALS: Sequence[Tuple[float, float]] = ((16.0, 20.0), (16.0, 25.0))
+
+
+def run_table5(
+    intervals: Sequence[Tuple[float, float]] = DEFAULT_INTERVALS,
+    include_strong_kleene: bool = True,
+) -> List[Dict]:
+    """Fixpoint over-approximations per method and input interval.
+
+    One row per input interval with the root interval (``1 / gamma(S*)``)
+    obtained by the exact computation, Craft (fixpoints and reachable
+    values, Table 6), and Kleene iteration with the conventional Zonotope
+    transformer.  ``include_strong_kleene`` additionally reports Kleene with
+    the same Taylor transformer Craft uses, to separate the effect of the
+    termination strategy from that of the transformer.
+    """
+    rows = []
+    for x_low, x_high in intervals:
+        exact = exact_root_interval(x_low, x_high)
+        craft = analyze_root_craft(x_low, x_high)
+        kleene = analyze_root_kleene(x_low, x_high)
+        row = {
+            "interval": (x_low, x_high),
+            "exact": exact,
+            "craft_converged": craft.converged,
+            "craft_fixpoints": craft.root_interval,
+            "craft_reachable": craft.reachable_root_interval,
+            "craft_iterations": craft.iterations,
+            "kleene_converged": kleene.converged,
+            "kleene_fixpoints": kleene.root_interval,
+            "kleene_iterations": kleene.iterations,
+        }
+        if include_strong_kleene:
+            strong = analyze_root_kleene(x_low, x_high, transformer="taylor")
+            row["kleene_taylor_converged"] = strong.converged
+            row["kleene_taylor_fixpoints"] = strong.root_interval
+        rows.append(row)
+    return rows
+
+
+def run_fig16(
+    intervals: Sequence[Tuple[float, float]] = DEFAULT_INTERVALS,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-iteration s-interval traces for Craft and Kleene (Fig. 16).
+
+    The traces are reported as ``sqrt(x)`` estimates (``1/s``) per
+    iteration, clipped to finite values where the abstraction still has a
+    positive lower bound.
+    """
+    traces: Dict[str, List[Tuple[float, float]]] = {}
+    for x_low, x_high in intervals:
+        craft = analyze_root_craft(x_low, x_high)
+        kleene = analyze_root_kleene(x_low, x_high)
+        key = f"[{x_low:g},{x_high:g}]"
+        traces[f"craft {key}"] = [_reciprocal(bounds) for bounds in craft.s_trace]
+        traces[f"kleene {key}"] = [_reciprocal(bounds) for bounds in kleene.s_trace]
+    return traces
+
+
+def _reciprocal(bounds: Tuple[float, float]) -> Tuple[float, float]:
+    low, high = bounds
+    if low <= 0:
+        return (0.0, float(np.inf))
+    return (1.0 / high, 1.0 / low)

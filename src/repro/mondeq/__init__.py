@@ -1,0 +1,27 @@
+"""The monotone operator Deep Equilibrium Model (monDEQ) substrate.
+
+monDEQs (Winston & Kolter 2020) are implicit-depth networks whose output is
+a *fixpoint* ``z* = ReLU(W z* + U x + b)`` with the monotone parametrisation
+``W = (1 - m) I - P^T P + Q - Q^T`` guaranteeing existence and uniqueness of
+that fixpoint.  This subpackage provides everything the paper's evaluation
+needs around them:
+
+* :mod:`repro.mondeq.model` — the model class (fully-connected and
+  convolution-structured variants) and serialisation.
+* :mod:`repro.mondeq.solvers` — concrete Forward–Backward and
+  Peaceman–Rachford operator-splitting fixpoint solvers (Eq. 8 / 9).
+* :mod:`repro.mondeq.abstract_solvers` — sound abstract transformers of one
+  solver iteration over the joint (state, input) space, for any abstract
+  domain in :mod:`repro.domains`.
+* :mod:`repro.mondeq.training` — training by implicit differentiation.
+* :mod:`repro.mondeq.attacks` — PGD adversarial attacks (for the
+  ``#Bound`` column of Tables 2 and 3).
+* :mod:`repro.mondeq.lipschitz` — Lipschitz-bound certification baselines.
+* :mod:`repro.mondeq.conv` — convolution-structured weight matrices used by
+  the "ConvSmall" architectures.
+"""
+
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import SolverResult, solve_fixpoint
+
+__all__ = ["MonDEQ", "SolverResult", "solve_fixpoint"]

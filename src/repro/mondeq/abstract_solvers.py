@@ -1,0 +1,297 @@
+"""Sound abstract transformers of monDEQ fixpoint-solver iterations.
+
+Following Algorithm 1, the abstract solver state ``S`` covers only the
+solver variables —
+
+* ``[z]``      for Forward–Backward splitting (dimension ``p``),
+* ``[z ; u]``  for Peaceman–Rachford splitting (dimension ``2p``),
+
+while the input abstraction ``X`` is a separate element that is *injected*
+into every abstract step ``g#_alpha(X, S)``.  One step is the composition of
+
+1. an exact affine transformer on the state (the linear part of Eq. 8 for
+   FB, or the closed form of Eq. 9 for PR using the resolvent
+   ``D = (I + alpha (I - W))^{-1}``),
+2. a Minkowski sum with the input-injection element (``alpha U X + alpha b``
+   for FB, ``2 alpha D U X + 2 alpha D b`` replicated over the ``z`` and
+   ``u`` blocks for PR), and
+3. the ReLU transformer on the ``z`` block (the auxiliary block passes
+   through).
+
+Treating the state and the input as independent at each step is a sound
+over-approximation of the concrete iteration for every ``x`` in the input
+region and every ``s`` in the state abstraction, so Theorems 3.1/3.3/5.1
+apply unchanged; the number of error terms grows by at most ``k_x + p`` per
+step and is periodically reduced by CH-Zonotope error consolidation.
+
+The same construction works for every domain in :mod:`repro.domains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Type
+
+import numpy as np
+
+from repro.domains.base import AbstractElement
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.relu import default_slopes
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import ConfigurationError, DomainError
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import pr_matrices
+
+StepFunction = Callable[[AbstractElement], AbstractElement]
+
+
+@dataclass(frozen=True)
+class StateLayout:
+    """Layout of the abstract solver state.
+
+    Attributes
+    ----------
+    latent_dim:
+        Dimension ``p`` of the monDEQ latent state.
+    has_aux:
+        Whether the layout carries the Peaceman–Rachford auxiliary block.
+    """
+
+    latent_dim: int
+    has_aux: bool
+
+    @property
+    def dim(self) -> int:
+        """Total dimension of the state abstraction."""
+        return (2 if self.has_aux else 1) * self.latent_dim
+
+    @property
+    def z_slice(self) -> slice:
+        return slice(0, self.latent_dim)
+
+    @property
+    def u_slice(self) -> Optional[slice]:
+        if not self.has_aux:
+            return None
+        return slice(self.latent_dim, 2 * self.latent_dim)
+
+    def relu_pass_through(self) -> Optional[np.ndarray]:
+        """Mask of dimensions the ReLU does *not* apply to (the aux block)."""
+        if not self.has_aux:
+            return None
+        mask = np.zeros(self.dim, dtype=bool)
+        mask[self.u_slice] = True
+        return mask
+
+    def z_selector(self) -> np.ndarray:
+        """Selection matrix extracting the ``z`` block from a state vector."""
+        selector = np.zeros((self.latent_dim, self.dim))
+        selector[:, self.z_slice] = np.eye(self.latent_dim)
+        return selector
+
+
+def layout_for(model: MonDEQ, solver: str) -> StateLayout:
+    """The state layout induced by the *containment-phase* solver."""
+    if solver not in ("pr", "fb"):
+        raise ConfigurationError(f"unknown solver {solver!r}")
+    return StateLayout(latent_dim=model.latent_dim, has_aux=solver == "pr")
+
+
+def _coerce_input(input_element: AbstractElement, domain: Type[AbstractElement]) -> AbstractElement:
+    """Convert the input abstraction to the requested domain."""
+    if isinstance(input_element, domain):
+        return input_element
+    if domain is CHZonotope:
+        if isinstance(input_element, Interval):
+            return CHZonotope.from_interval(input_element)
+        if isinstance(input_element, Zonotope):
+            return CHZonotope.from_zonotope(input_element)
+    if domain is Zonotope and isinstance(input_element, Interval):
+        return Zonotope.from_interval(input_element)
+    if domain is Interval:
+        lower, upper = input_element.concretize_bounds()
+        return Interval(lower, upper)
+    raise DomainError(
+        f"cannot convert {type(input_element).__name__} to {domain.__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# State-space matrices and input injections of one solver iteration
+# ----------------------------------------------------------------------
+
+
+def fb_state_matrices(model: MonDEQ, alpha: float, layout: StateLayout):
+    """State matrix and input-injection map of one FB step.
+
+    Returns ``(state_matrix, input_matrix, bias)`` such that the
+    pre-activation of the new state is
+    ``state_matrix @ s + input_matrix @ x + bias``.
+    """
+    p = layout.latent_dim
+    m_matrix = (1.0 - alpha) * np.eye(p) + alpha * model.w_matrix
+    state_matrix = np.zeros((layout.dim, layout.dim))
+    state_matrix[layout.z_slice, layout.z_slice] = m_matrix
+    input_matrix = np.zeros((layout.dim, model.input_dim))
+    input_matrix[layout.z_slice, :] = alpha * model.u_weight
+    bias = np.zeros(layout.dim)
+    bias[layout.z_slice] = alpha * model.bias
+    if layout.has_aux:
+        # An FB step on a PR layout leaves the auxiliary block unchanged;
+        # this maps joint fixpoints onto themselves and is therefore still
+        # fixpoint-set preserving (Theorem 5.1 applies to the z block).
+        state_matrix[layout.u_slice, layout.u_slice] = np.eye(p)
+    return state_matrix, input_matrix, bias
+
+
+def pr_state_matrices(model: MonDEQ, alpha: float, layout: StateLayout):
+    """State matrix and input-injection map of one PR step (Eq. 9).
+
+    With the resolvent ``D = (I + alpha (I - W))^{-1}`` the new auxiliary
+    state is the affine function
+
+        u' = (4 D - 2 I) z + (I - 2 D) u + 2 alpha D U x + 2 alpha D b
+
+    of the previous state; the new ``z`` is ``ReLU(u')``, so both output
+    blocks are set to ``u'`` before the (masked) ReLU.
+    """
+    if not layout.has_aux:
+        raise ConfigurationError("PR steps require a layout with the auxiliary block")
+    p = layout.latent_dim
+    resolvent = pr_matrices(model, alpha)
+    z_coeff = 4.0 * resolvent - 2.0 * np.eye(p)
+    u_coeff = np.eye(p) - 2.0 * resolvent
+    input_block = 2.0 * alpha * resolvent @ model.u_weight
+    bias_block = 2.0 * alpha * resolvent @ model.bias
+
+    state_matrix = np.zeros((layout.dim, layout.dim))
+    input_matrix = np.zeros((layout.dim, model.input_dim))
+    bias = np.zeros(layout.dim)
+    for block in (layout.z_slice, layout.u_slice):
+        state_matrix[block, layout.z_slice] = z_coeff
+        state_matrix[block, layout.u_slice] = u_coeff
+        input_matrix[block, :] = input_block
+        bias[block] = bias_block
+    return state_matrix, input_matrix, bias
+
+
+# ----------------------------------------------------------------------
+# Step builders
+# ----------------------------------------------------------------------
+
+
+def make_abstract_step(
+    model: MonDEQ,
+    layout: StateLayout,
+    input_element: AbstractElement,
+    solver: str,
+    alpha: float,
+    slope_delta: float = 0.0,
+    use_box_component: bool = True,
+) -> StepFunction:
+    """Build the abstract transformer ``S -> g#_alpha(X, S)``.
+
+    Parameters
+    ----------
+    model, layout:
+        The monDEQ and the state layout fixed by the containment-phase
+        solver.
+    input_element:
+        Abstraction of the input region ``X`` (any domain); the
+        input-injection element is precomputed once from it.
+    solver, alpha:
+        Splitting method (``"fb"`` / ``"pr"``) and damping parameter.
+    slope_delta:
+        Shift added to the minimum-area ReLU slopes (slope optimisation).
+    use_box_component:
+        Forwarded to the CH-Zonotope ReLU transformer; ignored by other
+        domains.
+    """
+    if solver == "fb":
+        state_matrix, input_matrix, bias = fb_state_matrices(model, alpha, layout)
+    elif solver == "pr":
+        state_matrix, input_matrix, bias = pr_state_matrices(model, alpha, layout)
+    else:
+        raise ConfigurationError(f"unknown solver {solver!r}")
+    pass_through = layout.relu_pass_through()
+    # The injection element carries the whole input contribution (including
+    # the bias), so correlations of the input across the z and u blocks are
+    # preserved within one step.
+    injection = input_element.affine(input_matrix, bias)
+
+    def step(element: AbstractElement) -> AbstractElement:
+        if element.dim != layout.dim:
+            raise DomainError(
+                f"solver state has dimension {element.dim}, expected {layout.dim}"
+            )
+        propagated = element.affine(state_matrix).sum(injection)
+        slopes = None
+        if slope_delta != 0.0:
+            lower, upper = propagated.concretize_bounds()
+            slopes = np.clip(default_slopes(lower, upper) + slope_delta, 0.0, 1.0)
+        if isinstance(propagated, CHZonotope):
+            return propagated.relu(
+                slopes=slopes,
+                box_new_errors=use_box_component,
+                pass_through=pass_through,
+            )
+        return propagated.relu(slopes=slopes, pass_through=pass_through)
+
+    return step
+
+
+def build_initial_state(
+    model: MonDEQ,
+    layout: StateLayout,
+    z0: np.ndarray,
+    domain: Type[AbstractElement] = CHZonotope,
+) -> AbstractElement:
+    """Initial state abstraction ``S_0`` (Algorithm 1, line 2).
+
+    The solver blocks are initialised to the singleton ``z0`` — typically
+    the concrete fixpoint of the centre input (both the ``z`` and the
+    auxiliary block, matching ``S_0 = {[z*(x); z*(x)]}``).
+    """
+    z0 = np.asarray(z0, dtype=float).reshape(-1)
+    if z0.shape[0] != layout.latent_dim:
+        raise DomainError(f"z0 must have dimension {layout.latent_dim}")
+    blocks = 2 if layout.has_aux else 1
+    point = np.concatenate([z0] * blocks)
+    if domain is CHZonotope:
+        return CHZonotope.from_point(point)
+    if domain is Zonotope:
+        return Zonotope.from_point(point)
+    if domain is Interval:
+        return Interval.from_point(point)
+    raise DomainError(f"unsupported domain {domain.__name__}")
+
+
+def make_output_map(model: MonDEQ, layout: StateLayout) -> Callable[[AbstractElement], AbstractElement]:
+    """Map a state abstraction to the output abstraction ``Y = V z + v`` (exact)."""
+    selector = model.v_weight @ layout.z_selector()
+
+    def extract(element: AbstractElement) -> AbstractElement:
+        return element.affine(selector, model.v_bias)
+
+    return extract
+
+
+def make_z_extractor(layout: StateLayout) -> Callable[[AbstractElement], AbstractElement]:
+    """Map a state abstraction to the abstraction of the ``z`` block (exact)."""
+    selector = layout.z_selector()
+
+    def extract(element: AbstractElement) -> AbstractElement:
+        return element.affine(selector)
+
+    return extract
+
+
+def coerce_input_element(input_element: AbstractElement, domain: str) -> AbstractElement:
+    """Convert an input abstraction to the domain named in a CraftConfig."""
+    domain_classes = {"chzonotope": CHZonotope, "box": Interval, "zonotope": Zonotope}
+    try:
+        target = domain_classes[domain]
+    except KeyError:
+        raise ConfigurationError(f"unknown domain {domain!r}") from None
+    return _coerce_input(input_element, target)

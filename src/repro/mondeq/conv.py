@@ -1,0 +1,163 @@
+"""Convolution-structured monDEQs ("ConvSmall", Table 2).
+
+The paper's convolutional monDEQs apply convolutions inside the implicit
+layer; since every linear operator on a flattened feature map is a matrix,
+we realise them by *materialising* the convolutions as (dense numpy)
+matrices with the usual Toeplitz/block structure and reusing the
+fully-connected monDEQ machinery — the abstract transformers, the solvers
+and the training loop are all agnostic to the internal structure of
+``U, P, Q``.  This mirrors the paper's setting where the ConvSmall latent
+state is a single vector of size 648 / 800.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mondeq.model import MonDEQ
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Shape of a single 2-d convolution applied to a square feature map."""
+
+    in_channels: int
+    out_channels: int
+    image_size: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    def __post_init__(self):
+        if self.kernel_size % 2 == 0:
+            raise ConfigurationError("kernel_size must be odd")
+        if self.stride < 1:
+            raise ConfigurationError("stride must be positive")
+        if min(self.in_channels, self.out_channels, self.image_size) < 1:
+            raise ConfigurationError("channels and image size must be positive")
+
+    @property
+    def output_size(self) -> int:
+        return (self.image_size + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def input_dim(self) -> int:
+        return self.in_channels * self.image_size**2
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_channels * self.output_size**2
+
+
+def conv_matrix(kernel: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Materialise a convolution kernel as a dense matrix.
+
+    Parameters
+    ----------
+    kernel:
+        ``(out_channels, in_channels, kernel_size, kernel_size)`` weights.
+    spec:
+        The convolution geometry.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(spec.output_dim, spec.input_dim)`` matrix ``M`` with
+        ``conv(x) == M @ x.flatten()`` for channel-major flattening.
+    """
+    kernel = np.asarray(kernel, dtype=float)
+    expected = (spec.out_channels, spec.in_channels, spec.kernel_size, spec.kernel_size)
+    if kernel.shape != expected:
+        raise ConfigurationError(f"kernel must have shape {expected}, got {kernel.shape}")
+
+    size = spec.image_size
+    out_size = spec.output_size
+    matrix = np.zeros((spec.output_dim, spec.input_dim))
+
+    def in_index(channel, row, col):
+        return channel * size * size + row * size + col
+
+    def out_index(channel, row, col):
+        return channel * out_size * out_size + row * out_size + col
+
+    half = spec.kernel_size // 2
+    for out_channel in range(spec.out_channels):
+        for out_row in range(out_size):
+            for out_col in range(out_size):
+                anchor_row = out_row * spec.stride - spec.padding + half
+                anchor_col = out_col * spec.stride - spec.padding + half
+                for in_channel in range(spec.in_channels):
+                    for k_row in range(spec.kernel_size):
+                        for k_col in range(spec.kernel_size):
+                            row = anchor_row + k_row - half
+                            col = anchor_col + k_col - half
+                            if 0 <= row < size and 0 <= col < size:
+                                matrix[
+                                    out_index(out_channel, out_row, out_col),
+                                    in_index(in_channel, row, col),
+                                ] += kernel[out_channel, in_channel, k_row, k_col]
+    return matrix
+
+
+def random_conv_matrix(spec: ConvSpec, scale: float = 0.5, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Random convolution matrix with Glorot-style scaling."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    fan_in = spec.in_channels * spec.kernel_size**2
+    fan_out = spec.out_channels * spec.kernel_size**2
+    limit = scale * np.sqrt(6.0 / (fan_in + fan_out))
+    kernel = rng.uniform(
+        -limit, limit,
+        size=(spec.out_channels, spec.in_channels, spec.kernel_size, spec.kernel_size),
+    )
+    return conv_matrix(kernel, spec)
+
+
+def make_conv_mondeq(
+    image_size: int,
+    in_channels: int,
+    latent_channels: int,
+    output_dim: int,
+    monotonicity: float = 20.0,
+    kernel_size: int = 3,
+    scale: float = 0.4,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Tuple[MonDEQ, ConvSpec]:
+    """Build a convolution-structured monDEQ ("ConvSmall"-style).
+
+    ``U`` is a convolution from the input image to the latent feature map
+    and ``P, Q`` are convolutions on the latent feature map; the latent
+    state is the flattened ``latent_channels x image_size x image_size``
+    feature map.
+    """
+    rng = as_generator(seed)
+    input_spec = ConvSpec(
+        in_channels=in_channels, out_channels=latent_channels,
+        image_size=image_size, kernel_size=kernel_size,
+    )
+    latent_spec = ConvSpec(
+        in_channels=latent_channels, out_channels=latent_channels,
+        image_size=image_size, kernel_size=kernel_size,
+    )
+    latent_dim = latent_spec.output_dim
+    u_weight = random_conv_matrix(input_spec, scale=scale, rng=rng)
+    p_weight = random_conv_matrix(latent_spec, scale=scale, rng=rng)
+    q_weight = random_conv_matrix(latent_spec, scale=scale, rng=rng)
+    limit = np.sqrt(6.0 / (latent_dim + output_dim))
+    v_weight = rng.uniform(-limit, limit, size=(output_dim, latent_dim))
+    model = MonDEQ(
+        u_weight=u_weight,
+        p_weight=p_weight,
+        q_weight=q_weight,
+        bias=np.zeros(latent_dim),
+        v_weight=v_weight,
+        v_bias=np.zeros(output_dim),
+        monotonicity=monotonicity,
+        name=name or f"ConvSmall({latent_channels}x{image_size}x{image_size})",
+    )
+    return model, latent_spec

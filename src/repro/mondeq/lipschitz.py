@@ -1,0 +1,123 @@
+"""Lipschitz-bound certification baselines for monDEQs (Sections 6.1 / 7, App. D.4).
+
+Two baselines are provided:
+
+* **Global Lipschitz certification** (Pabbaraju et al. 2021): the monotone
+  parametrisation implies the global bound
+  ``||z*(x1) - z*(x2)||_2 <= (||U||_2 / m) ||x1 - x2||_2``, hence the
+  network output is ``(||V||_2 ||U||_2 / m)``-Lipschitz in the l2 norm.
+  l-infinity certificates follow via ``||delta||_2 <= sqrt(q) ||delta||_inf``
+  (Appendix D.4), which is exactly why this baseline is loose for
+  l-infinity perturbations.
+* **Local sensitivity certification**: a tighter per-sample bound obtained
+  from the implicit-function-theorem Jacobian at the fixpoint,
+  ``J = (I - D W)^{-1} D U``.  This mirrors the flavour (per-sample,
+  SDP-strength but not sound in general for the whole ball) of the SemiSDP
+  "Robustness Model"; the surrogate baseline in
+  :mod:`repro.verify.baselines` builds on it and documents the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import solve_fixpoint
+from repro.utils.linalg import spectral_norm
+
+
+@dataclass
+class LipschitzCertificate:
+    """Result of a Lipschitz-based robustness check for one sample."""
+
+    certified: bool
+    margin: float
+    lipschitz_bound: float
+    perturbation_l2: float
+
+
+def global_latent_lipschitz(model: MonDEQ) -> float:
+    """Global l2 Lipschitz bound of ``x -> z*(x)``: ``||U||_2 / m``."""
+    return spectral_norm(model.u_weight) / model.monotonicity
+
+
+def global_output_lipschitz(model: MonDEQ) -> float:
+    """Global l2 Lipschitz bound of ``x -> h(x)``: ``||V||_2 ||U||_2 / m``."""
+    return spectral_norm(model.v_weight) * global_latent_lipschitz(model)
+
+
+def pairwise_output_lipschitz(model: MonDEQ, label: int) -> np.ndarray:
+    """Per-class bound on the Lipschitz constant of ``y_label - y_i``."""
+    differences = model.v_weight[label][None, :] - model.v_weight
+    row_norms = np.linalg.norm(differences, axis=1)
+    return row_norms * global_latent_lipschitz(model)
+
+
+def certify_global_lipschitz(
+    model: MonDEQ, x: np.ndarray, label: int, epsilon: float, norm: str = "linf"
+) -> LipschitzCertificate:
+    """Certify l-infinity (or l2) robustness of one sample via the global bound.
+
+    The sample is certified when every logit margin exceeds the product of
+    the pairwise Lipschitz bound and the l2 radius of the perturbation set.
+    """
+    x = np.asarray(x, dtype=float).reshape(-1)
+    if norm == "linf":
+        perturbation_l2 = float(np.sqrt(model.input_dim) * epsilon)
+    elif norm == "l2":
+        perturbation_l2 = float(epsilon)
+    else:
+        raise ValueError(f"unsupported norm {norm!r}")
+
+    logits = model.forward(x)
+    margins = logits[label] - logits
+    pairwise = pairwise_output_lipschitz(model, label)
+    slack = np.array(
+        [
+            margins[cls] - pairwise[cls] * perturbation_l2
+            for cls in range(model.output_dim)
+            if cls != label
+        ]
+    )
+    certified = bool(np.argmax(logits) == label and np.all(slack > 0))
+    return LipschitzCertificate(
+        certified=certified,
+        margin=float(slack.min()) if slack.size else np.inf,
+        lipschitz_bound=float(pairwise.max()),
+        perturbation_l2=perturbation_l2,
+    )
+
+
+def local_sensitivity_matrix(
+    model: MonDEQ, x: np.ndarray, solver: str = "pr", tol: float = 1e-9
+) -> np.ndarray:
+    """Jacobian ``dz*/dx = (I - D W)^{-1} D U`` at the fixpoint of ``x``.
+
+    ``D`` is the ReLU activation pattern at the fixpoint.  This is an exact
+    local derivative (where it exists), *not* a sound bound over a
+    neighbourhood; it is used by the SemiSDP surrogate and by diagnostics.
+    """
+    x = np.asarray(x, dtype=float).reshape(-1)
+    result = solve_fixpoint(model, x, method=solver, tol=tol)
+    w_matrix = model.w_matrix
+    pre_activation = w_matrix @ result.z + model.u_weight @ x + model.bias
+    active = (pre_activation > 0).astype(float)
+    system = np.eye(model.latent_dim) - active[:, None] * w_matrix
+    return np.linalg.solve(system, active[:, None] * model.u_weight)
+
+
+def local_logit_sensitivity(
+    model: MonDEQ, x: np.ndarray, label: int, solver: str = "pr"
+) -> np.ndarray:
+    """Per-class l1 norm of ``d(y_label - y_i)/dx`` at the fixpoint.
+
+    The l1 norm of the gradient row is the local Lipschitz constant w.r.t.
+    l-infinity input perturbations (to first order).
+    """
+    jacobian = local_sensitivity_matrix(model, x, solver=solver)
+    differences = model.v_weight[label][None, :] - model.v_weight
+    gradient_rows = differences @ jacobian
+    return np.linalg.norm(gradient_rows, ord=1, axis=1)

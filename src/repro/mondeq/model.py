@@ -1,0 +1,253 @@
+"""The monDEQ model (Winston & Kolter 2020), Section 5.1 of the paper.
+
+A monDEQ classifier consists of
+
+* an implicit layer ``f(x, z) = ReLU(W z + U x + b)`` whose weight matrix is
+  parametrised as ``W = (1 - m) I - P^T P + Q - Q^T`` with monotonicity
+  parameter ``m > 0`` (this makes ``I - W`` strongly monotone and guarantees
+  a unique fixpoint ``z*(x)``), and
+* an affine read-out ``y = V z* + v``.
+
+The class stores the *free* parameters ``P, Q, U, b, V, v`` (plus ``m``)
+so that training updates preserve monotonicity by construction, and exposes
+the derived ``W`` as a property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.linalg import spectral_norm
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_matrix, ensure_vector
+
+
+@dataclass(frozen=True)
+class MonDEQArchitecture:
+    """Shape description of a monDEQ: input, latent and output dimensions."""
+
+    input_dim: int
+    latent_dim: int
+    output_dim: int
+    monotonicity: float = 20.0
+    name: str = "monDEQ"
+
+    def __post_init__(self):
+        if min(self.input_dim, self.latent_dim, self.output_dim) < 1:
+            raise ConfigurationError("all dimensions must be positive")
+        if self.monotonicity <= 0:
+            raise ConfigurationError("the monotonicity parameter m must be positive")
+
+
+class MonDEQ:
+    """Monotone operator Deep Equilibrium Model."""
+
+    def __init__(
+        self,
+        u_weight: np.ndarray,
+        p_weight: np.ndarray,
+        q_weight: np.ndarray,
+        bias: np.ndarray,
+        v_weight: np.ndarray,
+        v_bias: np.ndarray,
+        monotonicity: float = 20.0,
+        name: str = "monDEQ",
+    ):
+        latent_dim = p_weight.shape[0]
+        self.u_weight = ensure_matrix(u_weight, "U", rows=latent_dim)
+        self.p_weight = ensure_matrix(p_weight, "P", rows=latent_dim, cols=latent_dim)
+        self.q_weight = ensure_matrix(q_weight, "Q", rows=latent_dim, cols=latent_dim)
+        self.bias = ensure_vector(bias, "b", dim=latent_dim)
+        self.v_weight = ensure_matrix(v_weight, "V", cols=latent_dim)
+        self.v_bias = ensure_vector(v_bias, "v", dim=self.v_weight.shape[0])
+        if monotonicity <= 0:
+            raise ConfigurationError("the monotonicity parameter m must be positive")
+        self.monotonicity = float(monotonicity)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        input_dim: int,
+        latent_dim: int,
+        output_dim: int,
+        monotonicity: float = 20.0,
+        scale: float = 0.5,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> "MonDEQ":
+        """Randomly initialised monDEQ (Glorot-style scaling).
+
+        The initial ``P`` is scaled such that ``P^T P`` stays moderate, which
+        keeps early training iterations well conditioned.
+        """
+        rng = as_generator(seed)
+        architecture_name = name or f"FCx{latent_dim}"
+
+        def glorot(rows, cols, gain=1.0):
+            limit = gain * np.sqrt(6.0 / (rows + cols))
+            return rng.uniform(-limit, limit, size=(rows, cols))
+
+        u_weight = glorot(latent_dim, input_dim)
+        p_weight = scale * glorot(latent_dim, latent_dim)
+        q_weight = scale * glorot(latent_dim, latent_dim)
+        bias = np.zeros(latent_dim)
+        v_weight = glorot(output_dim, latent_dim)
+        v_bias = np.zeros(output_dim)
+        return cls(
+            u_weight, p_weight, q_weight, bias, v_weight, v_bias,
+            monotonicity=monotonicity, name=architecture_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def input_dim(self) -> int:
+        return self.u_weight.shape[1]
+
+    @property
+    def latent_dim(self) -> int:
+        return self.p_weight.shape[0]
+
+    @property
+    def output_dim(self) -> int:
+        return self.v_weight.shape[0]
+
+    @property
+    def architecture(self) -> MonDEQArchitecture:
+        return MonDEQArchitecture(
+            input_dim=self.input_dim,
+            latent_dim=self.latent_dim,
+            output_dim=self.output_dim,
+            monotonicity=self.monotonicity,
+            name=self.name,
+        )
+
+    @property
+    def w_matrix(self) -> np.ndarray:
+        """The implicit-layer weight ``W = (1 - m) I - P^T P + Q - Q^T``."""
+        latent = self.latent_dim
+        return (
+            (1.0 - self.monotonicity) * np.eye(latent)
+            - self.p_weight.T @ self.p_weight
+            + self.q_weight
+            - self.q_weight.T
+        )
+
+    def fb_alpha_bound(self) -> float:
+        """The Forward–Backward convergence bound ``2 m / ||I - W||_2^2``."""
+        return 2.0 * self.monotonicity / spectral_norm(np.eye(self.latent_dim) - self.w_matrix) ** 2
+
+    def monotonicity_defect(self) -> float:
+        """Smallest eigenvalue of ``(I - W + (I - W)^T) / 2 - m I``.
+
+        Non-negative values confirm that ``I - W`` is ``m``-strongly
+        monotone, which the parametrisation guarantees up to numerical error
+        (the symmetric part equals ``m I + P^T P``).
+        """
+        w = self.w_matrix
+        symmetric_part = 0.5 * ((np.eye(self.latent_dim) - w) + (np.eye(self.latent_dim) - w).T)
+        eigenvalues = np.linalg.eigvalsh(symmetric_part - self.monotonicity * np.eye(self.latent_dim))
+        return float(eigenvalues.min())
+
+    # ------------------------------------------------------------------
+    # Concrete semantics
+    # ------------------------------------------------------------------
+
+    def implicit_layer(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """One application of ``f(x, z) = ReLU(W z + U x + b)``."""
+        x = ensure_vector(x, "x", dim=self.input_dim)
+        z = ensure_vector(z, "z", dim=self.latent_dim)
+        return np.maximum(self.w_matrix @ z + self.u_weight @ x + self.bias, 0.0)
+
+    def readout(self, z: np.ndarray) -> np.ndarray:
+        """The classification layer ``y = V z + v``."""
+        z = ensure_vector(z, "z", dim=self.latent_dim)
+        return self.v_weight @ z + self.v_bias
+
+    def forward(self, x: np.ndarray, solver: str = "pr", alpha: Optional[float] = None,
+                tol: float = 1e-9, max_iterations: int = 2000) -> np.ndarray:
+        """Logits of a single input (solves the fixpoint to tolerance ``tol``)."""
+        from repro.mondeq.solvers import solve_fixpoint
+
+        result = solve_fixpoint(self, x, method=solver, alpha=alpha, tol=tol,
+                                max_iterations=max_iterations)
+        return self.readout(result.z)
+
+    def forward_batch(self, xs: np.ndarray, **kwargs) -> np.ndarray:
+        """Logits for each row of ``xs``."""
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        return np.vstack([self.forward(x, **kwargs) for x in xs])
+
+    def predict(self, x: np.ndarray, **kwargs) -> int:
+        """Predicted class of a single input."""
+        return int(np.argmax(self.forward(x, **kwargs)))
+
+    def predict_batch(self, xs: np.ndarray, **kwargs) -> np.ndarray:
+        """Predicted classes for each row of ``xs``."""
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        return np.array([self.predict(x, **kwargs) for x in xs], dtype=int)
+
+    # ------------------------------------------------------------------
+    # Parameter access / serialisation
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """The trainable parameters as a name -> array dictionary (views)."""
+        return {
+            "U": self.u_weight,
+            "P": self.p_weight,
+            "Q": self.q_weight,
+            "b": self.bias,
+            "V": self.v_weight,
+            "v": self.v_bias,
+        }
+
+    def copy(self) -> "MonDEQ":
+        """Deep copy of the model."""
+        return MonDEQ(
+            self.u_weight.copy(), self.p_weight.copy(), self.q_weight.copy(),
+            self.bias.copy(), self.v_weight.copy(), self.v_bias.copy(),
+            monotonicity=self.monotonicity, name=self.name,
+        )
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Serialisable dictionary (used by ``save``)."""
+        data = {name: array.copy() for name, array in self.parameters().items()}
+        data["m"] = np.array(self.monotonicity)
+        data["name"] = np.array(self.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, np.ndarray]) -> "MonDEQ":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            data["U"], data["P"], data["Q"], data["b"], data["V"], data["v"],
+            monotonicity=float(data["m"]), name=str(data["name"]),
+        )
+
+    def save(self, path: str) -> None:
+        """Save the model to an ``.npz`` file."""
+        np.savez(path, **self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "MonDEQ":
+        """Load a model previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            return cls.from_dict({key: data[key] for key in data.files})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MonDEQ(name={self.name!r}, input={self.input_dim}, "
+            f"latent={self.latent_dim}, output={self.output_dim}, m={self.monotonicity})"
+        )

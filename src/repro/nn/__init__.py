@@ -1,0 +1,22 @@
+"""Minimal numpy neural-network substrate.
+
+The monDEQ substrate (:mod:`repro.mondeq`) needs losses, optimisers,
+parameter initialisation and classification metrics; this subpackage
+provides them without any external deep-learning dependency (the paper's
+artifact uses PyTorch; see DESIGN.md for the substitution rationale).
+"""
+
+from repro.nn.losses import cross_entropy_loss, margin_loss, softmax
+from repro.nn.metrics import accuracy, confusion_matrix
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "accuracy",
+    "confusion_matrix",
+    "cross_entropy_loss",
+    "margin_loss",
+    "softmax",
+]

@@ -1,0 +1,81 @@
+"""Classification losses with analytic gradients.
+
+The training loop and the PGD attack both need gradients of a scalar loss
+with respect to the network logits; the functions here return the loss value
+together with ``dL/dlogits`` so that callers can plug them into the
+implicit-differentiation backward pass of the monDEQ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` raw scores.
+    labels:
+        ``(batch,)`` integer class labels.
+    """
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    batch = logits.shape[0]
+    probabilities = softmax(logits)
+    picked = probabilities[np.arange(batch), labels]
+    loss = float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+    gradient = probabilities.copy()
+    gradient[np.arange(batch), labels] -= 1.0
+    gradient /= batch
+    return loss, gradient
+
+
+def margin_loss(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Margin loss (Gowal et al. 2019) used by the PGD attack.
+
+    The loss is ``max_i!=t logit_i - logit_t`` per sample (so *maximising* it
+    pushes towards misclassification); the returned gradient is w.r.t. the
+    logits and already averaged over the batch.
+    """
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    batch, classes = logits.shape
+    mask = np.zeros_like(logits, dtype=bool)
+    mask[np.arange(batch), labels] = True
+    adversarial = np.where(mask, -np.inf, logits)
+    best_other = adversarial.argmax(axis=1)
+    loss = float(np.mean(logits[np.arange(batch), best_other] - logits[np.arange(batch), labels]))
+    gradient = np.zeros_like(logits)
+    gradient[np.arange(batch), best_other] += 1.0
+    gradient[np.arange(batch), labels] -= 1.0
+    gradient /= batch
+    return loss, gradient
+
+
+def targeted_margin_loss(
+    logits: np.ndarray, labels: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Targeted variant: maximise ``logit_target - logit_true``."""
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    targets = np.asarray(targets, dtype=int).reshape(-1)
+    batch = logits.shape[0]
+    loss = float(np.mean(logits[np.arange(batch), targets] - logits[np.arange(batch), labels]))
+    gradient = np.zeros_like(logits)
+    gradient[np.arange(batch), targets] += 1.0
+    gradient[np.arange(batch), labels] -= 1.0
+    gradient /= batch
+    return loss, gradient

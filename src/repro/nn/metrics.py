@@ -1,0 +1,26 @@
+"""Classification metrics used by the training loop and the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching entries in two integer label arrays."""
+    predictions = np.asarray(predictions, dtype=int).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix with true labels as rows."""
+    predictions = np.asarray(predictions, dtype=int).reshape(-1)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for true, predicted in zip(labels, predictions):
+        matrix[true, predicted] += 1
+    return matrix

@@ -1,0 +1,88 @@
+"""First-order optimisers operating on dictionaries of numpy parameters."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+ParameterDict = Dict[str, np.ndarray]
+
+
+class Optimizer(abc.ABC):
+    """Base class: updates parameters in place from a matching gradient dict."""
+
+    @abc.abstractmethod
+    def step(self, parameters: ParameterDict, gradients: ParameterDict) -> None:
+        """Apply one update; missing gradient entries are skipped."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: ParameterDict = {}
+
+    def step(self, parameters: ParameterDict, gradients: ParameterDict) -> None:
+        for name, gradient in gradients.items():
+            if name not in parameters:
+                continue
+            update = gradient
+            if self.weight_decay:
+                update = update + self.weight_decay * parameters[name]
+            if self.momentum:
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(parameters[name])
+                velocity = self.momentum * velocity + update
+                self._velocity[name] = velocity
+                update = velocity
+            parameters[name] -= self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._first_moment: ParameterDict = {}
+        self._second_moment: ParameterDict = {}
+        self._step_count = 0
+
+    def step(self, parameters: ParameterDict, gradients: ParameterDict) -> None:
+        self._step_count += 1
+        for name, gradient in gradients.items():
+            if name not in parameters:
+                continue
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameters[name]
+            first = self._first_moment.get(name, np.zeros_like(parameters[name]))
+            second = self._second_moment.get(name, np.zeros_like(parameters[name]))
+            first = self.beta1 * first + (1 - self.beta1) * gradient
+            second = self.beta2 * second + (1 - self.beta2) * gradient**2
+            self._first_moment[name] = first
+            self._second_moment[name] = second
+            first_hat = first / (1 - self.beta1**self._step_count)
+            second_hat = second / (1 - self.beta2**self._step_count)
+            parameters[name] -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.epsilon)

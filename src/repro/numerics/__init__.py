@@ -1,0 +1,21 @@
+"""Numerical-program case studies (Section 6.5 / Appendix A)."""
+
+from repro.numerics.affine_form import AffineForm
+from repro.numerics.householder import (
+    HouseholderAnalysis,
+    analyze_root_craft,
+    analyze_root_kleene,
+    exact_root_interval,
+    householder_step,
+    root,
+)
+
+__all__ = [
+    "AffineForm",
+    "HouseholderAnalysis",
+    "analyze_root_craft",
+    "analyze_root_kleene",
+    "exact_root_interval",
+    "householder_step",
+    "root",
+]

@@ -1,0 +1,276 @@
+"""Scalar affine arithmetic (the Taylor1+/Zonotope view of a single variable).
+
+An :class:`AffineForm` represents a scalar quantity as
+
+    x = center + sum_i coefficients[i] * eps_i + error * eps_fresh,
+
+where the ``eps_i`` are shared noise symbols in ``[-1, 1]`` and ``error`` is
+a non-negative lump of *uncorrelated* noise.  A vector of affine forms over
+the same symbol space is exactly a (CH-)Zonotope: the shared coefficients
+form the error matrix ``A`` and the lumped errors the Box vector ``b``.
+
+Non-linear operations (products) introduce a remainder term.  Following
+Taylor1+ (Ghorbal et al. 2009) the remainder is emitted as a **fresh noise
+symbol appended to the coefficient vector** rather than folded into the
+lump: this keeps the remainder correlated with later occurrences of the
+same sub-expression, which is essential for contractive iterations such as
+the Householder update (folding it into the lump makes the abstract
+iteration expansive even when the concrete one contracts).
+
+.. note::
+   Fresh symbols are allocated positionally: a product's remainder symbol
+   is placed at index ``max(len(a), len(b))``.  This is sound as long as
+   expressions are evaluated as a *sequential chain* (every product's
+   operands already contain all symbols allocated so far), which holds for
+   the straight-line iteration bodies analysed in
+   :mod:`repro.numerics.householder`.  Do not sum two products that were
+   built independently from the same inputs — wrap one of them with
+   :meth:`AffineForm.promote_error` first if such a pattern is ever needed.
+
+Binary operations automatically align operands of different lengths by
+zero-padding the shorter one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+Scalar = Union[int, float]
+
+
+def _pad(coefficients: np.ndarray, length: int) -> np.ndarray:
+    if coefficients.shape[0] >= length:
+        return coefficients
+    return np.concatenate([coefficients, np.zeros(length - coefficients.shape[0])])
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """A scalar affine form over a growable space of shared noise symbols."""
+
+    center: float
+    coefficients: np.ndarray
+    error: float = 0.0
+
+    def __post_init__(self):
+        coefficients = np.asarray(self.coefficients, dtype=float).reshape(-1)
+        object.__setattr__(self, "coefficients", coefficients)
+        object.__setattr__(self, "center", float(self.center))
+        object.__setattr__(self, "error", float(self.error))
+        if self.error < 0:
+            raise DomainError("the accumulated error must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: Scalar, num_symbols: int = 0) -> "AffineForm":
+        """An exactly known constant."""
+        return cls(float(value), np.zeros(num_symbols), 0.0)
+
+    @classmethod
+    def symbol(cls, center: Scalar, radius: Scalar, index: int, num_symbols: int) -> "AffineForm":
+        """``center + radius * eps_index`` — an input variable with its own symbol."""
+        if not 0 <= index < num_symbols:
+            raise DomainError("symbol index out of range")
+        coefficients = np.zeros(num_symbols)
+        coefficients[index] = float(radius)
+        return cls(float(center), coefficients, 0.0)
+
+    # ------------------------------------------------------------------
+    # Interval view
+    # ------------------------------------------------------------------
+
+    @property
+    def num_symbols(self) -> int:
+        return self.coefficients.shape[0]
+
+    @property
+    def radius(self) -> float:
+        """Total half-width ``sum_i |a_i| + error``."""
+        return float(np.abs(self.coefficients).sum() + self.error)
+
+    @property
+    def lower(self) -> float:
+        return self.center - self.radius
+
+    @property
+    def upper(self) -> float:
+        return self.center + self.radius
+
+    def interval(self) -> Tuple[float, float]:
+        return self.lower, self.upper
+
+    # ------------------------------------------------------------------
+    # Symbol management
+    # ------------------------------------------------------------------
+
+    def extend(self, num_symbols: int) -> "AffineForm":
+        """Zero-pad the coefficient vector to ``num_symbols`` entries."""
+        if num_symbols < self.num_symbols:
+            raise DomainError("cannot shrink the symbol space of an affine form")
+        return AffineForm(self.center, _pad(self.coefficients, num_symbols), self.error)
+
+    def promote_error(self) -> "AffineForm":
+        """Turn the uncorrelated error lump into a fresh shared symbol."""
+        if self.error == 0.0:
+            return self
+        coefficients = np.concatenate([self.coefficients, [self.error]])
+        return AffineForm(self.center, coefficients, 0.0)
+
+    def _align(self, other: "AffineForm") -> Tuple[np.ndarray, np.ndarray]:
+        length = max(self.num_symbols, other.num_symbols)
+        return _pad(self.coefficients, length), _pad(other.coefficients, length)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: Union["AffineForm", Scalar]) -> "AffineForm":
+        if isinstance(other, AffineForm):
+            return other
+        return AffineForm.constant(float(other), 0)
+
+    def __add__(self, other: Union["AffineForm", Scalar]) -> "AffineForm":
+        other = self._coerce(other)
+        mine, theirs = self._align(other)
+        return AffineForm(self.center + other.center, mine + theirs, self.error + other.error)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineForm":
+        return AffineForm(-self.center, -self.coefficients, self.error)
+
+    def __sub__(self, other: Union["AffineForm", Scalar]) -> "AffineForm":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Scalar) -> "AffineForm":
+        return self._coerce(other) - self
+
+    def scale(self, factor: Scalar) -> "AffineForm":
+        factor = float(factor)
+        return AffineForm(factor * self.center, factor * self.coefficients, abs(factor) * self.error)
+
+    def __mul__(self, other: Union["AffineForm", Scalar]) -> "AffineForm":
+        """Sound affine-arithmetic product.
+
+        For ``x = x0 + dx`` and ``y = y0 + dy`` the product is
+        ``x0 y0 + x0 dy + y0 dx + dx dy``; the bilinear remainder is bounded
+        by ``rad(dx) rad(dy)`` and emitted as a fresh noise symbol (see the
+        module docstring).  Cross terms involving the uncorrelated error
+        lumps remain in the error lump of the result.
+        """
+        if not isinstance(other, AffineForm):
+            return self.scale(other)
+        mine, theirs = self._align(other)
+        center = self.center * other.center
+        coefficients = self.center * theirs + other.center * mine
+        deviation_self = float(np.abs(mine).sum() + self.error)
+        deviation_other = float(np.abs(theirs).sum() + other.error)
+        remainder = deviation_self * deviation_other
+        lump = abs(self.center) * other.error + abs(other.center) * self.error
+        coefficients = np.concatenate([coefficients, [remainder]])
+        return AffineForm(center, coefficients, lump)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "AffineForm":
+        """``x * x`` (the generic product bound; still sound)."""
+        return self * self
+
+    def contains(self, value: float, tol: float = 1e-9) -> bool:
+        """Interval membership check (sound necessary condition)."""
+        return self.lower - tol <= value <= self.upper + tol
+
+
+def bivariate_polynomial_form(
+    terms: dict,
+    x_form: "AffineForm",
+    y_form: "AffineForm",
+    shear: bool = True,
+) -> "AffineForm":
+    """Taylor1+-style transformer for a bivariate polynomial.
+
+    ``terms`` maps exponent pairs ``(i, j)`` to coefficients ``c`` so the
+    polynomial is ``P(x, y) = sum c_{ij} x^i y^j``.  The result keeps the
+    exact first-order part of the expansion around the operands' centres —
+    fully correlated with the shared noise symbols of ``x_form`` and
+    ``y_form`` — plus a single fresh symbol whose magnitude soundly bounds
+    all second- and higher-order terms.
+
+    With ``shear=True`` (default) the expansion is performed in the
+    deviation variables ``(dx, dr)`` where ``dr = dy - slope * dx`` is the
+    part of ``y``'s deviation *not* explained by ``x``'s (the slope is the
+    least-squares projection onto the shared symbols).  When ``y`` is
+    strongly correlated with ``x`` — as the loop variable of a contractive
+    fixpoint iteration is with its input — this removes the classic
+    dependency problem from the higher-order bound: the remainder scales
+    with the small residual radius instead of ``rad(y)``.  The expansion is
+    exact (the polynomial is rewritten, not approximated), so soundness is
+    unaffected; with ``shear=False`` the plain ``(dx, dy)`` expansion of
+    Taylor1+ (Ghorbal et al. 2009) is used.
+    """
+    from math import comb, factorial
+
+    x_form = x_form.promote_error()
+    y_form = y_form.promote_error()
+    length = max(x_form.num_symbols, y_form.num_symbols)
+    x_form = x_form.extend(length)
+    y_form = y_form.extend(length)
+
+    x_center, y_center = x_form.center, y_form.center
+    x_coefficients = x_form.coefficients
+    x_radius = float(np.abs(x_coefficients).sum())
+
+    slope = 0.0
+    if shear and x_radius > 0.0:
+        denominator = float(x_coefficients @ x_coefficients)
+        if denominator > 0.0:
+            slope = float(x_coefficients @ y_form.coefficients) / denominator
+    residual_coefficients = y_form.coefficients - slope * x_coefficients
+    residual_radius = float(np.abs(residual_coefficients).sum())
+
+    # Exact expansion of P(x_c + dx, y_c + slope*dx + dr) in powers of
+    # (dx, dr).  Coefficients of the same order are collected *before*
+    # taking absolute values so that cancellations between polynomial terms
+    # (near-total for the Householder update around its fixpoint) carry over
+    # to the remainder bound.
+    taylor = {}
+    for (i, j), coefficient in terms.items():
+        if coefficient == 0.0:
+            continue
+        for a in range(i + 1):
+            x_part = comb(i, a) * x_center ** (i - a)
+            for m in range(j + 1):
+                for n in range(j - m + 1):
+                    o = j - m - n
+                    multinomial = factorial(j) // (factorial(m) * factorial(n) * factorial(o))
+                    term = (
+                        coefficient
+                        * x_part
+                        * multinomial
+                        * y_center**m
+                        * slope**n
+                    )
+                    key = (a + n, o)
+                    taylor[key] = taylor.get(key, 0.0) + term
+
+    center = taylor.get((0, 0), 0.0)
+    dx_coefficient = taylor.get((1, 0), 0.0)
+    dr_coefficient = taylor.get((0, 1), 0.0)
+    remainder = sum(
+        abs(value) * x_radius**a * residual_radius**b
+        for (a, b), value in taylor.items()
+        if a + b >= 2
+    )
+
+    coefficients = dx_coefficient * x_coefficients + dr_coefficient * residual_coefficients
+    if remainder > 0.0:
+        coefficients = np.concatenate([coefficients, [remainder]])
+    return AffineForm(center, coefficients, 0.0)

@@ -1,0 +1,418 @@
+"""The Householder square-root case study (Section 6.5 and Appendix A).
+
+The analysed program computes the reciprocal square root ``s* = 1/sqrt(x)``
+by the (cubically convergent) Householder iteration::
+
+    def root(x):
+        s = s0
+        while s <= 0 or |s*s - 1/x| >= eps:
+            h = 1 - x*s*s
+            s = s + s * (0.5*h + 0.375*h*h)
+        return s
+
+The abstract state is the 1-dimensional loop variable ``s``; the input
+``x`` enters every abstract step through a *persistent* noise symbol
+(reserved at column 0 of the state's error matrix), so the correlation
+between ``s`` and ``x`` — which is what makes the fixpoint set narrow — is
+preserved across iterations.  The loop body multiplies abstract variables,
+so the step is evaluated with shared-symbol affine arithmetic
+(:mod:`repro.numerics.affine_form`, Taylor1+ style) and the result is
+stored as a 1-d CH-Zonotope.
+
+Two analyses are provided, matching Table 5 / Fig. 16:
+
+* :func:`analyze_root_craft` — the paper's contraction-based termination
+  (Theorem 3.1) followed by fixpoint-set-preserving tightening iterations,
+  plus the reachable-value expansion of Appendix A (Theorem A.2).  In one
+  dimension the containment check is exact interval inclusion.
+* :func:`analyze_root_kleene` — Kleene iteration with joins and
+  condition-driven semantic unrolling (Blanchet et al. 2002).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ContractionSettings, KleeneSettings
+from repro.core.contraction import ContractionEngine, DomainOps
+from repro.core.expansion import ExpansionSchedule
+from repro.core.kleene import KleeneEngine
+from repro.domains.chzonotope import CHZonotope
+from repro.exceptions import DomainError
+from repro.numerics.affine_form import AffineForm, bivariate_polynomial_form
+
+# The Householder update expanded as a polynomial in (x, s):
+#   F(x, s) = s + s (0.5 h + 0.375 h^2)  with  h = 1 - x s^2
+#           = 1.875 s - 1.25 x s^3 + 0.375 x^2 s^5.
+_HOUSEHOLDER_TERMS = {(0, 1): 1.875, (1, 3): -1.25, (2, 5): 0.375}
+
+
+# ----------------------------------------------------------------------
+# Concrete semantics
+# ----------------------------------------------------------------------
+
+
+def householder_step(x: float, s: float) -> float:
+    """One iteration of the Householder update for ``1/sqrt(x)``."""
+    h = 1.0 - x * s * s
+    return s + s * (0.5 * h + 0.375 * h * h)
+
+
+def root(x: float, s0: float = 0.125, eps: float = 1e-8, max_iterations: int = 200) -> float:
+    """The concrete program of Fig. 14 (returns ``~1/sqrt(x)``)."""
+    if x <= 0:
+        raise DomainError("root requires a positive input")
+    s = s0
+    for _ in range(max_iterations):
+        if s > 0 and abs(s * s - 1.0 / x) < eps:
+            return s
+        s = householder_step(x, s)
+    return s
+
+
+def exact_root_interval(x_low: float, x_high: float) -> Tuple[float, float]:
+    """The exact fixpoint set of ``sqrt(x)`` (the paper reports ``1/s*``)."""
+    if x_low <= 0 or x_high < x_low:
+        raise DomainError("the input interval must be positive and ordered")
+    return float(np.sqrt(x_low)), float(np.sqrt(x_high))
+
+
+# ----------------------------------------------------------------------
+# Abstract step via shared-symbol affine arithmetic
+# ----------------------------------------------------------------------
+
+
+def initial_state(s0: float = 0.125) -> CHZonotope:
+    """Initial 1-d abstraction ``{s0}`` (column 0 is reserved for the input symbol)."""
+    return CHZonotope(np.array([s0]), np.zeros((1, 1)), np.zeros(1))
+
+
+def _state_to_form(element: CHZonotope) -> AffineForm:
+    """Interpret the 1-d state (Box errors cast to symbols) as an affine form."""
+    if element.dim != 1:
+        raise DomainError("the Householder state must be 1-dimensional")
+    zonotope = element.to_zonotope()
+    return AffineForm(zonotope.center[0], zonotope.generators[0], 0.0)
+
+
+def _form_to_state(form: AffineForm) -> CHZonotope:
+    """Store an affine form back as a 1-d CH-Zonotope (lump error -> Box)."""
+    return CHZonotope(
+        np.array([form.center]), form.coefficients.reshape(1, -1), np.array([form.error])
+    )
+
+
+def _step_forms_taylor(s_form: AffineForm, x_form: AffineForm) -> AffineForm:
+    """Householder body as a (sheared) Taylor1+ polynomial transformer.
+
+    The first-order part stays correlated with the shared symbols of ``s``
+    and ``x``; all higher-order terms are soundly folded into one fresh
+    symbol whose magnitude scales with the *residual* (input-independent)
+    deviation of ``s`` (see :func:`bivariate_polynomial_form`).
+    """
+    return bivariate_polynomial_form(_HOUSEHOLDER_TERMS, x_form, s_form)
+
+
+def _step_forms_affine(s_form: AffineForm, x_form: AffineForm) -> AffineForm:
+    """Householder body evaluated with plain affine-arithmetic products.
+
+    This is the standard Zonotope-domain evaluation (one fresh symbol per
+    product, remainder ``rad * rad``) and is noticeably less precise than
+    the Taylor transformer for wide input ranges; it is the baseline
+    transformer used by the Kleene analysis, matching a conventional
+    Zonotope abstract interpreter.
+    """
+    h = 1.0 - (x_form * (s_form * s_form))
+    update = h.scale(0.5) + (h * h).scale(0.375)
+    return s_form + (s_form * update)
+
+
+_TRANSFORMERS = {"taylor": _step_forms_taylor, "affine": _step_forms_affine}
+
+
+def make_abstract_root_step(
+    x_low: float,
+    x_high: float,
+    reduce_symbols: bool = False,
+    transformer: str = "taylor",
+) -> Callable[[CHZonotope], CHZonotope]:
+    """Build the abstract transformer of one Householder iteration.
+
+    The input symbol lives at column 0 of the state's error matrix, so its
+    coefficient persists (and cancels) across iterations.  With
+    ``reduce_symbols=True`` all other columns are merged into a single one
+    after every step (exact in one dimension), which keeps the
+    representation at two error terms — the mode used by the Kleene
+    baseline so its shared-symbol join stays applicable.  ``transformer``
+    selects how the non-linear body is abstracted: ``"taylor"`` (sheared
+    Taylor1+ polynomial form, used by Craft) or ``"affine"`` (plain
+    affine-arithmetic products, the conventional Zonotope evaluation).
+    """
+    if x_low <= 0 or x_high < x_low:
+        raise DomainError("the input interval must be positive and ordered")
+    if transformer not in _TRANSFORMERS:
+        raise DomainError(
+            f"unknown transformer {transformer!r}; choose from {sorted(_TRANSFORMERS)}"
+        )
+    body = _TRANSFORMERS[transformer]
+    x_center = 0.5 * (x_low + x_high)
+    x_radius = 0.5 * (x_high - x_low)
+
+    def step(element: CHZonotope) -> CHZonotope:
+        s_form = _state_to_form(element)
+        num_symbols = max(1, s_form.num_symbols)
+        s_form = s_form.extend(num_symbols)
+        x_form = AffineForm.symbol(x_center, x_radius, index=0, num_symbols=num_symbols)
+        s_next = body(s_form, x_form)
+        state = _form_to_state(s_next)
+        if reduce_symbols:
+            state = _merge_secondary_symbols(state)
+        return state
+
+    return step
+
+
+def abstract_root_step_soundness_check(
+    x_low: float,
+    x_high: float,
+    transformer: str = "taylor",
+    trials: int = 50,
+    iterations: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> bool:
+    """Sampling-based soundness check of the abstract Householder step.
+
+    Concrete trajectories are simulated by sampling the shared noise symbols
+    (symbol 0 is the input's) and checking after every abstract step that
+    the concrete iterate stays within the abstraction's interval bounds.
+    Intended for the test-suite; never used on the verification path.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    step = make_abstract_root_step(x_low, x_high, transformer=transformer)
+    x_center = 0.5 * (x_low + x_high)
+    x_radius = 0.5 * (x_high - x_low)
+    for _ in range(trials):
+        x_eps = rng.uniform(-1.0, 1.0)
+        x_value = x_center + x_radius * x_eps
+        s_value = rng.uniform(0.1, 0.26)
+        state = initial_state(s_value)
+        for _ in range(iterations):
+            state = step(state)
+            s_value = householder_step(x_value, s_value)
+            # Necessary condition for soundness: the concrete iterate started
+            # from a point inside the previous abstraction must stay within
+            # the new abstraction's interval bounds.
+            lower, upper = state.concretize_bounds()
+            if not (lower[0] - 1e-9 <= s_value <= upper[0] + 1e-9):
+                return False
+    return True
+
+
+def _merge_secondary_symbols(element: CHZonotope) -> CHZonotope:
+    """Merge every error term except the input symbol into one (exact in 1-d)."""
+    generators = element.generators
+    merged = np.abs(generators[:, 1:]).sum(axis=1) if generators.shape[1] > 1 else np.zeros(1)
+    new_generators = np.hstack([generators[:, :1], merged.reshape(1, 1)])
+    return CHZonotope(element.center, new_generators, element.box)
+
+
+def householder_domain_ops(w_mul: float = 1e-3, w_add: float = 1e-4) -> DomainOps:
+    """Domain operations for the 1-d analysis.
+
+    Consolidation keeps every error term (the representation is tiny) and
+    only applies the expansion of Eq. (10) by enlarging the Box component;
+    the containment check is exact interval inclusion, which coincides with
+    set inclusion in one dimension.
+    """
+
+    def consolidate(element: CHZonotope, basis, expansion_mul, expansion_add):
+        del basis
+        radius = float(element.width[0]) / 2.0
+        enlargement = expansion_mul * radius + expansion_add
+        return element.enlarge_box(enlargement)
+
+    def contains(outer: CHZonotope, inner: CHZonotope) -> bool:
+        outer_lower, outer_upper = outer.concretize_bounds()
+        inner_lower, inner_upper = inner.concretize_bounds()
+        return bool(
+            np.all(inner_lower >= outer_lower - 1e-12)
+            and np.all(inner_upper <= outer_upper + 1e-12)
+        )
+
+    del w_mul, w_add  # the engine passes the expansion schedule values explicitly
+    return DomainOps(consolidate=consolidate, contains=contains, compute_basis=None)
+
+
+def termination_may_trigger(element: CHZonotope, x_low: float, x_high: float, eps: float) -> bool:
+    """Whether the loop guard ``s > 0 and |s*s - 1/x| < eps`` may be satisfied.
+
+    Used for condition-driven semantic unrolling in the Kleene baseline: as
+    long as the condition provably cannot trigger, the loop state does not
+    flow to the loop exit and no join is needed.
+    """
+    s_form = _state_to_form(element)
+    if x_low <= 0:
+        return True
+    reciprocal_low, reciprocal_high = 1.0 / x_high, 1.0 / x_low
+    square = s_form * s_form
+    difference_low = square.lower - reciprocal_high
+    difference_high = square.upper - reciprocal_low
+    may_be_small = difference_low < eps and difference_high > -eps
+    may_be_positive = s_form.upper > 0
+    return bool(may_be_small and may_be_positive)
+
+
+# ----------------------------------------------------------------------
+# Analyses
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class HouseholderAnalysis:
+    """Result of one analysis of the ``root`` program.
+
+    ``s_interval`` bounds the loop variable ``s`` (the reciprocal square
+    root); ``root_interval`` is its reciprocal, the quantity Table 5
+    reports; ``reachable_root_interval`` additionally accounts for the
+    termination threshold (Appendix A, only filled by the Craft analysis).
+    """
+
+    method: str
+    converged: bool
+    iterations: int
+    s_interval: Tuple[float, float]
+    root_interval: Tuple[float, float]
+    reachable_root_interval: Optional[Tuple[float, float]] = None
+    trace: List[float] = field(default_factory=list)
+    s_trace: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> bool:
+        return not self.converged
+
+
+def _s_bounds(element: CHZonotope) -> Tuple[float, float]:
+    lower, upper = element.concretize_bounds()
+    return float(lower[0]), float(upper[0])
+
+
+def _reciprocal_interval(s_low: float, s_high: float) -> Tuple[float, float]:
+    if s_low <= 0:
+        return 0.0, np.inf
+    return 1.0 / s_high, 1.0 / s_low
+
+
+def _collect_s_trace(step, state, iterations: int) -> List[Tuple[float, float]]:
+    """Replay ``iterations`` abstract steps and record the s-interval trace (Fig. 16)."""
+    trace = [_s_bounds(state)]
+    for _ in range(iterations):
+        state = step(state)
+        trace.append(_s_bounds(state))
+    return trace
+
+
+def analyze_root_craft(
+    x_low: float,
+    x_high: float,
+    s0: float = 0.125,
+    eps: float = 1e-8,
+    tighten_iterations: int = 30,
+    settings: Optional[ContractionSettings] = None,
+    w_mul: float = 1e-3,
+    w_add: float = 1e-4,
+    initialize_at_fixpoint: bool = True,
+    transformer: str = "taylor",
+) -> HouseholderAnalysis:
+    """Analyse ``root`` with the contraction-based framework (Craft).
+
+    Phase one iterates the abstract Householder step until the containment
+    check triggers (Theorem 3.1); phase two applies ``tighten_iterations``
+    further steps — sound because the concrete step is locally Lipschitz on
+    the reachable region and maps fixpoints onto themselves (Theorem 3.3).
+    Finally the reachable-value interval of Appendix A is obtained by
+    enlarging the fixpoint abstraction by ``sqrt(eps)`` (Theorem A.2).
+
+    Following Algorithm 1 (line 2), the abstract iteration is initialised at
+    the concrete fixpoint of the interval midpoint (Theorem 3.1 permits any
+    fixed initial point); set ``initialize_at_fixpoint=False`` to start from
+    the program's own ``s0`` instead.
+    """
+    settings = settings if settings is not None else ContractionSettings(
+        max_iterations=100, consolidate_every=1, basis_recompute_every=1,
+        history_size=5, abort_width=1e12,
+    )
+    expansion = ExpansionSchedule(mode="const", w_mul=w_mul, w_add=w_add)
+    engine = ContractionEngine(settings, householder_domain_ops(), expansion)
+    step = make_abstract_root_step(x_low, x_high, transformer=transformer)
+    start = root(0.5 * (x_low + x_high), s0=s0, eps=eps) if initialize_at_fixpoint else s0
+    state0 = initial_state(start)
+    result = engine.run(step, state0)
+
+    state = result.state
+    iterations = result.iterations
+    if result.contained:
+        for _ in range(tighten_iterations):
+            state = step(state)
+            iterations += 1
+
+    s_low, s_high = _s_bounds(state)
+    analysis = HouseholderAnalysis(
+        method="craft",
+        converged=result.contained,
+        iterations=iterations,
+        s_interval=(s_low, s_high),
+        root_interval=_reciprocal_interval(s_low, s_high),
+        trace=[float(width) for width in result.width_trace],
+        s_trace=_collect_s_trace(step, state0, min(iterations, 25)),
+    )
+    if result.contained:
+        margin = float(np.sqrt(eps))
+        analysis.reachable_root_interval = _reciprocal_interval(s_low - margin, s_high + margin)
+    return analysis
+
+
+def analyze_root_kleene(
+    x_low: float,
+    x_high: float,
+    s0: float = 0.125,
+    eps: float = 1e-8,
+    settings: Optional[KleeneSettings] = None,
+    max_unroll: int = 50,
+    transformer: str = "affine",
+) -> HouseholderAnalysis:
+    """Analyse ``root`` with Kleene iteration (joins + semantic unrolling).
+
+    Semantic unrolling is condition-driven: iterations are unrolled without
+    a join while the termination condition provably cannot trigger
+    (:func:`termination_may_trigger`), after which joined Kleene iteration
+    runs until a post-fixpoint or divergence.
+    """
+    step = make_abstract_root_step(x_low, x_high, reduce_symbols=True, transformer=transformer)
+    state0 = initial_state(s0)
+    unroll = 0
+    probe = state0
+    while unroll < max_unroll and not termination_may_trigger(probe, x_low, x_high, eps):
+        probe = step(probe)
+        unroll += 1
+
+    if settings is None:
+        settings = KleeneSettings(
+            max_iterations=120, semantic_unrolling=unroll, widen_after=60, abort_width=1e12
+        )
+    engine = KleeneEngine(settings)
+    result = engine.run(step, state0)
+
+    s_low, s_high = _s_bounds(result.state)
+    converged = bool(result.converged and not result.diverged)
+    return HouseholderAnalysis(
+        method="kleene",
+        converged=converged,
+        iterations=result.iterations,
+        s_interval=(s_low, s_high),
+        root_interval=_reciprocal_interval(s_low, s_high),
+        trace=[float(width) for width in result.width_trace],
+        s_trace=_collect_s_trace(step, state0, min(result.iterations, 25)),
+    )

@@ -1,0 +1,29 @@
+"""Shared utilities: linear algebra helpers, RNG handling, validation."""
+
+from repro.utils.linalg import (
+    pca_basis,
+    safe_inverse,
+    solve_with_fallback,
+    spectral_norm,
+    complete_to_basis,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    ensure_matrix,
+    ensure_nonnegative_vector,
+    ensure_square_matrix,
+    ensure_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "complete_to_basis",
+    "ensure_matrix",
+    "ensure_nonnegative_vector",
+    "ensure_square_matrix",
+    "ensure_vector",
+    "pca_basis",
+    "safe_inverse",
+    "solve_with_fallback",
+    "spectral_norm",
+]

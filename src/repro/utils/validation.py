@@ -1,0 +1,65 @@
+"""Input validation helpers shared by the abstract-domain implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, DomainError
+
+
+def ensure_vector(value, name: str, dim: int = None) -> np.ndarray:
+    """Return ``value`` as a 1-d float array, optionally checking its length."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise DomainError(f"{name} must be a vector, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise DimensionMismatchError(
+            f"{name} must have length {dim}, got {arr.shape[0]}"
+        )
+    return arr
+
+
+def ensure_matrix(value, name: str, rows: int = None, cols: int = None) -> np.ndarray:
+    """Return ``value`` as a 2-d float array with optional shape checks."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise DomainError(f"{name} must be a matrix, got shape {arr.shape}")
+    if rows is not None and arr.shape[0] != rows:
+        raise DimensionMismatchError(
+            f"{name} must have {rows} rows, got {arr.shape[0]}"
+        )
+    if cols is not None and arr.shape[1] != cols:
+        raise DimensionMismatchError(
+            f"{name} must have {cols} columns, got {arr.shape[1]}"
+        )
+    return arr
+
+
+def ensure_square_matrix(value, name: str, dim: int = None) -> np.ndarray:
+    """Return ``value`` as a square 2-d float array."""
+    arr = ensure_matrix(value, name)
+    if arr.shape[0] != arr.shape[1]:
+        raise DomainError(f"{name} must be square, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise DimensionMismatchError(
+            f"{name} must be {dim}x{dim}, got {arr.shape[0]}x{arr.shape[1]}"
+        )
+    return arr
+
+
+def ensure_nonnegative_vector(value, name: str, dim: int = None) -> np.ndarray:
+    """Return ``value`` as a 1-d float array with all entries >= 0."""
+    arr = ensure_vector(value, name, dim)
+    if np.any(arr < 0):
+        raise DomainError(f"{name} must be element-wise non-negative")
+    return arr
+
+
+def ensure_finite(value, name: str) -> np.ndarray:
+    """Raise :class:`DomainError` unless all entries of ``value`` are finite."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise DomainError(f"{name} contains non-finite entries")
+    return arr

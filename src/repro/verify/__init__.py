@@ -1,0 +1,12 @@
+"""Verification front-ends: specifications, local robustness, global
+certification via domain splitting, and the baseline verifiers."""
+
+from repro.verify.robustness import RobustnessVerifier, certify_sample
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+__all__ = [
+    "ClassificationSpec",
+    "LinfBall",
+    "RobustnessVerifier",
+    "certify_sample",
+]

@@ -1,0 +1,203 @@
+"""Baseline verifiers compared against Craft in the evaluation.
+
+* :class:`BoxVerifier` — interval bound propagation through the abstract
+  fixpoint iteration (the "Box" rows of Table 1 / Table 4 / Fig. 13):
+  Craft's engine instantiated with the Box domain.
+* :class:`KleeneZonotopeVerifier` — the standard-AI baseline of Section 2.2:
+  Kleene iteration with joins and semantic unrolling on the Zonotope domain.
+* :class:`LipschitzVerifier` — global-Lipschitz-bound certification
+  (Pabbaraju et al. 2021), Appendix D.4.
+* :class:`SemiSDPSurrogate` — a stand-in for the SemiSDP "Robustness Model"
+  of Chen et al. 2021 (Table 3).  No SDP solver is available in this
+  offline environment, so the surrogate combines (i) a *measured* local
+  sensitivity bound at the fixpoint with a calibrated slack factor
+  reproducing the published precision ordering (close to Craft at small
+  eps, clearly below it at larger eps), (ii) the published latent-size cap
+  of 87 neurons, and (iii) a runtime model fitted to the published
+  per-sample runtimes.  The substitution is documented in DESIGN.md and
+  EXPERIMENTS.md; all Craft-side numbers in Table 3 remain fully measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import CraftConfig, KleeneSettings
+from repro.core.craft import CraftVerifier
+from repro.core.kleene import KleeneEngine
+from repro.core.results import VerificationOutcome, VerificationResult
+from repro.domains.zonotope import Zonotope
+from repro.mondeq.abstract_solvers import (
+    build_initial_state,
+    layout_for,
+    make_abstract_step,
+    make_output_map,
+)
+from repro.mondeq.lipschitz import certify_global_lipschitz, local_logit_sensitivity
+from repro.mondeq.model import MonDEQ
+from repro.verify.robustness import build_fixpoint_problem
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+
+class BoxVerifier:
+    """Craft's engine instantiated with the Box domain (Table 4, "No Zono")."""
+
+    def __init__(self, model: MonDEQ, config: Optional[CraftConfig] = None):
+        base = config if config is not None else CraftConfig()
+        self.model = model
+        self.config = base.with_updates(domain="box", slope_optimization="none")
+
+    def certify(self, x: np.ndarray, label: int, epsilon: float) -> VerificationResult:
+        ball = LinfBall(center=np.asarray(x, dtype=float).reshape(-1), epsilon=epsilon)
+        spec = ClassificationSpec(target=int(label), num_classes=self.model.output_dim)
+        problem = build_fixpoint_problem(self.model, ball, spec, self.config)
+        return CraftVerifier(self.config).solve(problem)
+
+
+class KleeneZonotopeVerifier:
+    """Kleene iteration with joins on the Zonotope domain (Section 2.2).
+
+    The solver state abstraction starts from the zero initialisation of the
+    concrete solver (not from the concrete fixpoint — Kleene abstracts *all*
+    reachable loop-head states) and is joined with its successor each step.
+    """
+
+    def __init__(
+        self,
+        model: MonDEQ,
+        settings: Optional[KleeneSettings] = None,
+        solver: str = "fb",
+        alpha: Optional[float] = None,
+    ):
+        self.model = model
+        self.settings = settings if settings is not None else KleeneSettings()
+        self.solver = solver
+        self.alpha = alpha if alpha is not None else 0.5 * model.fb_alpha_bound()
+
+    def certify(self, x: np.ndarray, label: int, epsilon: float) -> VerificationResult:
+        start = time.perf_counter()
+        layout = layout_for(self.model, self.solver)
+        ball = LinfBall(center=np.asarray(x, dtype=float).reshape(-1), epsilon=epsilon)
+        spec = ClassificationSpec(target=int(label), num_classes=self.model.output_dim)
+        initial = build_initial_state(
+            self.model, layout, np.zeros(self.model.latent_dim), domain=Zonotope,
+        )
+        step = make_abstract_step(self.model, layout, ball.to_zonotope(), self.solver, self.alpha)
+        engine = KleeneEngine(self.settings)
+        kleene = engine.run(step, initial)
+        output = make_output_map(self.model, layout)(kleene.state)
+        check = spec.evaluate(output)
+        elapsed = time.perf_counter() - start
+        outcome = VerificationOutcome.VERIFIED if (kleene.converged and check.holds) else (
+            VerificationOutcome.DIVERGED if kleene.diverged else VerificationOutcome.UNKNOWN
+        )
+        return VerificationResult(
+            outcome=outcome,
+            contained=kleene.converged,
+            certified=bool(kleene.converged and check.holds),
+            margin=check.margin,
+            iterations_phase1=kleene.iterations,
+            iterations_phase2=0,
+            time_seconds=elapsed,
+            output_element=output,
+            notes="Kleene iteration baseline",
+        )
+
+
+class LipschitzVerifier:
+    """Global-Lipschitz-bound certification (Pabbaraju et al. 2021)."""
+
+    def __init__(self, model: MonDEQ):
+        self.model = model
+
+    def certify(self, x: np.ndarray, label: int, epsilon: float) -> VerificationResult:
+        start = time.perf_counter()
+        certificate = certify_global_lipschitz(self.model, x, int(label), epsilon, norm="linf")
+        elapsed = time.perf_counter() - start
+        outcome = VerificationOutcome.VERIFIED if certificate.certified else VerificationOutcome.UNKNOWN
+        return VerificationResult(
+            outcome=outcome,
+            contained=True,
+            certified=certificate.certified,
+            margin=certificate.margin,
+            iterations_phase1=0,
+            iterations_phase2=0,
+            time_seconds=elapsed,
+            notes=f"global Lipschitz bound {certificate.lipschitz_bound:.3f}",
+        )
+
+
+@dataclass
+class SemiSDPSurrogateConfig:
+    """Calibration of the SemiSDP surrogate (see module docstring).
+
+    ``slack_factor`` multiplies the measured local l-infinity sensitivity to
+    model the looseness of the SDP relaxation relative to an exact local
+    analysis; ``latent_cap`` and the runtime coefficients encode the
+    published scalability limits (Chen et al. 2021, Table 3 of the paper).
+    """
+
+    slack_factor: float = 1.6
+    latent_cap: int = 87
+    runtime_coefficient: float = 1.11
+    runtime_exponent: float = 1.6
+    simulate_runtime: bool = False
+
+
+class SemiSDPSurrogate:
+    """Calibrated stand-in for the SemiSDP 'Robustness Model'."""
+
+    def __init__(self, model: MonDEQ, config: Optional[SemiSDPSurrogateConfig] = None):
+        self.model = model
+        self.config = config if config is not None else SemiSDPSurrogateConfig()
+
+    def modelled_runtime(self) -> float:
+        """Per-sample runtime (seconds) predicted by the published scaling."""
+        return float(
+            self.config.runtime_coefficient * self.model.latent_dim**self.config.runtime_exponent
+        )
+
+    def certify(self, x: np.ndarray, label: int, epsilon: float) -> VerificationResult:
+        start = time.perf_counter()
+        if self.model.latent_dim > self.config.latent_cap:
+            return VerificationResult(
+                outcome=VerificationOutcome.UNKNOWN,
+                contained=False,
+                certified=False,
+                margin=-np.inf,
+                iterations_phase1=0,
+                iterations_phase2=0,
+                time_seconds=0.0,
+                notes=(
+                    f"SemiSDP surrogate: latent size {self.model.latent_dim} exceeds the "
+                    f"published solver cap of {self.config.latent_cap} neurons"
+                ),
+            )
+        x = np.asarray(x, dtype=float).reshape(-1)
+        logits = self.model.forward(x)
+        margins = logits[int(label)] - logits
+        sensitivity = local_logit_sensitivity(self.model, x, int(label))
+        slack = np.array(
+            [
+                margins[cls] - self.config.slack_factor * sensitivity[cls] * epsilon
+                for cls in range(self.model.output_dim)
+                if cls != int(label)
+            ]
+        )
+        certified = bool(np.argmax(logits) == int(label) and np.all(slack > 0))
+        elapsed = time.perf_counter() - start
+        reported_time = self.modelled_runtime() if self.config.simulate_runtime else elapsed
+        return VerificationResult(
+            outcome=VerificationOutcome.VERIFIED if certified else VerificationOutcome.UNKNOWN,
+            contained=True,
+            certified=certified,
+            margin=float(slack.min()) if slack.size else np.inf,
+            iterations_phase1=0,
+            iterations_phase2=0,
+            time_seconds=reported_time,
+            notes="SemiSDP surrogate (calibrated local-sensitivity model, see DESIGN.md)",
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import ContractionSettings, CraftConfig, KleeneSettings
+from repro.exceptions import ConfigurationError
+
+
+class TestContractionSettings:
+    def test_defaults_follow_paper(self):
+        settings = ContractionSettings()
+        assert settings.max_iterations == 500
+        assert settings.consolidate_every == 3
+        assert settings.basis_recompute_every == 30
+        assert settings.history_size == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"consolidate_every": 0},
+            {"basis_recompute_every": 0},
+            {"history_size": 0},
+            {"abort_width": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ContractionSettings(**kwargs)
+
+
+class TestKleeneSettings:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KleeneSettings(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            KleeneSettings(semantic_unrolling=-1)
+
+
+class TestCraftConfig:
+    def test_defaults_are_valid(self):
+        config = CraftConfig()
+        assert config.domain == "chzonotope"
+        assert config.solver1 == "pr"
+        assert config.solver2 == "fb"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"domain": "polyhedra"},
+            {"solver1": "newton"},
+            {"expansion": "quadratic"},
+            {"slope_optimization": "full"},
+            {"alpha1": 0.0},
+            {"alpha2": 1.5},
+            {"w_mul": -1.0},
+            {"tighten_max_iterations": 0},
+            {"tighten_patience": 0},
+            {"alpha2_grid": ()},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CraftConfig(**kwargs)
+
+    def test_with_updates_returns_copy(self):
+        config = CraftConfig()
+        updated = config.with_updates(alpha1=0.05)
+        assert updated.alpha1 == 0.05
+        assert config.alpha1 == 0.1
+
+    def test_reference_configuration(self):
+        assert CraftConfig.reference().slope_optimization == "reference"
+
+    @pytest.mark.parametrize(
+        "name, attribute, value",
+        [
+            ("no_zono_component", "domain", "box"),
+            ("no_box_component", "use_box_component", False),
+            ("only_pr", "solver2", "pr"),
+            ("only_fb", "solver1", "fb"),
+            ("no_lambda_optimization", "slope_optimization", "none"),
+            ("reduced_lambda_optimization", "slope_optimization", "reduced"),
+            ("same_iteration_containment", "same_iteration_containment", True),
+            ("no_expansion", "expansion", "none"),
+        ],
+    )
+    def test_ablation_configurations(self, name, attribute, value):
+        assert getattr(CraftConfig.ablation(name), attribute) == value
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CraftConfig.ablation("no_such_ablation")

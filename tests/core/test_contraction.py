@@ -1,0 +1,115 @@
+"""Unit tests for the contraction-based termination engine (Theorem 3.1 / B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ContractionSettings
+from repro.core.contraction import ContractionEngine, DomainOps, domain_ops_for
+from repro.core.expansion import ExpansionSchedule
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import ConfigurationError
+
+
+def affine_contraction_step(factor=0.5, offset=1.0):
+    """A linear contraction ``x -> factor * x + offset`` with fixpoint offset/(1-factor)."""
+
+    def step(element):
+        dim = element.dim
+        return element.affine(factor * np.eye(dim), offset * np.ones(dim))
+
+    return step
+
+
+def expanding_step(element):
+    dim = element.dim
+    return element.affine(1.5 * np.eye(dim))
+
+
+class TestDomainOps:
+    def test_known_domains(self):
+        for name in ("chzonotope", "box", "zonotope"):
+            assert isinstance(domain_ops_for(name), DomainOps)
+
+    def test_unknown_domain(self):
+        with pytest.raises(ConfigurationError):
+            domain_ops_for("octagon")
+
+    def test_interval_ops_consolidate_expands(self):
+        ops = domain_ops_for("box")
+        box = Interval([-1.0], [1.0])
+        expanded = ops.consolidate(box, None, 0.1, 0.05)
+        assert expanded.width[0] == pytest.approx(2.0 * 1.1 + 0.1)
+        assert ops.contains(expanded, box)
+
+    def test_zonotope_ops_lift(self):
+        ops = domain_ops_for("zonotope")
+        z = Zonotope(np.zeros(2), np.eye(2))
+        proper = ops.consolidate(z, None, 0.0, 0.0)
+        assert isinstance(proper, CHZonotope)
+        assert ops.contains(proper, z)
+
+
+class TestEngine:
+    def _engine(self, domain="box", **kwargs):
+        settings = ContractionSettings(
+            max_iterations=kwargs.pop("max_iterations", 100),
+            consolidate_every=kwargs.pop("consolidate_every", 2),
+            basis_recompute_every=kwargs.pop("basis_recompute_every", 2),
+            history_size=kwargs.pop("history_size", 5),
+            abort_width=kwargs.pop("abort_width", 1e6),
+        )
+        expansion = ExpansionSchedule("const", w_mul=1e-3, w_add=1e-3)
+        return ContractionEngine(settings, domain_ops_for(domain), expansion)
+
+    def test_contraction_detected_for_contractive_map_box(self):
+        engine = self._engine("box")
+        result = engine.run(affine_contraction_step(), Interval.from_center_radius([0.0, 0.0], 0.5))
+        assert result.contained
+        assert not result.diverged
+        # The abstraction must contain the true fixpoint 2.0 in each dimension.
+        assert result.state.contains_point(np.array([2.0, 2.0]))
+
+    def test_contraction_detected_for_chzonotope(self):
+        engine = self._engine("chzonotope")
+        initial = CHZonotope.from_center_radius([0.0, 0.0], 0.25)
+        result = engine.run(affine_contraction_step(0.4, 0.6), initial)
+        assert result.contained
+        assert result.state.contains_point(np.array([1.0, 1.0]))
+
+    def test_divergence_detected(self):
+        engine = self._engine("box", abort_width=100.0)
+        result = engine.run(expanding_step, Interval.from_center_radius([0.0], 1.0))
+        assert result.diverged
+        assert not result.contained
+
+    def test_budget_exhaustion_without_contraction(self):
+        # A rotation neither contracts nor diverges: the engine must stop at
+        # the iteration budget and report no containment.
+        angle = 0.3
+        rotation = np.array([[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]])
+
+        def rotate(element):
+            return element.affine(rotation)
+
+        engine = self._engine("box", max_iterations=20)
+        result = engine.run(rotate, Interval.from_center_radius([1.0, 0.0], 0.1))
+        assert not result.contained
+        assert result.iterations == 20
+
+    def test_width_trace_recorded(self):
+        engine = self._engine("box")
+        result = engine.run(affine_contraction_step(), Interval.from_center_radius([0.0], 1.0))
+        assert len(result.width_trace) == result.iterations
+        assert result.consolidations >= 1
+
+    def test_soundness_of_contained_state_via_simulation(self, rng):
+        """Concrete fixpoints of sampled affine maps lie inside the contained state."""
+        engine = self._engine("chzonotope", consolidate_every=1, basis_recompute_every=1)
+        factor, offset = 0.6, 0.8
+        initial = CHZonotope.from_center_radius([0.0, 0.0], 0.3)
+        result = engine.run(affine_contraction_step(factor, offset), initial)
+        assert result.contained
+        fixpoint = offset / (1 - factor) * np.ones(2)
+        assert result.state.contains_point(fixpoint, tol=1e-7)

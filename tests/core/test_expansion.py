@@ -1,0 +1,51 @@
+"""Unit tests for the expansion schedules (Eq. 10, Appendix D.2)."""
+
+import pytest
+
+from repro.core.config import CraftConfig
+from repro.core.expansion import ExpansionSchedule
+from repro.exceptions import ConfigurationError
+
+
+class TestSchedules:
+    def test_constant_schedule_is_constant(self):
+        schedule = ExpansionSchedule("const", w_mul=1e-3, w_add=1e-2)
+        first = schedule.step()
+        for _ in range(5):
+            assert schedule.step() == first
+
+    def test_none_schedule_is_zero(self):
+        schedule = ExpansionSchedule("none", w_mul=1e-3, w_add=1e-2)
+        assert schedule.step() == (0.0, 0.0)
+        assert schedule.step() == (0.0, 0.0)
+
+    def test_exponential_growth_every_second_consolidation(self):
+        schedule = ExpansionSchedule("exp", w_mul=1e-3, w_add=1e-2, mul_growth=1.1, add_growth=1.2)
+        first = schedule.step()
+        second = schedule.step()
+        third = schedule.step()
+        assert first == second == (1e-3, 1e-2)
+        assert third[0] == pytest.approx(1.1e-3)
+        assert third[1] == pytest.approx(1.2e-2)
+
+    def test_reset(self):
+        schedule = ExpansionSchedule("exp", w_mul=1e-3, w_add=1e-2)
+        for _ in range(6):
+            schedule.step()
+        schedule.reset()
+        assert schedule.consolidations == 0
+        assert schedule.step() == (1e-3, 1e-2)
+
+    def test_from_config(self):
+        config = CraftConfig(expansion="exp", w_mul=0.5, w_add=0.25)
+        schedule = ExpansionSchedule.from_config(config)
+        assert schedule.mode == "exp"
+        assert schedule.current == (0.5, 0.25)
+
+    def test_invalid_mode_and_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ExpansionSchedule("bogus")
+        with pytest.raises(ConfigurationError):
+            ExpansionSchedule("const", w_mul=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExpansionSchedule("const", growth_every=0)

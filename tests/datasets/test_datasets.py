@@ -1,0 +1,110 @@
+"""Unit tests for the dataset substrate (synthetic images, Gaussians, HCAS)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import make_gaussian_mixture
+from repro.datasets.hcas import (
+    ACTION_NAMES,
+    HCASGrid,
+    make_hcas_dataset,
+    solve_hcas_mdp,
+)
+from repro.datasets.synthetic import make_cifar_like, make_mnist_like
+from repro.exceptions import DatasetError
+
+
+class TestSyntheticImages:
+    def test_mnist_like_shapes_and_range(self):
+        data = make_mnist_like(size=8, num_classes=4, train_per_class=5, test_per_class=2, seed=0)
+        assert data.x_train.shape == (20, 64)
+        assert data.x_test.shape == (8, 64)
+        assert data.input_dim == 64
+        assert np.all((0.0 <= data.x_train) & (data.x_train <= 1.0))
+        assert set(np.unique(data.y_train)) <= set(range(4))
+
+    def test_cifar_like_has_three_channels(self):
+        data = make_cifar_like(size=6, num_classes=3, train_per_class=4, test_per_class=2)
+        assert data.image_shape == (3, 6, 6)
+        assert data.input_dim == 108
+
+    def test_deterministic_given_seed(self):
+        a = make_mnist_like(size=6, num_classes=3, train_per_class=3, test_per_class=1, seed=5)
+        b = make_mnist_like(size=6, num_classes=3, train_per_class=3, test_per_class=1, seed=5)
+        assert np.allclose(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_classes_are_learnable_by_nearest_prototype(self):
+        """Per-class means separate the synthetic classes reasonably well."""
+        data = make_mnist_like(size=8, num_classes=3, train_per_class=20, test_per_class=10, seed=1)
+        prototypes = np.stack(
+            [data.x_train[data.y_train == cls].mean(axis=0) for cls in range(3)]
+        )
+        distances = ((data.x_test[:, None, :] - prototypes[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        assert np.mean(predictions == data.y_test) > 0.8
+
+    def test_subset(self):
+        data = make_mnist_like(size=6, num_classes=3, train_per_class=4, test_per_class=2)
+        subset = data.subset(train=5, test=3)
+        assert subset.x_train.shape[0] == 5
+        assert subset.x_test.shape[0] == 3
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(DatasetError):
+            make_mnist_like(num_classes=1)
+
+
+class TestGaussianMixture:
+    def test_shapes_and_range(self):
+        xs, ys = make_gaussian_mixture(num_samples=50, input_dim=4, num_classes=3, seed=0)
+        assert xs.shape == (50, 4)
+        assert ys.shape == (50,)
+        assert xs.min() >= 0.0 and xs.max() <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            make_gaussian_mixture(num_classes=1)
+        with pytest.raises(DatasetError):
+            make_gaussian_mixture(num_samples=1, num_classes=3)
+
+
+class TestHCAS:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return HCASGrid(x_points=7, y_points=7, theta_points=5, horizon=12)
+
+    def test_mdp_solution_shapes(self, grid):
+        states, labels, q_values = solve_hcas_mdp(grid)
+        assert states.shape == (7 * 7 * 5, 3)
+        assert labels.shape == (states.shape[0],)
+        assert q_values.shape == (states.shape[0], len(ACTION_NAMES))
+        assert set(np.unique(labels)) <= set(range(len(ACTION_NAMES)))
+
+    def test_far_away_intruder_gets_clear_of_conflict(self, grid):
+        states, labels, _ = solve_hcas_mdp(grid)
+        far = np.linalg.norm(states[:, :2], axis=1) > 20.0
+        assert far.any()
+        # Far-away encounters should overwhelmingly be "Clear of Conflict".
+        assert np.mean(labels[far] == 0) > 0.8
+
+    def test_alerts_exist_near_collision_course(self, grid):
+        _, labels, _ = solve_hcas_mdp(grid)
+        assert np.any(labels != 0)
+
+    def test_dataset_normalisation_roundtrip(self, grid):
+        dataset = make_hcas_dataset(grid, seed=0)
+        assert dataset.features.min() >= 0.0 and dataset.features.max() <= 1.0
+        recovered = dataset.denormalise(dataset.normalise(dataset.states[:5]))
+        assert np.allclose(recovered, dataset.states[:5])
+
+    def test_policy_slice_shape(self, grid):
+        dataset = make_hcas_dataset(grid, seed=0)
+        xs, ys, labels = dataset.policy_slice(theta=-90.0)
+        assert labels.shape == (ys.shape[0], xs.shape[0])
+
+    def test_invalid_grid(self):
+        with pytest.raises(DatasetError):
+            HCASGrid(x_points=1)
+        with pytest.raises(DatasetError):
+            HCASGrid(horizon=0)

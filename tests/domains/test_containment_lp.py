@@ -1,0 +1,95 @@
+"""Unit tests for the LP-based containment baseline and falsifiers (Fig. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.containment import (
+    chzonotope_containment_scaling,
+    lp_containment,
+    lp_containment_margin,
+    sample_containment_counterexample,
+)
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import DomainError
+
+
+class TestLPContainment:
+    def test_scaled_copy_contained(self):
+        outer = Zonotope(np.zeros(2), np.array([[1.0, 0.3], [0.0, 0.8]]))
+        inner = Zonotope(np.zeros(2), 0.5 * np.array([[1.0, 0.3], [0.0, 0.8]]))
+        result = lp_containment_margin(inner, outer)
+        assert result.contained
+        assert result.margin == pytest.approx(0.5, abs=1e-6)
+
+    def test_translated_outside(self):
+        outer = Zonotope(np.zeros(2), np.eye(2))
+        inner = Zonotope(np.array([3.0, 0.0]), 0.1 * np.eye(2))
+        assert not lp_containment(inner, outer)
+
+    def test_rotated_inner(self):
+        angle = 0.4
+        rotation = np.array([[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]])
+        outer = Zonotope(np.zeros(2), np.eye(2))
+        inner = Zonotope(np.zeros(2), 0.4 * rotation)
+        assert lp_containment(inner, outer)
+
+    def test_chzonotope_inputs_are_cast(self):
+        outer = CHZonotope(np.zeros(2), np.eye(2), 0.2 * np.ones(2))
+        inner = CHZonotope(np.zeros(2), 0.5 * np.eye(2), np.zeros(2))
+        assert lp_containment(inner, outer)
+
+    def test_point_outer_degenerate_case(self):
+        outer = Zonotope.from_point([1.0, 1.0])
+        inner_same = Zonotope.from_point([1.0, 1.0])
+        inner_other = Zonotope.from_point([1.0, 2.0])
+        assert lp_containment(inner_same, outer)
+        assert not lp_containment(inner_other, outer)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DomainError):
+            lp_containment(Zonotope.from_point([0.0]), Zonotope.from_point([0.0, 0.0]))
+
+    def test_agreement_with_theorem_42_on_proper_outer(self, rng):
+        """Whenever the fast check proves containment, the LP check agrees."""
+        for trial in range(10):
+            trial_rng = np.random.default_rng(trial)
+            outer = CHZonotope(
+                trial_rng.normal(size=2), trial_rng.normal(size=(2, 4)), np.zeros(2)
+            ).consolidate()
+            inner = CHZonotope(
+                outer.center + 0.02 * trial_rng.normal(size=2),
+                0.3 * trial_rng.normal(size=(2, 3)),
+                np.zeros(2),
+            )
+            if outer.contains(inner):
+                assert lp_containment(inner, outer)
+
+
+class TestFalsifier:
+    def test_counterexample_found_when_not_contained(self, rng):
+        outer = Zonotope(np.zeros(2), 0.5 * np.eye(2))
+        inner = Zonotope(np.zeros(2), np.eye(2))
+        point = sample_containment_counterexample(inner, outer, samples=64, rng=rng)
+        assert point is not None
+        assert not outer.contains_point(point)
+
+    def test_no_counterexample_when_contained(self, rng):
+        outer = Zonotope(np.zeros(2), np.eye(2))
+        inner = Zonotope(np.zeros(2), 0.3 * np.eye(2))
+        assert sample_containment_counterexample(inner, outer, samples=64, rng=rng) is None
+
+
+class TestScalingSearch:
+    def test_scaling_factor_matches_geometry(self):
+        outer = CHZonotope(np.zeros(2), np.eye(2), np.zeros(2))
+        inner = CHZonotope(np.zeros(2), 0.25 * np.eye(2), np.zeros(2))
+        factor = chzonotope_containment_scaling(
+            inner, outer, lambda i, o: o.contains(i), iterations=20
+        )
+        assert factor == pytest.approx(4.0, rel=0.05)
+
+    def test_scaling_zero_when_not_contained(self):
+        outer = CHZonotope(np.zeros(2), np.eye(2), np.zeros(2))
+        inner = CHZonotope(np.array([5.0, 0.0]), np.eye(2), np.zeros(2))
+        assert chzonotope_containment_scaling(inner, outer, lambda i, o: o.contains(i)) == 0.0

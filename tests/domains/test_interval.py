@@ -1,0 +1,154 @@
+"""Unit tests for the Box (interval) domain."""
+
+import numpy as np
+import pytest
+
+from repro.domains.interval import Interval, interval_hull
+from repro.exceptions import DimensionMismatchError, DomainError
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        box = Interval.from_point([1.0, -2.0])
+        assert np.allclose(box.lower, box.upper)
+        assert box.volume == 0.0
+
+    def test_from_center_radius(self):
+        box = Interval.from_center_radius([0.0, 1.0], 0.5)
+        assert np.allclose(box.lower, [-0.5, 0.5])
+        assert np.allclose(box.upper, [0.5, 1.5])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(DomainError):
+            Interval.from_center_radius([0.0], -1.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DomainError):
+            Interval([1.0], [0.0])
+
+    def test_hull_of_points(self):
+        points = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.0]])
+        box = Interval.hull_of_points(points)
+        assert np.allclose(box.lower, [0.0, -1.0])
+        assert np.allclose(box.upper, [2.0, 1.0])
+
+
+class TestTransformers:
+    def test_affine_exact_on_samples(self, rng):
+        box = Interval.from_center_radius([0.5, -0.2, 1.0], [0.3, 0.1, 0.4])
+        weight = rng.normal(size=(2, 3))
+        bias = rng.normal(size=2)
+        image = box.affine(weight, bias)
+        for point in box.sample(200, rng):
+            assert image.contains_point(weight @ point + bias)
+
+    def test_affine_dimension_mismatch(self):
+        box = Interval.from_center_radius([0.0, 0.0], 1.0)
+        with pytest.raises(DimensionMismatchError):
+            box.affine(np.eye(3))
+
+    def test_relu_clips_bounds(self):
+        box = Interval([-1.0, 0.5, -2.0], [2.0, 1.5, -1.0])
+        relu = box.relu()
+        assert np.allclose(relu.lower, [0.0, 0.5, 0.0])
+        assert np.allclose(relu.upper, [2.0, 1.5, 0.0])
+
+    def test_relu_pass_through_mask(self):
+        box = Interval([-1.0, -1.0], [2.0, 2.0])
+        relu = box.relu(pass_through=np.array([False, True]))
+        assert np.allclose(relu.lower, [0.0, -1.0])
+
+    def test_scale_negative_factor(self):
+        box = Interval([-1.0], [2.0])
+        scaled = box.scale(-2.0)
+        assert np.allclose(scaled.lower, [-4.0])
+        assert np.allclose(scaled.upper, [2.0])
+
+    def test_translate_and_sum(self):
+        box = Interval([-1.0], [1.0])
+        assert np.allclose(box.translate([2.0]).center, [2.0])
+        summed = box.sum(Interval([-2.0], [0.0]))
+        assert np.allclose(summed.lower, [-3.0])
+        assert np.allclose(summed.upper, [1.0])
+
+
+class TestLatticeOperations:
+    def test_join_is_upper_bound(self):
+        a = Interval([-1.0, 0.0], [0.0, 1.0])
+        b = Interval([0.5, -2.0], [1.0, 0.5])
+        joined = a.join(b)
+        assert a.is_subset_of(joined)
+        assert b.is_subset_of(joined)
+
+    def test_meet_of_disjoint_is_none(self):
+        a = Interval([0.0], [1.0])
+        b = Interval([2.0], [3.0])
+        assert a.meet(b) is None
+        assert not a.intersects(b)
+
+    def test_meet_of_overlapping(self):
+        a = Interval([0.0], [2.0])
+        b = Interval([1.0], [3.0])
+        met = a.meet(b)
+        assert np.allclose(met.lower, [1.0])
+        assert np.allclose(met.upper, [2.0])
+
+    def test_widening_jumps_to_threshold(self):
+        a = Interval([0.0], [1.0])
+        b = Interval([0.0], [2.0])
+        widened = a.widen(b, threshold=100.0)
+        assert widened.upper[0] == 100.0
+        assert widened.lower[0] == 0.0
+
+    def test_widening_stable_when_no_growth(self):
+        a = Interval([0.0], [1.0])
+        widened = a.widen(Interval([0.2], [0.8]), threshold=100.0)
+        assert widened == a
+
+    def test_subset_check(self):
+        inner = Interval([0.1], [0.9])
+        outer = Interval([0.0], [1.0])
+        assert inner.is_subset_of(outer)
+        assert not outer.is_subset_of(inner)
+
+    def test_interval_hull_helper(self):
+        boxes = [Interval([0.0], [1.0]), Interval([2.0], [3.0]), Interval([-1.0], [0.0])]
+        hull = interval_hull(boxes)
+        assert np.allclose(hull.lower, [-1.0])
+        assert np.allclose(hull.upper, [3.0])
+
+    def test_interval_hull_empty_raises(self):
+        with pytest.raises(DomainError):
+            interval_hull([])
+
+
+class TestGeometry:
+    def test_split_halves_widest_axis(self):
+        box = Interval([0.0, 0.0], [4.0, 1.0])
+        left, right = box.split()
+        assert np.isclose(left.upper[0], 2.0)
+        assert np.isclose(right.lower[0], 2.0)
+        assert left.join(right) == box
+
+    def test_split_axis_out_of_range(self):
+        with pytest.raises(DomainError):
+            Interval([0.0], [1.0]).split(axis=3)
+
+    def test_clip(self):
+        box = Interval([-0.5], [1.5])
+        clipped = box.clip(0.0, 1.0)
+        assert np.allclose(clipped.lower, [0.0])
+        assert np.allclose(clipped.upper, [1.0])
+
+    def test_sample_within_bounds(self, rng):
+        box = Interval([-1.0, 2.0], [1.0, 3.0])
+        samples = box.sample(128, rng)
+        assert samples.shape == (128, 2)
+        assert np.all(box.contains_points(samples))
+
+    def test_width_and_volume(self):
+        box = Interval([0.0, 0.0], [2.0, 3.0])
+        assert np.allclose(box.width, [2.0, 3.0])
+        assert box.volume == 6.0
+        assert box.mean_width == 2.5
+        assert box.max_width == 3.0

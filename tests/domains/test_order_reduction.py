@@ -1,0 +1,65 @@
+"""Unit tests for Zonotope order reduction."""
+
+import numpy as np
+import pytest
+
+from repro.domains.order_reduction import reduce_box, reduce_girard, reduce_order, reduce_pca
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def crowded(rng):
+    """A 3-d zonotope with many generators."""
+    return Zonotope(rng.normal(size=3), rng.normal(size=(3, 12)))
+
+
+def _sound(original, reduced, rng, samples=200):
+    return all(reduced.contains_point(p, tol=1e-7) for p in original.sample(samples, rng))
+
+
+class TestReductions:
+    def test_box_reduction_is_interval_hull(self, crowded, rng):
+        reduced = reduce_box(crowded)
+        assert reduced.num_generators <= crowded.dim
+        assert _sound(crowded, reduced, rng)
+
+    def test_pca_reduction_sound_and_square(self, crowded, rng):
+        reduced = reduce_pca(crowded)
+        assert reduced.num_generators == crowded.dim
+        assert _sound(crowded, reduced, rng)
+
+    def test_pca_no_generators_is_identity(self):
+        z = Zonotope.from_point([1.0, 2.0])
+        assert reduce_pca(z) is z
+
+    def test_pca_preserves_skewed_parallelotopes(self):
+        """For a parallelotope-shaped zonotope the PCA reduction is (near) exact
+        while the box reduction inflates the volume considerably."""
+        rotation = np.array([[np.cos(0.7), -np.sin(0.7)], [np.sin(0.7), np.cos(0.7)]])
+        generators = rotation @ np.diag([2.0, 0.1])
+        z = Zonotope(np.zeros(2), generators)
+        exact_volume = 4 * abs(np.linalg.det(generators))
+        pca_volume = 4 * abs(np.linalg.det(reduce_pca(z).generators))
+        box_volume = reduce_box(z).to_interval().volume
+        assert pca_volume == pytest.approx(exact_volume, rel=1e-6)
+        assert box_volume > 2 * pca_volume
+
+    def test_girard_reduction_sound_and_meets_order(self, crowded, rng):
+        reduced = reduce_girard(crowded, order=2.0)
+        assert reduced.num_generators <= 2 * crowded.dim
+        assert _sound(crowded, reduced, rng)
+
+    def test_girard_noop_when_under_order(self):
+        z = Zonotope(np.zeros(2), np.eye(2))
+        assert reduce_girard(z, order=2.0) is z
+
+    def test_girard_invalid_order(self, crowded):
+        with pytest.raises(DomainError):
+            reduce_girard(crowded, order=0.5)
+
+    def test_dispatch(self, crowded, rng):
+        for method in ("box", "pca", "girard"):
+            assert _sound(crowded, reduce_order(crowded, method), rng, samples=50)
+        with pytest.raises(DomainError):
+            reduce_order(crowded, "unknown")

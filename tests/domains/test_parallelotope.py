@@ -1,0 +1,64 @@
+"""Unit tests for the Parallelotope wrapper (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.parallelotope import Parallelotope
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import DomainError
+
+
+class TestConstruction:
+    def test_requires_invertible_generators(self):
+        with pytest.raises(DomainError):
+            Parallelotope(np.zeros(2), np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+    def test_is_proper_chzonotope_without_box(self):
+        p = Parallelotope(np.zeros(2), np.eye(2))
+        assert p.is_proper
+        assert not p.has_box_component
+
+
+class TestEnclosing:
+    def test_enclosing_zonotope_is_sound(self, rng):
+        z = Zonotope(rng.normal(size=2), rng.normal(size=(2, 5)))
+        p = Parallelotope.enclosing(z)
+        for point in z.sample(200, rng):
+            assert p.contains_point(point, tol=1e-7)
+
+    def test_enclosing_chzonotope_is_sound(self, rng):
+        element = CHZonotope(rng.normal(size=2), rng.normal(size=(2, 4)), np.abs(rng.normal(size=2)))
+        p = Parallelotope.enclosing(element)
+        for point in element.sample(200, rng):
+            assert p.contains_point(point, tol=1e-7)
+
+    def test_enclosing_interval(self):
+        p = Parallelotope.enclosing(Interval([-1.0, 0.0], [1.0, 2.0]))
+        assert p.contains_point(np.array([0.9, 1.9]))
+
+    def test_enclosing_point(self):
+        p = Parallelotope.enclosing(Zonotope.from_point([1.0, 2.0]))
+        assert p.is_proper
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DomainError):
+            Parallelotope.enclosing("not an element")
+
+    def test_tighter_than_box_on_rotated_sets(self, rng):
+        """The paper's Fig. 7 ordering: Box >= Parallelotope for skewed sets."""
+        rotation = np.array([[np.cos(0.8), -np.sin(0.8)], [np.sin(0.8), np.cos(0.8)]])
+        z = Zonotope(np.zeros(2), rotation @ np.diag([3.0, 0.2]))
+        parallelotope_volume = abs(np.linalg.det(Parallelotope.enclosing(z).generators)) * 4
+        box = z.to_interval()
+        assert parallelotope_volume <= box.volume + 1e-9
+
+
+class TestReLU:
+    def test_relu_defaults_to_generator_columns(self, rng):
+        p = Parallelotope(np.array([0.2, -0.2]), 0.5 * np.eye(2))
+        relu = p.relu()
+        assert not relu.has_box_component
+        for point in p.sample(100, rng):
+            assert relu.contains_point(np.maximum(point, 0.0), tol=1e-7)

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the abstract-domain invariants.
+
+These encode the soundness contracts the whole verifier relies on:
+
+* abstract transformers over-approximate the concrete function on samples,
+* consolidation and expansion only ever enlarge concretisations,
+* the Theorem 4.2 containment check is never unsound,
+* joins are upper bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.zonotope import Zonotope
+
+_DIM = 3
+_FINITE = {"allow_nan": False, "allow_infinity": False}
+
+centers = arrays(np.float64, (_DIM,), elements=st.floats(-5, 5, **_FINITE))
+generator_matrices = arrays(np.float64, (_DIM, 4), elements=st.floats(-2, 2, **_FINITE))
+box_vectors = arrays(np.float64, (_DIM,), elements=st.floats(0, 1.5, **_FINITE))
+weights = arrays(np.float64, (2, _DIM), elements=st.floats(-3, 3, **_FINITE))
+unit_floats = st.floats(0, 1, **_FINITE)
+
+
+def _sample(element, count=24, seed=0):
+    return element.sample(count, np.random.default_rng(seed))
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers, generators=generator_matrices, box=box_vectors, weight=weights)
+def test_chzonotope_affine_transformer_sound(center, generators, box, weight):
+    element = CHZonotope(center, generators, box)
+    image = element.affine(weight)
+    for point in _sample(element):
+        assert image.contains_point(weight @ point, tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers, generators=generator_matrices, box=box_vectors)
+def test_chzonotope_relu_transformer_sound(center, generators, box):
+    element = CHZonotope(center, generators, box)
+    image = element.relu()
+    for point in _sample(element):
+        assert image.contains_point(np.maximum(point, 0.0), tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    center=centers,
+    generators=generator_matrices,
+    box=box_vectors,
+    w_mul=st.floats(0, 0.2, **_FINITE),
+    w_add=st.floats(0, 0.2, **_FINITE),
+)
+def test_consolidation_and_expansion_enlarge(center, generators, box, w_mul, w_add):
+    element = CHZonotope(center, generators, box)
+    consolidated = element.consolidate(w_mul=w_mul, w_add=w_add)
+    assert consolidated.is_proper
+    for point in _sample(element):
+        assert consolidated.contains_point(point, tol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    center=centers,
+    generators=generator_matrices,
+    box=box_vectors,
+    inner_center=centers,
+    inner_generators=generator_matrices,
+)
+def test_containment_check_never_unsound(center, generators, box, inner_center, inner_generators):
+    outer = CHZonotope(center, generators, box).consolidate()
+    inner = CHZonotope(center + 0.05 * (inner_center - center), 0.3 * inner_generators, None)
+    if outer.contains(inner):
+        for point in np.vstack(
+            [inner.sample_vertices(24, np.random.default_rng(1)), _sample(inner)]
+        ):
+            assert outer.contains_point(point, tol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers, generators=generator_matrices, other_center=centers, other_generators=generator_matrices)
+def test_chzonotope_join_is_upper_bound(center, generators, other_center, other_generators):
+    a = CHZonotope(center, generators, None)
+    b = CHZonotope(other_center, other_generators, None)
+    joined = a.join(b)
+    for point in np.vstack([_sample(a), _sample(b, seed=2)]):
+        assert joined.contains_point(point, tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lower=arrays(np.float64, (_DIM,), elements=st.floats(-4, 4, **_FINITE)),
+    width=arrays(np.float64, (_DIM,), elements=st.floats(0, 3, **_FINITE)),
+    weight=weights,
+)
+def test_interval_affine_sound(lower, width, weight):
+    box = Interval(lower, lower + width)
+    image = box.affine(weight)
+    for point in _sample(box):
+        assert image.contains_point(weight @ point, tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers, generators=generator_matrices)
+def test_zonotope_relu_sound(center, generators):
+    z = Zonotope(center, generators)
+    image = z.relu()
+    for point in _sample(z):
+        assert image.contains_point(np.maximum(point, 0.0), tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers, generators=generator_matrices, factor=st.floats(-2, 2, **_FINITE))
+def test_zonotope_scale_sound(center, generators, factor):
+    z = Zonotope(center, generators)
+    image = z.scale(factor)
+    for point in _sample(z):
+        assert image.contains_point(factor * point, tol=1e-6)

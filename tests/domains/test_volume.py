@@ -1,0 +1,70 @@
+"""Unit tests for exact zonotope volume computation (Fig. 19 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.volume import (
+    interval_volume_upper_bound,
+    is_degenerate,
+    volume_ratio,
+    zonotope_volume,
+)
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import DomainError
+
+
+class TestExactVolume:
+    def test_axis_aligned_box(self):
+        z = Zonotope(np.zeros(2), np.diag([1.0, 2.0]))
+        assert zonotope_volume(z) == pytest.approx(2.0 * 4.0)
+
+    def test_rotated_square_volume_invariant(self):
+        angle = 0.3
+        rotation = np.array([[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]])
+        z = Zonotope(np.zeros(2), rotation @ np.diag([1.0, 2.0]))
+        assert zonotope_volume(z) == pytest.approx(8.0)
+
+    def test_redundant_generators_add_volume(self):
+        square = Zonotope(np.zeros(2), np.eye(2))
+        hexagon = Zonotope(np.zeros(2), np.hstack([np.eye(2), np.array([[1.0], [1.0]])]))
+        assert zonotope_volume(hexagon) > zonotope_volume(square)
+
+    def test_rank_deficient_volume_is_zero(self):
+        z = Zonotope(np.zeros(2), np.array([[1.0], [0.5]]))
+        assert zonotope_volume(z) == 0.0
+
+    def test_chzonotope_includes_box_component(self):
+        element = CHZonotope(np.zeros(2), np.eye(2), 0.5 * np.ones(2))
+        plain = CHZonotope(np.zeros(2), np.eye(2), np.zeros(2))
+        assert zonotope_volume(element) > zonotope_volume(plain)
+
+    def test_generator_limit_enforced(self):
+        z = Zonotope(np.zeros(2), np.ones((2, 40)))
+        with pytest.raises(DomainError):
+            zonotope_volume(z, exact_limit=10)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(DomainError):
+            zonotope_volume(Interval([0.0], [1.0]))
+
+
+class TestHelpers:
+    def test_interval_upper_bound_dominates(self, rng):
+        z = Zonotope(rng.normal(size=3), rng.normal(size=(3, 5)))
+        assert interval_volume_upper_bound(z) >= zonotope_volume(z) - 1e-9
+
+    def test_volume_ratio_of_consolidation_at_least_one(self, rng):
+        element = CHZonotope(rng.normal(size=2), rng.normal(size=(2, 6)), np.zeros(2))
+        assert volume_ratio(element, element.consolidate()) >= 1.0 - 1e-9
+
+    def test_volume_ratio_degenerate_before(self):
+        degenerate = Zonotope.from_point([0.0, 0.0])
+        square = Zonotope(np.zeros(2), np.eye(2))
+        assert volume_ratio(degenerate, square) == np.inf
+        assert volume_ratio(degenerate, degenerate) == 1.0
+
+    def test_is_degenerate(self):
+        assert is_degenerate(Zonotope.from_point([1.0, 1.0]))
+        assert not is_degenerate(Zonotope(np.zeros(2), np.eye(2)))

@@ -1,0 +1,125 @@
+"""Unit tests for the Zonotope domain."""
+
+import numpy as np
+import pytest
+
+from repro.domains.interval import Interval
+from repro.domains.zonotope import Zonotope, minkowski_sum
+from repro.exceptions import DimensionMismatchError, DomainError
+
+
+@pytest.fixture
+def square():
+    """The unit square as a zonotope with two axis-aligned generators."""
+    return Zonotope(np.zeros(2), np.eye(2))
+
+
+class TestConstruction:
+    def test_from_point(self):
+        z = Zonotope.from_point([1.0, 2.0])
+        assert z.num_generators == 0
+        assert z.contains_point(np.array([1.0, 2.0]))
+
+    def test_from_interval_skips_degenerate_dims(self):
+        z = Zonotope.from_interval(Interval([0.0, 1.0], [2.0, 1.0]))
+        assert z.num_generators == 1
+
+    def test_generator_shape_validation(self):
+        with pytest.raises(DomainError):
+            Zonotope(np.zeros(2), np.zeros((3, 1)))
+
+    def test_order(self):
+        z = Zonotope(np.zeros(2), np.ones((2, 6)))
+        assert z.order == 3.0
+
+
+class TestConcretization:
+    def test_bounds_match_generator_sums(self):
+        z = Zonotope(np.array([1.0, -1.0]), np.array([[1.0, 0.5], [0.0, 2.0]]))
+        lower, upper = z.concretize_bounds()
+        assert np.allclose(lower, [1.0 - 1.5, -1.0 - 2.0])
+        assert np.allclose(upper, [1.0 + 1.5, -1.0 + 2.0])
+
+    def test_samples_inside_interval_hull(self, rng, square):
+        hull = square.to_interval()
+        for point in square.sample(200, rng):
+            assert hull.contains_point(point)
+
+    def test_contains_point_exact(self, square):
+        assert square.contains_point(np.array([0.9, -0.9]))
+        assert not square.contains_point(np.array([1.5, 0.0]))
+
+    def test_contains_point_rotated(self):
+        z = Zonotope(np.zeros(2), np.array([[1.0, 1.0], [1.0, -1.0]]))
+        assert z.contains_point(np.array([2.0, 0.0]))
+        assert not z.contains_point(np.array([2.0, 1.5]))
+
+
+class TestTransformers:
+    def test_affine_exact_on_samples(self, rng):
+        z = Zonotope(rng.normal(size=3), rng.normal(size=(3, 5)))
+        weight = rng.normal(size=(2, 3))
+        bias = rng.normal(size=2)
+        image = z.affine(weight, bias)
+        for point in z.sample(100, rng):
+            assert image.contains_point(weight @ point + bias, tol=1e-7)
+
+    def test_affine_dimension_mismatch(self, square):
+        with pytest.raises(DimensionMismatchError):
+            square.affine(np.eye(3))
+
+    def test_relu_sound_on_samples(self, rng):
+        z = Zonotope(np.array([0.2, -0.3]), np.array([[0.5, 0.1], [0.2, 0.4]]))
+        relu = z.relu()
+        for point in z.sample(300, rng):
+            assert relu.contains_point(np.maximum(point, 0.0), tol=1e-7)
+
+    def test_relu_stable_neurons_exact(self):
+        z = Zonotope(np.array([5.0, -5.0]), 0.1 * np.eye(2))
+        relu = z.relu()
+        lower, upper = relu.concretize_bounds()
+        assert np.allclose(lower[1], 0.0) and np.allclose(upper[1], 0.0)
+        assert np.allclose(lower[0], 4.9) and np.allclose(upper[0], 5.1)
+
+    def test_relu_respects_fixed_slopes(self, rng):
+        z = Zonotope(np.array([0.0]), np.array([[1.0]]))
+        for slope in (0.0, 0.25, 0.75, 1.0):
+            relu = z.relu(slopes=np.array([slope]))
+            for point in z.sample(100, rng):
+                assert relu.contains_point(np.maximum(point, 0.0), tol=1e-7)
+
+    def test_scale_translate_sum(self, square, rng):
+        transformed = square.scale(2.0).translate(np.array([1.0, 1.0]))
+        for point in square.sample(50, rng):
+            assert transformed.contains_point(2.0 * point + 1.0, tol=1e-9)
+        summed = square.sum(square)
+        lower, upper = summed.concretize_bounds()
+        assert np.allclose(upper, [2.0, 2.0])
+
+    def test_minkowski_sum_helper(self, square):
+        total = minkowski_sum([square, square, square])
+        assert np.allclose(total.concretize_bounds()[1], [3.0, 3.0])
+
+    def test_remove_zero_generators(self):
+        z = Zonotope(np.zeros(2), np.array([[1.0, 0.0], [0.0, 0.0]]))
+        assert z.remove_zero_generators().num_generators == 1
+
+
+class TestJoinAndWiden:
+    def test_join_contains_both_operands(self, rng):
+        a = Zonotope(np.zeros(2), np.array([[1.0, 0.2], [0.0, 0.7]]))
+        b = Zonotope(np.ones(2), np.array([[0.3, 0.0], [0.1, 0.5]]))
+        joined = a.join(b)
+        for point in np.vstack([a.sample(100, rng), b.sample(100, rng)]):
+            assert joined.contains_point(point, tol=1e-7)
+
+    def test_widen_reaches_threshold_on_growth(self):
+        a = Zonotope(np.zeros(1), np.array([[1.0]]))
+        b = Zonotope(np.zeros(1), np.array([[2.0]]))
+        widened = a.widen(b, threshold=50.0)
+        assert widened.concretize_bounds()[1][0] == 50.0
+
+    def test_is_subset_of_box(self):
+        z = Zonotope(np.zeros(2), 0.5 * np.eye(2))
+        assert z.is_subset_of_box(Interval([-1.0, -1.0], [1.0, 1.0]))
+        assert not z.is_subset_of_box(Interval([-0.1, -0.1], [0.1, 0.1]))

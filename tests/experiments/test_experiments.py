@@ -1,0 +1,98 @@
+"""Smoke and consistency tests for the experiment runners (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.ablation import run_table4
+from repro.experiments.local_robustness import run_table2, run_width_trace
+from repro.experiments.model_zoo import MODEL_SPECS, clear_caches, get_dataset, get_model
+from repro.experiments.running_example import make_running_example_model, run_running_example
+from repro.experiments.sqrt_case_study import run_fig16, run_table5
+from repro.mondeq.solvers import solve_fixpoint
+
+
+class TestModelZoo:
+    def test_specs_cover_paper_architectures(self):
+        assert {"FCx40", "FCx87", "FCx100", "FCx200", "ConvSmall-MNIST"} <= set(MODEL_SPECS)
+
+    def test_dataset_cache_and_scales(self):
+        small = get_dataset("mnist_like", "smoke")
+        again = get_dataset("mnist_like", "smoke")
+        assert small is again
+        with pytest.raises(ConfigurationError):
+            get_dataset("mnist_like", "huge")
+        with pytest.raises(ConfigurationError):
+            get_dataset("imagenet", "smoke")
+
+    def test_get_model_trains_and_caches(self):
+        model, dataset = get_model("FCx40", "smoke")
+        model_again, _ = get_model("FCx40", "smoke")
+        assert model is model_again
+        assert model.input_dim == dataset.input_dim
+        accuracy = np.mean(model.predict_batch(dataset.x_test) == dataset.y_test)
+        assert accuracy > 0.5
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        clear_caches()
+        model, _ = get_model("FCx40", "smoke", cache_dir=str(tmp_path))
+        clear_caches()
+        reloaded, _ = get_model("FCx40", "smoke", cache_dir=str(tmp_path))
+        assert np.allclose(model.u_weight, reloaded.u_weight)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_model("ResNet50", "smoke")
+
+
+class TestRunningExample:
+    def test_model_matches_paper_parametrisation(self):
+        model = make_running_example_model()
+        assert np.allclose(model.w_matrix, np.array([[-4.0, -1.0], [1.0, -4.0]]))
+        fixpoint = solve_fixpoint(model, np.array([0.2, 0.5]), method="fb", alpha=0.1).z
+        assert np.allclose(fixpoint, [0.1231, 0.0846], atol=1e-3)
+
+    def test_craft_certifies_where_kleene_fails(self):
+        outcome = run_running_example()
+        assert outcome.craft_certified
+        assert not outcome.kleene_certified
+        assert outcome.craft_output_bounds[0] > 0 > outcome.kleene_output_bounds[0]
+        # Craft's output abstraction is strictly tighter than Kleene's.
+        craft_width = outcome.craft_output_bounds[1] - outcome.craft_output_bounds[0]
+        kleene_width = outcome.kleene_output_bounds[1] - outcome.kleene_output_bounds[0]
+        assert craft_width < kleene_width
+
+
+class TestTableRunners:
+    def test_table2_smoke(self):
+        rows = run_table2(scale="smoke")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["cert"] <= row["bound"] <= row["acc"] <= row["samples"]
+        assert row["cont"] >= row["cert"]
+
+    def test_table4_smoke(self):
+        rows = run_table4(scale="smoke", epsilon=0.03)
+        names = [row["ablation"] for row in rows]
+        assert "reference" in names and "no_zono_component" in names
+        reference = next(row for row in rows if row["ablation"] == "reference")
+        no_zono = next(row for row in rows if row["ablation"] == "no_zono_component")
+        assert no_zono["certified"] <= reference["certified"]
+
+    def test_table5_shapes(self):
+        rows = run_table5(intervals=((16.0, 20.0),), include_strong_kleene=False)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["craft_converged"]
+        assert row["craft_fixpoints"][0] <= row["exact"][0] + 1e-9
+        assert row["craft_fixpoints"][1] >= row["exact"][1] - 1e-9
+
+    def test_fig16_traces(self):
+        traces = run_fig16(intervals=((16.0, 20.0),))
+        assert any(key.startswith("craft") for key in traces)
+        assert all(len(series) > 0 for series in traces.values())
+
+    def test_width_trace_smoke(self):
+        traces = run_width_trace(scale="smoke", iterations=10)
+        assert set(traces) == {"fb_box", "fb_chzonotope", "pr_box", "pr_chzonotope"}
+        assert all(len(series) >= 1 for series in traces.values())

@@ -1,0 +1,61 @@
+"""Unit tests for the PGD attack (Appendix D.3)."""
+
+import numpy as np
+
+from repro.mondeq.attacks import AttackResult, PGDConfig, empirical_robust_accuracy, pgd_attack
+
+
+class TestPGD:
+    def test_adversarial_example_respects_constraints(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        epsilon = 0.3
+        config = PGDConfig(steps=15, restarts=2)
+        result = pgd_attack(trained_mondeq, x, label, epsilon, config, seed=0)
+        assert isinstance(result, AttackResult)
+        if result.success:
+            assert np.all(np.abs(result.adversarial_input - x) <= epsilon + 1e-9)
+            assert np.all(result.adversarial_input >= -1e-9)
+            assert np.all(result.adversarial_input <= 1.0 + 1e-9)
+            assert trained_mondeq.predict(result.adversarial_input) != label
+            assert result.adversarial_label != label
+
+    def test_zero_epsilon_cannot_succeed(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        result = pgd_attack(trained_mondeq, x, label, 0.0, PGDConfig(steps=3, restarts=1), seed=0)
+        assert not result.success
+
+    def test_large_epsilon_finds_adversarial_example(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        config = PGDConfig(steps=25, restarts=3, targeted=True, clip_min=None, clip_max=None)
+        result = pgd_attack(trained_mondeq, x, label, 2.0, config, seed=0)
+        assert result.success
+
+    def test_monotone_in_epsilon(self, trained_mondeq, trained_sample):
+        """If PGD succeeds at some radius it also succeeds at a larger one."""
+        x, label = trained_sample
+        config = PGDConfig(steps=15, restarts=2)
+        small = pgd_attack(trained_mondeq, x, label, 0.05, config, seed=1)
+        large = pgd_attack(trained_mondeq, x, label, 1.0, config, seed=1)
+        if small.success:
+            assert large.success
+
+
+class TestEmpiricalRobustAccuracy:
+    def test_counts_only_correct_samples(self, trained_mondeq, toy_data):
+        xs, ys = toy_data
+        accuracy, robust = empirical_robust_accuracy(
+            trained_mondeq, xs[120:130], ys[120:130], epsilon=0.02,
+            config=PGDConfig(steps=3, restarts=1), seed=0,
+        )
+        assert robust.shape == (10,)
+        assert 0.0 <= accuracy <= 1.0
+        predictions = trained_mondeq.predict_batch(xs[120:130])
+        # misclassified samples can never count as robust
+        assert not np.any(robust & (predictions != ys[120:130]))
+
+    def test_empty_input(self, trained_mondeq):
+        accuracy, robust = empirical_robust_accuracy(
+            trained_mondeq, np.zeros((0, trained_mondeq.input_dim)), np.zeros(0, dtype=int), 0.1
+        )
+        assert accuracy == 0.0
+        assert robust.shape == (0,)

@@ -1,0 +1,64 @@
+"""Unit tests for convolution-structured monDEQs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mondeq.conv import ConvSpec, conv_matrix, make_conv_mondeq, random_conv_matrix
+from repro.mondeq.solvers import solve_fixpoint
+
+
+def _direct_convolution(image, kernel, spec):
+    """Reference dense convolution (stride 1) for comparison."""
+    out = np.zeros((spec.out_channels, spec.output_size, spec.output_size))
+    padded = np.pad(
+        image, ((0, 0), (spec.padding, spec.padding), (spec.padding, spec.padding))
+    )
+    k = spec.kernel_size
+    for oc in range(spec.out_channels):
+        for row in range(spec.output_size):
+            for col in range(spec.output_size):
+                patch = padded[:, row : row + k, col : col + k]
+                out[oc, row, col] = np.sum(patch * kernel[oc])
+    return out
+
+
+class TestConvMatrix:
+    def test_matches_direct_convolution(self, rng):
+        spec = ConvSpec(in_channels=2, out_channels=3, image_size=5, kernel_size=3, padding=1)
+        kernel = rng.normal(size=(3, 2, 3, 3))
+        matrix = conv_matrix(kernel, spec)
+        image = rng.normal(size=(2, 5, 5))
+        via_matrix = (matrix @ image.reshape(-1)).reshape(3, 5, 5)
+        assert np.allclose(via_matrix, _direct_convolution(image, kernel, spec), atol=1e-10)
+
+    def test_shape(self, rng):
+        spec = ConvSpec(in_channels=1, out_channels=2, image_size=4)
+        matrix = random_conv_matrix(spec, rng=rng)
+        assert matrix.shape == (spec.output_dim, spec.input_dim)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigurationError):
+            ConvSpec(in_channels=1, out_channels=1, image_size=4, kernel_size=2)
+        with pytest.raises(ConfigurationError):
+            ConvSpec(in_channels=0, out_channels=1, image_size=4)
+        spec = ConvSpec(in_channels=1, out_channels=1, image_size=4)
+        with pytest.raises(ConfigurationError):
+            conv_matrix(np.zeros((1, 1, 5, 5)), spec)
+
+
+class TestConvMonDEQ:
+    def test_construction_and_fixpoint(self, rng):
+        model, spec = make_conv_mondeq(
+            image_size=4, in_channels=1, latent_channels=2, output_dim=3,
+            monotonicity=15.0, seed=0,
+        )
+        assert model.latent_dim == spec.output_dim == 2 * 16
+        assert model.monotonicity_defect() >= -1e-9
+        x = rng.uniform(size=model.input_dim)
+        result = solve_fixpoint(model, x)
+        assert result.converged
+
+    def test_named(self):
+        model, _ = make_conv_mondeq(3, 1, 2, 2, seed=1, name="ConvTiny")
+        assert model.name == "ConvTiny"

@@ -1,0 +1,85 @@
+"""Unit tests for the Lipschitz-bound baselines."""
+
+import numpy as np
+import pytest
+
+from repro.mondeq.lipschitz import (
+    certify_global_lipschitz,
+    global_latent_lipschitz,
+    global_output_lipschitz,
+    local_logit_sensitivity,
+    local_sensitivity_matrix,
+    pairwise_output_lipschitz,
+)
+from repro.mondeq.solvers import solve_fixpoint
+from repro.utils.linalg import spectral_norm
+
+
+class TestGlobalBounds:
+    def test_latent_bound_formula(self, small_mondeq):
+        expected = spectral_norm(small_mondeq.u_weight) / small_mondeq.monotonicity
+        assert global_latent_lipschitz(small_mondeq) == pytest.approx(expected)
+
+    def test_latent_bound_holds_empirically(self, trained_mondeq, rng):
+        bound = global_latent_lipschitz(trained_mondeq)
+        for _ in range(20):
+            x1 = rng.uniform(size=trained_mondeq.input_dim)
+            x2 = x1 + 0.05 * rng.normal(size=trained_mondeq.input_dim)
+            z1 = solve_fixpoint(trained_mondeq, x1, tol=1e-10).z
+            z2 = solve_fixpoint(trained_mondeq, x2, tol=1e-10).z
+            assert np.linalg.norm(z1 - z2) <= bound * np.linalg.norm(x1 - x2) + 1e-7
+
+    def test_output_bound_scales_with_v(self, small_mondeq):
+        assert global_output_lipschitz(small_mondeq) >= global_latent_lipschitz(small_mondeq) * 0
+
+    def test_pairwise_bounds_shape(self, small_mondeq):
+        bounds = pairwise_output_lipschitz(small_mondeq, label=0)
+        assert bounds.shape == (small_mondeq.output_dim,)
+        assert bounds[0] == pytest.approx(0.0)
+
+
+class TestCertification:
+    def test_zero_epsilon_certified_for_correct_sample(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        certificate = certify_global_lipschitz(trained_mondeq, x, label, epsilon=0.0)
+        assert certificate.certified
+
+    def test_large_epsilon_not_certified(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        certificate = certify_global_lipschitz(trained_mondeq, x, label, epsilon=10.0)
+        assert not certificate.certified
+
+    def test_monotone_in_epsilon(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        small = certify_global_lipschitz(trained_mondeq, x, label, epsilon=1e-4)
+        large = certify_global_lipschitz(trained_mondeq, x, label, epsilon=0.5)
+        assert small.margin >= large.margin
+
+    def test_l2_norm_variant_and_invalid_norm(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        l2 = certify_global_lipschitz(trained_mondeq, x, label, epsilon=0.01, norm="l2")
+        linf = certify_global_lipschitz(trained_mondeq, x, label, epsilon=0.01, norm="linf")
+        assert l2.perturbation_l2 <= linf.perturbation_l2
+        with pytest.raises(ValueError):
+            certify_global_lipschitz(trained_mondeq, x, label, epsilon=0.01, norm="l1")
+
+
+class TestLocalSensitivity:
+    def test_jacobian_matches_finite_differences(self, trained_mondeq, trained_sample):
+        x, _ = trained_sample
+        jacobian = local_sensitivity_matrix(trained_mondeq, x)
+        epsilon = 1e-6
+        for index in range(2):
+            perturbed = x.copy()
+            perturbed[index] += epsilon
+            z_plus = solve_fixpoint(trained_mondeq, perturbed, tol=1e-12, max_iterations=3000).z
+            perturbed[index] -= 2 * epsilon
+            z_minus = solve_fixpoint(trained_mondeq, perturbed, tol=1e-12, max_iterations=3000).z
+            numerical = (z_plus - z_minus) / (2 * epsilon)
+            assert np.allclose(jacobian[:, index], numerical, atol=1e-3)
+
+    def test_logit_sensitivity_shape(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        sensitivity = local_logit_sensitivity(trained_mondeq, x, label)
+        assert sensitivity.shape == (trained_mondeq.output_dim,)
+        assert sensitivity[label] == pytest.approx(0.0, abs=1e-9)

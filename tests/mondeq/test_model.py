@@ -1,0 +1,94 @@
+"""Unit tests for the monDEQ model class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mondeq.model import MonDEQ, MonDEQArchitecture
+
+
+class TestParametrisation:
+    def test_w_matrix_formula(self, small_mondeq):
+        model = small_mondeq
+        expected = (
+            (1 - model.monotonicity) * np.eye(model.latent_dim)
+            - model.p_weight.T @ model.p_weight
+            + model.q_weight
+            - model.q_weight.T
+        )
+        assert np.allclose(model.w_matrix, expected)
+
+    def test_monotonicity_defect_nonnegative(self, small_mondeq):
+        assert small_mondeq.monotonicity_defect() >= -1e-9
+
+    def test_monotonicity_preserved_after_parameter_change(self, small_mondeq, rng):
+        model = small_mondeq.copy()
+        model.p_weight += 0.1 * rng.normal(size=model.p_weight.shape)
+        model.q_weight += 0.1 * rng.normal(size=model.q_weight.shape)
+        assert model.monotonicity_defect() >= -1e-9
+
+    def test_fb_alpha_bound_positive(self, small_mondeq):
+        assert small_mondeq.fb_alpha_bound() > 0
+
+    def test_invalid_monotonicity(self):
+        with pytest.raises(ConfigurationError):
+            MonDEQ.random(3, 4, 2, monotonicity=0.0)
+
+    def test_architecture_dataclass(self, small_mondeq):
+        arch = small_mondeq.architecture
+        assert isinstance(arch, MonDEQArchitecture)
+        assert arch.latent_dim == small_mondeq.latent_dim
+        with pytest.raises(ConfigurationError):
+            MonDEQArchitecture(input_dim=0, latent_dim=1, output_dim=1)
+
+
+class TestForward:
+    def test_implicit_layer_matches_manual(self, small_mondeq, rng):
+        x = rng.uniform(size=small_mondeq.input_dim)
+        z = rng.uniform(size=small_mondeq.latent_dim)
+        manual = np.maximum(
+            small_mondeq.w_matrix @ z + small_mondeq.u_weight @ x + small_mondeq.bias, 0.0
+        )
+        assert np.allclose(small_mondeq.implicit_layer(x, z), manual)
+
+    def test_forward_solver_agnostic(self, small_mondeq, rng):
+        x = rng.uniform(size=small_mondeq.input_dim)
+        logits_pr = small_mondeq.forward(x, solver="pr")
+        logits_fb = small_mondeq.forward(x, solver="fb")
+        assert np.allclose(logits_pr, logits_fb, atol=1e-5)
+
+    def test_predict_batch_shape(self, small_mondeq, rng):
+        xs = rng.uniform(size=(4, small_mondeq.input_dim))
+        predictions = small_mondeq.predict_batch(xs)
+        assert predictions.shape == (4,)
+        assert np.all((0 <= predictions) & (predictions < small_mondeq.output_dim))
+
+    def test_readout_affine(self, small_mondeq, rng):
+        z = rng.normal(size=small_mondeq.latent_dim)
+        assert np.allclose(
+            small_mondeq.readout(z), small_mondeq.v_weight @ z + small_mondeq.v_bias
+        )
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self, small_mondeq):
+        clone = MonDEQ.from_dict(small_mondeq.to_dict())
+        assert np.allclose(clone.w_matrix, small_mondeq.w_matrix)
+        assert clone.name == small_mondeq.name
+
+    def test_roundtrip_file(self, small_mondeq, tmp_path):
+        path = tmp_path / "model.npz"
+        small_mondeq.save(str(path))
+        clone = MonDEQ.load(str(path))
+        assert np.allclose(clone.u_weight, small_mondeq.u_weight)
+        assert clone.monotonicity == small_mondeq.monotonicity
+
+    def test_copy_is_independent(self, small_mondeq):
+        clone = small_mondeq.copy()
+        clone.bias += 1.0
+        assert not np.allclose(clone.bias, small_mondeq.bias)
+
+    def test_parameters_are_views(self, small_mondeq):
+        clone = small_mondeq.copy()
+        clone.parameters()["b"] += 1.0
+        assert np.allclose(clone.bias, small_mondeq.bias + 1.0)

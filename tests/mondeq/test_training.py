@@ -1,0 +1,97 @@
+"""Unit tests for monDEQ training by implicit differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import solve_fixpoint
+from repro.mondeq.training import (
+    TrainingConfig,
+    batch_gradients,
+    input_gradient,
+    train,
+)
+from repro.nn.losses import cross_entropy_loss
+
+
+def _loss_of(model, x, label):
+    logits = model.forward(x, tol=1e-11, max_iterations=3000)
+    loss, _ = cross_entropy_loss(logits[None, :], np.array([label]))
+    return loss
+
+
+class TestGradients:
+    def test_parameter_gradients_match_finite_differences(self, rng):
+        """The implicit-differentiation gradients agree with numerical ones."""
+        model = MonDEQ.random(input_dim=4, latent_dim=5, output_dim=3, monotonicity=6.0, seed=11)
+        x = rng.uniform(size=4)
+        label = 1
+        config = TrainingConfig(solver_tol=1e-11, solver_max_iterations=3000)
+        _, _, gradients = batch_gradients(model, x[None, :], np.array([label]), config)
+
+        epsilon = 1e-6
+        for name in ("U", "b", "V", "v", "P", "Q"):
+            parameter = model.parameters()[name]
+            flat_index = 0 if parameter.ndim == 1 else (0, 1)
+            base = parameter[flat_index]
+            parameter[flat_index] = base + epsilon
+            loss_plus = _loss_of(model, x, label)
+            parameter[flat_index] = base - epsilon
+            loss_minus = _loss_of(model, x, label)
+            parameter[flat_index] = base
+            numerical = (loss_plus - loss_minus) / (2 * epsilon)
+            analytic = gradients[name][flat_index]
+            assert analytic == pytest.approx(numerical, rel=5e-3, abs=5e-6), name
+
+    def test_input_gradient_matches_finite_differences(self, rng):
+        model = MonDEQ.random(input_dim=4, latent_dim=5, output_dim=3, monotonicity=6.0, seed=13)
+        x = rng.uniform(size=4)
+        label = 0
+        logits = model.forward(x, tol=1e-11, max_iterations=3000)
+        _, logit_gradient = cross_entropy_loss(logits[None, :], np.array([label]))
+        gradient = input_gradient(model, x, logit_gradient[0], tol=1e-11, max_iterations=3000)
+
+        epsilon = 1e-6
+        for index in range(2):
+            perturbed = x.copy()
+            perturbed[index] += epsilon
+            loss_plus = _loss_of(model, perturbed, label)
+            perturbed[index] -= 2 * epsilon
+            loss_minus = _loss_of(model, perturbed, label)
+            numerical = (loss_plus - loss_minus) / (2 * epsilon)
+            assert gradient[index] == pytest.approx(numerical, rel=5e-3, abs=5e-6)
+
+
+class TestTrainingLoop:
+    def test_training_reduces_loss_and_learns(self, toy_data):
+        xs, ys = toy_data
+        model = MonDEQ.random(input_dim=5, latent_dim=10, output_dim=3, monotonicity=6.0, seed=21)
+        history = train(
+            model, xs[:90], ys[:90],
+            TrainingConfig(epochs=30, batch_size=32, learning_rate=1e-2, solver_tol=1e-6),
+            x_val=xs[90:120], y_val=ys[90:120], seed=0,
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+        # better than the majority-class baseline of the three-class mixture
+        majority = max(np.bincount(ys[:90])) / 90
+        assert history.train_accuracy[-1] > max(0.5, majority)
+        assert len(history.validation_accuracy) == 30
+
+    def test_training_preserves_monotone_parametrisation(self, toy_data):
+        xs, ys = toy_data
+        model = MonDEQ.random(input_dim=5, latent_dim=4, output_dim=3, monotonicity=8.0, seed=2)
+        train(model, xs[:60], ys[:60], TrainingConfig(epochs=3, batch_size=32), seed=0)
+        assert model.monotonicity_defect() >= -1e-8
+        # The fixpoint solver must still converge after training.
+        assert solve_fixpoint(model, xs[0]).converged
+
+    def test_batch_gradients_shapes(self, toy_data):
+        xs, ys = toy_data
+        model = MonDEQ.random(input_dim=5, latent_dim=4, output_dim=3, monotonicity=8.0, seed=2)
+        loss, accuracy, gradients = batch_gradients(
+            model, xs[:8], ys[:8], TrainingConfig()
+        )
+        assert np.isfinite(loss)
+        assert 0.0 <= accuracy <= 1.0
+        for name, parameter in model.parameters().items():
+            assert gradients[name].shape == parameter.shape

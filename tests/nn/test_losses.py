@@ -1,0 +1,68 @@
+"""Unit tests for the loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import cross_entropy_loss, margin_loss, softmax, targeted_margin_loss
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probabilities = softmax(rng.normal(size=(5, 4)))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_numerical_stability(self):
+        probabilities = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probabilities).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0, -10.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_finite_differences(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        _, gradient = cross_entropy_loss(logits, labels)
+        epsilon = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy()
+                plus[i, j] += epsilon
+                minus = logits.copy()
+                minus[i, j] -= epsilon
+                numerical = (cross_entropy_loss(plus, labels)[0] - cross_entropy_loss(minus, labels)[0]) / (2 * epsilon)
+                assert gradient[i, j] == pytest.approx(numerical, abs=1e-5)
+
+    def test_uniform_logits_loss_is_log_classes(self):
+        loss, _ = cross_entropy_loss(np.zeros((2, 5)), np.array([0, 3]))
+        assert loss == pytest.approx(np.log(5))
+
+
+class TestMarginLosses:
+    def test_margin_sign_tracks_classification(self):
+        correct = np.array([[3.0, 0.0]])
+        wrong = np.array([[0.0, 3.0]])
+        assert margin_loss(correct, np.array([0]))[0] < 0
+        assert margin_loss(wrong, np.array([0]))[0] > 0
+
+    def test_margin_gradient_structure(self):
+        logits = np.array([[1.0, 2.0, 0.5]])
+        _, gradient = margin_loss(logits, np.array([0]))
+        assert gradient[0, 1] == pytest.approx(1.0)
+        assert gradient[0, 0] == pytest.approx(-1.0)
+        assert gradient[0, 2] == pytest.approx(0.0)
+
+    def test_targeted_margin(self):
+        logits = np.array([[2.0, 1.0, 0.0]])
+        loss, gradient = targeted_margin_loss(logits, np.array([0]), np.array([2]))
+        assert loss == pytest.approx(-2.0)
+        assert gradient[0, 2] == pytest.approx(1.0)
+        assert gradient[0, 0] == pytest.approx(-1.0)

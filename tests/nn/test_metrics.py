@@ -1,0 +1,28 @@
+"""Unit tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_matrix
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), num_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4

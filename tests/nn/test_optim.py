@@ -1,0 +1,62 @@
+"""Unit tests for the SGD and Adam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam
+
+
+def _quadratic_gradients(parameters):
+    """Gradients of 0.5 * ||w||^2 for every parameter."""
+    return {name: value.copy() for name, value in parameters.items()}
+
+
+class TestSGD:
+    def test_plain_step(self):
+        parameters = {"w": np.array([1.0, -2.0])}
+        SGD(learning_rate=0.1).step(parameters, {"w": np.array([1.0, 1.0])})
+        assert np.allclose(parameters["w"], [0.9, -2.1])
+
+    def test_momentum_accumulates(self):
+        parameters = {"w": np.array([0.0])}
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        for _ in range(3):
+            optimizer.step(parameters, {"w": np.array([1.0])})
+        plain = {"w": np.array([0.0])}
+        for _ in range(3):
+            SGD(learning_rate=0.1).step(plain, {"w": np.array([1.0])})
+        assert parameters["w"][0] < plain["w"][0]
+
+    def test_weight_decay(self):
+        parameters = {"w": np.array([1.0])}
+        SGD(learning_rate=0.1, weight_decay=1.0).step(parameters, {"w": np.array([0.0])})
+        assert parameters["w"][0] == pytest.approx(0.9)
+
+    def test_missing_parameter_skipped(self):
+        parameters = {"w": np.array([1.0])}
+        SGD(0.1).step(parameters, {"unknown": np.array([1.0])})
+        assert parameters["w"][0] == 1.0
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        parameters = {"w": np.array([5.0, -3.0])}
+        optimizer = Adam(learning_rate=0.1)
+        for _ in range(300):
+            optimizer.step(parameters, _quadratic_gradients(parameters))
+        assert np.allclose(parameters["w"], 0.0, atol=1e-2)
+
+    def test_first_step_size_bounded_by_learning_rate(self):
+        parameters = {"w": np.array([0.0])}
+        Adam(learning_rate=0.5).step(parameters, {"w": np.array([123.0])})
+        assert abs(parameters["w"][0]) <= 0.5 + 1e-9
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1.0)

@@ -1,0 +1,137 @@
+"""Unit and property tests for shared-symbol affine arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DomainError
+from repro.numerics.affine_form import AffineForm, bivariate_polynomial_form
+
+_FINITE = {"allow_nan": False, "allow_infinity": False}
+
+
+class TestBasics:
+    def test_constant(self):
+        form = AffineForm.constant(3.0, 2)
+        assert form.radius == 0.0
+        assert form.interval() == (3.0, 3.0)
+
+    def test_symbol(self):
+        form = AffineForm.symbol(1.0, 0.5, index=1, num_symbols=3)
+        assert form.lower == pytest.approx(0.5)
+        assert form.upper == pytest.approx(1.5)
+        with pytest.raises(DomainError):
+            AffineForm.symbol(0.0, 1.0, index=5, num_symbols=3)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(DomainError):
+            AffineForm(0.0, np.zeros(1), -0.1)
+
+    def test_extend_and_promote(self):
+        form = AffineForm(1.0, np.array([0.5]), 0.2)
+        extended = form.extend(3)
+        assert extended.num_symbols == 3
+        promoted = form.promote_error()
+        assert promoted.error == 0.0
+        assert promoted.radius == pytest.approx(form.radius)
+        with pytest.raises(DomainError):
+            form.extend(0)
+
+    def test_linear_arithmetic_exact(self):
+        x = AffineForm.symbol(1.0, 1.0, 0, 2)
+        y = AffineForm.symbol(2.0, 0.5, 1, 2)
+        total = x + y - 1.0
+        assert total.center == pytest.approx(2.0)
+        assert total.radius == pytest.approx(1.5)
+        assert (x - x).radius == pytest.approx(0.0)
+
+    def test_scale(self):
+        x = AffineForm.symbol(1.0, 1.0, 0, 1)
+        assert (x.scale(-2.0)).radius == pytest.approx(2.0)
+        assert (3 * x).center == pytest.approx(3.0)
+
+
+class TestMultiplication:
+    def test_product_contains_samples(self, rng):
+        x = AffineForm.symbol(2.0, 0.5, 0, 2)
+        y = AffineForm.symbol(-1.0, 0.3, 1, 2)
+        product = x * y
+        for _ in range(200):
+            eps = rng.uniform(-1, 1, 2)
+            value = (2.0 + 0.5 * eps[0]) * (-1.0 + 0.3 * eps[1])
+            assert product.contains(value, tol=1e-9)
+
+    def test_square_of_correlated_form(self, rng):
+        x = AffineForm.symbol(0.5, 0.5, 0, 1)
+        square = x.square()
+        for _ in range(200):
+            eps = rng.uniform(-1, 1)
+            assert square.contains((0.5 + 0.5 * eps) ** 2, tol=1e-9)
+
+    def test_cancellation_preserved_through_shared_symbols(self):
+        x = AffineForm.symbol(1.0, 1.0, 0, 1)
+        difference = (x * 2.0) - x - x
+        assert difference.radius == pytest.approx(0.0)
+
+
+class TestPolynomialForm:
+    TERMS = {(0, 1): 1.875, (1, 3): -1.25, (2, 5): 0.375}
+
+    @staticmethod
+    def _eval(x, s):
+        return 1.875 * s - 1.25 * x * s**3 + 0.375 * x**2 * s**5
+
+    @pytest.mark.parametrize("shear", [True, False])
+    def test_sound_on_samples(self, rng, shear):
+        x_form = AffineForm.symbol(18.0, 2.0, 0, 2)
+        s_form = AffineForm(0.23, np.array([-0.01, 0.005]), 0.0)
+        result = bivariate_polynomial_form(self.TERMS, x_form, s_form, shear=shear)
+        for _ in range(300):
+            eps = rng.uniform(-1, 1, 2)
+            x = 18.0 + 2.0 * eps[0]
+            s = 0.23 - 0.01 * eps[0] + 0.005 * eps[1]
+            assert result.contains(self._eval(x, s), tol=1e-9)
+
+    def test_exact_on_point_operands(self):
+        x_form = AffineForm.constant(16.0, 1)
+        s_form = AffineForm.constant(0.2, 1)
+        result = bivariate_polynomial_form(self.TERMS, x_form, s_form)
+        assert result.center == pytest.approx(self._eval(16.0, 0.2))
+        assert result.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_shear_is_tighter_for_correlated_operands(self):
+        x_form = AffineForm.symbol(20.0, 4.0, 0, 2)
+        # s strongly correlated with x (slope -0.005) plus a small residual.
+        s_form = AffineForm(0.224, np.array([-0.02, 0.002]), 0.0)
+        sheared = bivariate_polynomial_form(self.TERMS, x_form, s_form, shear=True)
+        plain = bivariate_polynomial_form(self.TERMS, x_form, s_form, shear=False)
+        assert sheared.radius <= plain.radius + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x_center=st.floats(-3, 3, **_FINITE),
+    x_radius=st.floats(0, 2, **_FINITE),
+    y_center=st.floats(-3, 3, **_FINITE),
+    y_radius=st.floats(0, 2, **_FINITE),
+    eps0=st.floats(-1, 1, **_FINITE),
+    eps1=st.floats(-1, 1, **_FINITE),
+)
+def test_product_soundness_property(x_center, x_radius, y_center, y_radius, eps0, eps1):
+    x = AffineForm.symbol(x_center, x_radius, 0, 2)
+    y = AffineForm.symbol(y_center, y_radius, 1, 2)
+    product = x * y
+    value = (x_center + x_radius * eps0) * (y_center + y_radius * eps1)
+    assert product.contains(value, tol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    center=st.floats(-2, 2, **_FINITE),
+    radius=st.floats(0, 1.5, **_FINITE),
+    eps=st.floats(-1, 1, **_FINITE),
+)
+def test_square_soundness_property(center, radius, eps):
+    x = AffineForm.symbol(center, radius, 0, 1)
+    value = (center + radius * eps) ** 2
+    assert x.square().contains(value, tol=1e-7)

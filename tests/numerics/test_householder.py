@@ -1,0 +1,109 @@
+"""Unit tests for the Householder square-root case study (Section 6.5 / App. A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.numerics.householder import (
+    abstract_root_step_soundness_check,
+    analyze_root_craft,
+    analyze_root_kleene,
+    exact_root_interval,
+    householder_step,
+    initial_state,
+    make_abstract_root_step,
+    root,
+    termination_may_trigger,
+)
+
+
+class TestConcreteProgram:
+    @pytest.mark.parametrize("x", [4.0, 16.0, 20.0, 25.0, 100.0])
+    def test_root_computes_reciprocal_sqrt(self, x):
+        assert root(x) == pytest.approx(1.0 / np.sqrt(x), abs=1e-6)
+
+    def test_root_rejects_nonpositive_input(self):
+        with pytest.raises(DomainError):
+            root(-1.0)
+
+    def test_householder_step_fixpoint(self):
+        s_star = 1.0 / np.sqrt(17.0)
+        assert householder_step(17.0, s_star) == pytest.approx(s_star)
+
+    def test_exact_interval(self):
+        assert exact_root_interval(16.0, 25.0) == (4.0, 5.0)
+        with pytest.raises(DomainError):
+            exact_root_interval(-1.0, 4.0)
+
+
+class TestAbstractStep:
+    @pytest.mark.parametrize("transformer", ["taylor", "affine"])
+    def test_step_sound_on_samples(self, rng, transformer):
+        assert abstract_root_step_soundness_check(
+            16.0, 20.0, transformer=transformer, trials=40, rng=rng
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DomainError):
+            make_abstract_root_step(-1.0, 4.0)
+        with pytest.raises(DomainError):
+            make_abstract_root_step(16.0, 20.0, transformer="interval")
+
+    def test_termination_condition_eventually_triggers(self):
+        step = make_abstract_root_step(16.0, 20.0)
+        state = initial_state(0.125)
+        assert not termination_may_trigger(state, 16.0, 20.0, eps=1e-8)
+        for _ in range(20):
+            state = step(state)
+        assert termination_may_trigger(state, 16.0, 20.0, eps=1e-8)
+
+
+class TestAnalyses:
+    def test_craft_narrow_interval(self):
+        analysis = analyze_root_craft(16.0, 20.0)
+        assert analysis.converged
+        exact = exact_root_interval(16.0, 20.0)
+        # Sound: the abstraction contains the exact fixpoint interval ...
+        assert analysis.root_interval[0] <= exact[0] + 1e-9
+        assert analysis.root_interval[1] >= exact[1] - 1e-9
+        # ... and precise: within a few percent of it (paper: [3.983, 4.493]).
+        assert analysis.root_interval[0] > exact[0] - 0.1
+        assert analysis.root_interval[1] < exact[1] + 0.1
+
+    def test_craft_wide_interval(self):
+        analysis = analyze_root_craft(16.0, 25.0)
+        assert analysis.converged
+        exact = exact_root_interval(16.0, 25.0)
+        assert analysis.root_interval[0] <= exact[0] + 1e-9
+        assert analysis.root_interval[1] >= exact[1] - 1e-9
+        assert analysis.root_interval[1] < exact[1] + 0.5
+
+    def test_reachable_interval_contains_fixpoint_interval(self):
+        analysis = analyze_root_craft(16.0, 20.0)
+        assert analysis.reachable_root_interval is not None
+        assert analysis.reachable_root_interval[0] <= analysis.root_interval[0]
+        assert analysis.reachable_root_interval[1] >= analysis.root_interval[1]
+
+    def test_kleene_converges_but_looser_on_narrow_interval(self):
+        craft = analyze_root_craft(16.0, 20.0)
+        kleene = analyze_root_kleene(16.0, 20.0)
+        assert kleene.converged
+        craft_width = craft.root_interval[1] - craft.root_interval[0]
+        kleene_width = kleene.root_interval[1] - kleene.root_interval[0]
+        assert kleene_width >= craft_width - 1e-9
+
+    def test_kleene_diverges_on_wide_interval(self):
+        """The paper's headline comparison: standard Kleene blows up on [16, 25]."""
+        kleene = analyze_root_kleene(16.0, 25.0)
+        assert not kleene.converged or kleene.root_interval[1] == np.inf
+
+    def test_craft_contains_sampled_roots(self, rng):
+        analysis = analyze_root_craft(16.0, 25.0)
+        low, high = analysis.root_interval
+        for x in rng.uniform(16.0, 25.0, size=30):
+            assert low - 1e-9 <= np.sqrt(x) <= high + 1e-9
+
+    def test_traces_recorded(self):
+        analysis = analyze_root_craft(16.0, 20.0)
+        assert len(analysis.trace) > 0
+        assert len(analysis.s_trace) > 1

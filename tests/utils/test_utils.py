@@ -1,0 +1,128 @@
+"""Unit tests for the shared utilities (linalg, rng, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, DomainError, ImproperZonotopeError
+from repro.utils.linalg import (
+    complete_to_basis,
+    pca_basis,
+    project_to_psd_cone,
+    relative_difference,
+    safe_inverse,
+    solve_with_fallback,
+    spectral_norm,
+)
+from repro.utils.rng import as_generator, spawn
+from repro.utils.validation import (
+    ensure_finite,
+    ensure_matrix,
+    ensure_nonnegative_vector,
+    ensure_square_matrix,
+    ensure_vector,
+)
+
+
+class TestLinalg:
+    def test_pca_basis_is_orthogonal(self, rng):
+        basis = pca_basis(rng.normal(size=(4, 7)))
+        assert np.allclose(basis @ basis.T, np.eye(4), atol=1e-10)
+
+    def test_pca_basis_of_zero_matrix_is_identity(self):
+        assert np.allclose(pca_basis(np.zeros((3, 2))), np.eye(3))
+
+    def test_pca_basis_aligns_with_dominant_direction(self):
+        generators = np.array([[10.0, 9.5], [0.1, -0.1]])
+        basis = pca_basis(generators)
+        assert abs(basis[0, 0]) > 0.99
+
+    def test_safe_inverse(self, rng):
+        matrix = rng.normal(size=(3, 3)) + 3 * np.eye(3)
+        assert np.allclose(safe_inverse(matrix) @ matrix, np.eye(3), atol=1e-8)
+        with pytest.raises(ImproperZonotopeError):
+            safe_inverse(np.zeros((2, 2)))
+        with pytest.raises(ImproperZonotopeError):
+            safe_inverse(np.zeros((2, 3)))
+
+    def test_solve_with_fallback(self):
+        solution = solve_with_fallback(np.eye(2), np.array([1.0, 2.0]))
+        assert np.allclose(solution, [1.0, 2.0])
+        # singular system falls back to least squares
+        solution = solve_with_fallback(np.array([[1.0, 0.0], [1.0, 0.0]]), np.array([1.0, 1.0]))
+        assert np.isfinite(solution).all()
+
+    def test_spectral_norm(self):
+        assert spectral_norm(np.diag([3.0, -5.0])) == pytest.approx(5.0)
+        assert spectral_norm(np.zeros((0, 0))) == 0.0
+
+    def test_complete_to_basis(self, rng):
+        columns = rng.normal(size=(4, 2))
+        basis = complete_to_basis(columns, dim=4)
+        assert basis.shape == (4, 4)
+        assert np.linalg.matrix_rank(basis) == 4
+
+    def test_complete_to_basis_with_dependent_columns(self):
+        columns = np.array([[1.0, 2.0], [0.0, 0.0], [0.0, 0.0]])
+        basis = complete_to_basis(columns, dim=3)
+        assert np.linalg.matrix_rank(basis) == 3
+
+    def test_project_to_psd_cone(self, rng):
+        matrix = rng.normal(size=(3, 3))
+        projected = project_to_psd_cone(matrix)
+        eigenvalues = np.linalg.eigvalsh(projected)
+        assert np.all(eigenvalues >= -1e-10)
+
+    def test_relative_difference(self):
+        assert relative_difference(np.array([1.0]), np.array([1.0])) == 0.0
+        assert relative_difference(np.array([2.0]), np.array([0.0])) == pytest.approx(2.0)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert as_generator(7).integers(0, 100) == as_generator(7).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_spawn(self):
+        children = spawn(as_generator(0), 3)
+        assert len(children) == 3
+        values = [child.integers(0, 1000) for child in children]
+        assert len(set(values)) > 1
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+
+class TestValidation:
+    def test_ensure_vector(self):
+        assert ensure_vector(1.5, "x").shape == (1,)
+        assert ensure_vector([1, 2], "x", dim=2).dtype == float
+        with pytest.raises(DomainError):
+            ensure_vector(np.zeros((2, 2)), "x")
+        with pytest.raises(DimensionMismatchError):
+            ensure_vector([1, 2], "x", dim=3)
+
+    def test_ensure_matrix(self):
+        assert ensure_matrix(np.eye(2), "m", rows=2, cols=2).shape == (2, 2)
+        with pytest.raises(DomainError):
+            ensure_matrix(np.zeros(3), "m")
+        with pytest.raises(DimensionMismatchError):
+            ensure_matrix(np.eye(2), "m", rows=3)
+        with pytest.raises(DimensionMismatchError):
+            ensure_matrix(np.eye(2), "m", cols=3)
+
+    def test_ensure_square_matrix(self):
+        with pytest.raises(DomainError):
+            ensure_square_matrix(np.zeros((2, 3)), "m")
+        with pytest.raises(DimensionMismatchError):
+            ensure_square_matrix(np.eye(2), "m", dim=3)
+
+    def test_ensure_nonnegative_vector(self):
+        with pytest.raises(DomainError):
+            ensure_nonnegative_vector([-1.0], "b")
+
+    def test_ensure_finite(self):
+        with pytest.raises(DomainError):
+            ensure_finite([np.inf], "x")
+        assert ensure_finite([1.0], "x")[0] == 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for the baseline verifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CraftConfig
+from repro.mondeq.model import MonDEQ
+from repro.verify.baselines import (
+    BoxVerifier,
+    KleeneZonotopeVerifier,
+    LipschitzVerifier,
+    SemiSDPSurrogate,
+    SemiSDPSurrogateConfig,
+)
+from repro.verify.robustness import certify_sample
+
+
+class TestBoxVerifier:
+    def test_runs_and_is_never_better_than_craft(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        epsilon = 0.02
+        box_result = BoxVerifier(trained_mondeq).certify(x, label, epsilon)
+        craft_result = certify_sample(
+            trained_mondeq, x, label, epsilon, CraftConfig(slope_optimization="none")
+        )
+        if box_result.certified:
+            assert craft_result.certified
+
+
+class TestKleeneVerifier:
+    def test_result_structure(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        result = KleeneZonotopeVerifier(trained_mondeq).certify(x, label, epsilon=0.01)
+        assert result.iterations_phase1 > 0
+        assert "Kleene" in result.notes
+
+    def test_never_more_precise_than_craft_on_example(self):
+        from repro.experiments.running_example import run_running_example
+
+        outcome = run_running_example()
+        assert outcome.craft_margin >= outcome.kleene_margin
+
+
+class TestLipschitzVerifier:
+    def test_certifies_tiny_radius_only(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        verifier = LipschitzVerifier(trained_mondeq)
+        tiny = verifier.certify(x, label, epsilon=1e-6)
+        huge = verifier.certify(x, label, epsilon=1.0)
+        assert tiny.certified
+        assert not huge.certified
+
+    def test_less_precise_than_craft(self, trained_mondeq, trained_sample):
+        """The global Lipschitz baseline certifies no sample Craft cannot."""
+        x, label = trained_sample
+        epsilon = 0.02
+        lipschitz = LipschitzVerifier(trained_mondeq).certify(x, label, epsilon)
+        craft = certify_sample(
+            trained_mondeq, x, label, epsilon, CraftConfig(slope_optimization="none")
+        )
+        if lipschitz.certified:
+            assert craft.certified
+
+
+class TestSemiSDPSurrogate:
+    def test_latent_cap_enforced(self):
+        big = MonDEQ.random(input_dim=4, latent_dim=90, output_dim=2, monotonicity=20.0, seed=0)
+        result = SemiSDPSurrogate(big).certify(np.zeros(4), 0, 0.01)
+        assert not result.certified
+        assert "cap" in result.notes
+
+    def test_certifies_small_radius(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        surrogate = SemiSDPSurrogate(trained_mondeq)
+        assert surrogate.certify(x, label, 1e-6).certified
+        assert not surrogate.certify(x, label, 5.0).certified
+
+    def test_runtime_model_grows_with_latent_size(self):
+        small = MonDEQ.random(4, 10, 2, monotonicity=20.0, seed=0)
+        large = MonDEQ.random(4, 80, 2, monotonicity=20.0, seed=0)
+        assert SemiSDPSurrogate(large).modelled_runtime() > SemiSDPSurrogate(small).modelled_runtime()
+
+    def test_simulated_runtime_reported_when_enabled(self, trained_mondeq, trained_sample):
+        x, label = trained_sample
+        config = SemiSDPSurrogateConfig(simulate_runtime=True)
+        result = SemiSDPSurrogate(trained_mondeq, config).certify(x, label, 1e-4)
+        assert result.time_seconds == pytest.approx(
+            SemiSDPSurrogate(trained_mondeq, config).modelled_runtime()
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for the pre- and postcondition specifications."""
+
+import numpy as np
+import pytest
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.interval import Interval
+from repro.domains.zonotope import Zonotope
+from repro.exceptions import VerificationError
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+
+class TestLinfBall:
+    def test_bounds_clipped_to_valid_range(self):
+        ball = LinfBall(center=np.array([0.02, 0.98]), epsilon=0.05)
+        lower, upper = ball.bounds()
+        assert lower[0] == pytest.approx(0.0)
+        assert upper[1] == pytest.approx(1.0)
+
+    def test_unclipped_ball(self):
+        ball = LinfBall(center=np.array([0.0]), epsilon=0.1, clip_min=None, clip_max=None)
+        lower, upper = ball.bounds()
+        assert lower[0] == pytest.approx(-0.1)
+        assert upper[0] == pytest.approx(0.1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(VerificationError):
+            LinfBall(center=np.zeros(2), epsilon=-0.1)
+
+    def test_invalid_clip_range_rejected(self):
+        with pytest.raises(VerificationError):
+            LinfBall(center=np.zeros(2), epsilon=0.1, clip_min=1.0, clip_max=0.0)
+
+    def test_to_element_dispatch(self):
+        ball = LinfBall(center=np.array([0.5, 0.5]), epsilon=0.1)
+        assert isinstance(ball.to_element("box"), Interval)
+        assert isinstance(ball.to_element("zonotope"), Zonotope)
+        assert isinstance(ball.to_element("chzonotope"), CHZonotope)
+        with pytest.raises(VerificationError):
+            ball.to_element("polyhedra")
+
+    def test_elements_concretize_identically(self, rng):
+        ball = LinfBall(center=rng.uniform(0.2, 0.8, size=4), epsilon=0.07)
+        box_bounds = ball.to_interval().concretize_bounds()
+        for domain in ("zonotope", "chzonotope"):
+            lower, upper = ball.to_element(domain).concretize_bounds()
+            assert np.allclose(lower, box_bounds[0])
+            assert np.allclose(upper, box_bounds[1])
+
+    def test_contains(self):
+        ball = LinfBall(center=np.array([0.5, 0.5]), epsilon=0.1)
+        assert ball.contains(np.array([0.55, 0.45]))
+        assert not ball.contains(np.array([0.7, 0.5]))
+
+
+class TestClassificationSpec:
+    def test_invalid_construction(self):
+        with pytest.raises(VerificationError):
+            ClassificationSpec(target=3, num_classes=3)
+        with pytest.raises(VerificationError):
+            ClassificationSpec(target=0, num_classes=1)
+
+    def test_difference_matrix(self):
+        spec = ClassificationSpec(target=1, num_classes=3)
+        matrix = spec.difference_matrix()
+        assert matrix.shape == (2, 3)
+        assert np.allclose(matrix @ np.array([0.0, 1.0, 0.0]), [1.0, 1.0])
+
+    def test_evaluate_certifies_separated_output(self):
+        spec = ClassificationSpec(target=0, num_classes=3)
+        output = Interval([2.0, -1.0, 0.0], [3.0, -0.5, 0.5])
+        check = spec.evaluate(output)
+        assert check.holds
+        assert check.margin == pytest.approx(1.5)
+        assert check.lower_bounds.shape == (2,)
+
+    def test_evaluate_rejects_overlapping_output(self):
+        spec = ClassificationSpec(target=0, num_classes=2)
+        output = Interval([0.0, -0.5], [1.0, 0.5])
+        check = spec.evaluate(output)
+        assert not check.holds
+        assert check.margin < 0
+
+    def test_margin_uses_relational_information(self):
+        """A zonotope with correlated outputs certifies where its box hull cannot."""
+        spec = ClassificationSpec(target=0, num_classes=2)
+        # y0 = 1 + e, y1 = e  ->  y0 - y1 = 1 always, but the interval hulls overlap.
+        output = Zonotope(np.array([1.0, 0.0]), np.array([[1.0], [1.0]]))
+        assert spec.evaluate(output).holds
+        assert not spec.evaluate(output.to_interval()).holds
+
+    def test_dimension_check(self):
+        spec = ClassificationSpec(target=0, num_classes=3)
+        with pytest.raises(VerificationError):
+            spec.evaluate(Interval([0.0], [1.0]))
+
+    def test_holds_concretely(self):
+        spec = ClassificationSpec(target=2, num_classes=3)
+        assert spec.holds_concretely(np.array([0.0, 0.1, 0.5]))
+        assert not spec.holds_concretely(np.array([1.0, 0.1, 0.5]))
