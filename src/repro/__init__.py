@@ -25,6 +25,11 @@ substrates they need:
     Verification front-ends: local L-infinity robustness certification,
     global certification via domain splitting, and baseline verifiers.
 
+``repro.engine``
+    The batched certification engine: stacks of CH-Zonotopes advanced by
+    shared BLAS calls, a batched Craft driver with per-sample early exit,
+    and a scheduler with an on-disk fixpoint cache.
+
 ``repro.datasets``
     Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
     mixtures, HCAS collision-avoidance MDP).
@@ -39,12 +44,16 @@ from repro.core.results import FixpointAbstraction, VerificationOutcome, Verific
 from repro.domains.chzonotope import CHZonotope
 from repro.domains.interval import Interval
 from repro.domains.zonotope import Zonotope
+from repro.engine import BatchCertificationScheduler, BatchedCHZonotope, BatchedCraft
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchCertificationScheduler",
+    "BatchedCHZonotope",
+    "BatchedCraft",
     "CHZonotope",
     "ClassificationSpec",
     "CraftConfig",

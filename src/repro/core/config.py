@@ -157,6 +157,31 @@ class CraftConfig:
         if not self.alpha2_grid:
             raise ConfigurationError("alpha2_grid must not be empty")
 
+    # Derived phase-two policies (shared by the sequential and batched
+    # Craft drivers — the engine's parity contract requires one copy). ----
+
+    def candidate_parameters(self) -> Tuple[Tuple[str, float], ...]:
+        """Candidate (solver, alpha) pairs for the tightening phase.
+
+        Peaceman–Rachford preserves fixpoints only for the *fixed* alpha used
+        to define the auxiliary variables, so PR candidates reuse ``alpha1``.
+        Forward–Backward splitting preserves fixpoints for any alpha in
+        [0, 1] (Theorem 5.1), so FB candidates span the line-search grid.
+        """
+        if self.solver2 == "pr":
+            return (("pr", self.alpha1),)
+        if self.alpha2 is not None:
+            return (("fb", self.alpha2),)
+        return tuple(("fb", float(alpha)) for alpha in self.alpha2_grid)
+
+    def slope_deltas(self) -> Tuple[float, ...]:
+        """ReLU-slope shifts tried by the slope-optimisation pass."""
+        if self.slope_optimization == "none":
+            return ()
+        if self.slope_optimization == "reduced":
+            return tuple(self.slope_candidates_reduced)
+        return tuple(self.slope_candidates_reference)
+
     # Convenience constructors for the ablation study (Table 4). ----------
 
     def with_updates(self, **kwargs) -> "CraftConfig":

@@ -236,27 +236,11 @@ class CraftVerifier:
         return self._config.alpha2_grid[len(self._config.alpha2_grid) // 2]
 
     def _candidate_parameters(self) -> List[Tuple[str, float]]:
-        """Candidate (solver, alpha) pairs for the tightening phase.
-
-        Peaceman–Rachford preserves fixpoints only for the *fixed* alpha used
-        to define the auxiliary variables, so PR candidates reuse ``alpha1``.
-        Forward–Backward splitting preserves fixpoints for any alpha in
-        [0, 1] (Theorem 5.1), so FB candidates span the line-search grid.
-        """
-        config = self._config
-        if config.solver2 == "pr":
-            return [("pr", config.alpha1)]
-        if config.alpha2 is not None:
-            return [("fb", config.alpha2)]
-        return [("fb", float(alpha)) for alpha in config.alpha2_grid]
+        """Candidate (solver, alpha) pairs — see CraftConfig.candidate_parameters."""
+        return list(self._config.candidate_parameters())
 
     def _slope_deltas(self) -> Sequence[float]:
-        config = self._config
-        if config.slope_optimization == "none":
-            return ()
-        if config.slope_optimization == "reduced":
-            return config.slope_candidates_reduced
-        return config.slope_candidates_reference
+        return self._config.slope_deltas()
 
     def _tighten_and_certify(
         self, problem: FixpointProblem, contraction: ContractionResult

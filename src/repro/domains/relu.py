@@ -92,7 +92,10 @@ def relu_relaxation(
     if np.any(lower > upper + 1e-12):
         raise DomainError("lower bounds exceed upper bounds")
 
-    dim = lower.shape[0]
+    # The bounds may carry leading batch axes (the batched certification
+    # engine relaxes a whole stack of elements at once); the neuron
+    # dimension is always the trailing axis.
+    dim = lower.shape[-1]
     inactive = upper <= 0.0
     active = lower >= 0.0
     if pass_through is not None:
@@ -103,9 +106,9 @@ def relu_relaxation(
         active = active | pass_through
     crossing = ~(inactive | active)
 
-    out_slopes = np.zeros(dim)
-    out_offsets = np.zeros(dim)
-    out_errors = np.zeros(dim)
+    out_slopes = np.zeros(lower.shape)
+    out_offsets = np.zeros(lower.shape)
+    out_errors = np.zeros(lower.shape)
 
     out_slopes[active] = 1.0
 
@@ -116,9 +119,9 @@ def relu_relaxation(
             lam = u_c / (u_c - l_c)
         else:
             slopes = np.asarray(slopes, dtype=float)
-            if slopes.shape not in ((dim,), ()):
+            if slopes.shape not in (lower.shape, (dim,), ()):
                 raise DomainError("slopes must be a scalar or match the element dimension")
-            lam = np.clip(np.broadcast_to(slopes, (dim,))[crossing], 0.0, 1.0)
+            lam = np.clip(np.broadcast_to(slopes, lower.shape)[crossing], 0.0, 1.0)
         # Height of the sound band max(-lambda*l, (1-lambda)*u); mu is half of it.
         gap = np.maximum(-lam * l_c, (1.0 - lam) * u_c)
         mu = gap / 2.0

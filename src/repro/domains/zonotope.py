@@ -154,36 +154,53 @@ class Zonotope(AbstractElement):
         )
 
     def contains_point(self, point: np.ndarray, tol: float = 1e-9) -> bool:
-        """Exact membership test via a small linear program (least-norm solve).
+        """Membership test via a small linear program (least-norm solve).
 
         Membership means there is ``nu`` with ``||nu||_inf <= 1`` and
         ``A nu = point - a``.  We solve the minimum-infinity-norm problem via
         :func:`scipy.optimize.linprog`; for the degenerate generator-free
         case it reduces to an equality check.
+
+        The system is rescaled to O(1) magnitudes before it reaches the LP
+        solver: HiGHS drops matrix coefficients below its small-value
+        tolerance, so a tiny-but-consistent system (e.g. generators of
+        magnitude 1e-9) would otherwise be reported as infeasible.  The
+        equality constraints additionally carry a ``tol`` slack per
+        coordinate, so points within ``tol`` of the zonotope are accepted
+        even when the residual does not lie exactly in the generator span
+        (floating-point round-off after affine transformers).
         """
         point = ensure_vector(point, "point", dim=self.dim)
         residual = point - self._center
-        if self.num_generators == 0:
+        if self.num_generators == 0 or np.all(np.abs(residual) <= tol):
             return bool(np.all(np.abs(residual) <= tol))
+        radius = np.abs(self._generators).sum(axis=1)
+        if np.any(np.abs(residual) > radius + tol):
+            return False
         from scipy.optimize import linprog
 
         k = self.num_generators
-        # Variables: nu (k), t (1). Minimise t subject to A nu = residual,
-        # -t <= nu_i <= t.
+        scale = max(float(np.abs(self._generators).max()), float(np.abs(residual).max()))
+        generators = self._generators / scale
+        rhs = residual / scale
+        slack = max(tol / scale, 1e-12)
+        # Variables: nu (k), t (1). Minimise t subject to
+        # |A nu - residual| <= slack (element-wise), -t <= nu_i <= t.
+        p = self.dim
         c = np.zeros(k + 1)
         c[-1] = 1.0
-        a_eq = np.hstack([self._generators, np.zeros((self.dim, 1))])
-        a_ub = np.zeros((2 * k, k + 1))
-        a_ub[:k, :k] = np.eye(k)
-        a_ub[:k, -1] = -1.0
-        a_ub[k:, :k] = -np.eye(k)
-        a_ub[k:, -1] = -1.0
+        a_ub = np.zeros((2 * p + 2 * k, k + 1))
+        a_ub[:p, :k] = generators
+        a_ub[p : 2 * p, :k] = -generators
+        a_ub[2 * p : 2 * p + k, :k] = np.eye(k)
+        a_ub[2 * p : 2 * p + k, -1] = -1.0
+        a_ub[2 * p + k :, :k] = -np.eye(k)
+        a_ub[2 * p + k :, -1] = -1.0
+        b_ub = np.concatenate([rhs + slack, -rhs + slack, np.zeros(2 * k)])
         result = linprog(
             c,
             A_ub=a_ub,
-            b_ub=np.zeros(2 * k),
-            A_eq=a_eq,
-            b_eq=residual,
+            b_ub=b_ub,
             bounds=[(None, None)] * k + [(0, None)],
             method="highs",
         )

@@ -1,0 +1,72 @@
+"""Batched certification engine: Craft over stacks of input regions.
+
+The paper's headline experiments (Table 2 local robustness, Fig. 11 HCAS
+global certification) certify hundreds of input regions against *identical*
+network weights.  The sequential :class:`~repro.core.craft.CraftVerifier`
+pays the full Python interpreter overhead once per region; this subsystem
+instead advances all regions of a batch through shared BLAS calls and keeps
+the sequential path as the reference implementation the parity tests
+compare against.
+
+Batch layout
+------------
+A batch of ``B`` CH-Zonotopes of dimension ``n`` with a uniform error-term
+count ``k`` is stored as three arrays
+(:class:`~repro.engine.batched_chzonotope.BatchedCHZonotope`)::
+
+    centers    (B, n)      stacked centres a_i
+    generators (B, n, k)   stacked error matrices A_i
+    box        (B, n)      stacked Box error radii b_i
+
+``k`` is made uniform by right-padding generator matrices with zero
+columns; a zero column never changes the concretised set, so padding is a
+representation detail only.  All transformers (affine, ReLU, Minkowski sum,
+consolidation, Theorem 4.2 containment) are einsum/broadcast expressions
+whose sample ``i`` equals the sequential transformer applied to sample
+``i`` — the parity contract the engine tests enforce.
+
+Active-mask semantics
+---------------------
+Both Craft phases run with per-sample early exit.  The driver
+(:class:`~repro.engine.craft.BatchedCraft`) keeps an ``active`` index array
+into the original batch; each iteration advances only the active stack.  A
+sample exits phase one when it proves containment against its consolidated
+history or diverges past the abort width, and exits phase two when its
+postcondition certifies, its width diverges, or its patience budget is
+exhausted.  On exit the sample's row is gathered out of the batched state,
+its per-sample record (final element, reference, iteration counts, width
+trace) is frozen, and the remaining rows continue as a smaller stack —
+so a finished region never pays for a slow batch mate, and each sample's
+trajectory is independent of which other samples share its batch.
+
+Cache key format
+----------------
+The scheduler (:class:`~repro.engine.scheduler.BatchCertificationScheduler`)
+optionally persists verdicts through an on-disk
+:class:`~repro.engine.scheduler.FixpointCache`.  A query's key is::
+
+    sha256( weights_hash(model)       # sha256 over sorted parameter bytes + m
+          | center.tobytes()          # float64 anchor input
+          | repr((epsilon, clip_min, clip_max, target))
+          | config signature )        # verdict-relevant CraftConfig fields
+
+stored as ``<key>.json`` holding the scalar verdict (outcome, margin,
+iteration counts, selected tightening parameters) — enough to restore a
+:class:`~repro.core.results.VerificationResult` without the abstraction
+elements.  Any weight update, region change or verdict-relevant
+configuration change therefore misses the cache by construction.
+"""
+
+from repro.engine.batched_chzonotope import BatchedCHZonotope
+from repro.engine.craft import BatchedCraft
+from repro.engine.results import EngineReport
+from repro.engine.scheduler import BatchCertificationScheduler, FixpointCache, weights_hash
+
+__all__ = [
+    "BatchCertificationScheduler",
+    "BatchedCHZonotope",
+    "BatchedCraft",
+    "EngineReport",
+    "FixpointCache",
+    "weights_hash",
+]

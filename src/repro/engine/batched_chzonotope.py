@@ -1,0 +1,382 @@
+"""Batched CH-Zonotopes: a stack of B elements advanced by shared BLAS calls.
+
+A :class:`BatchedCHZonotope` represents ``B`` CH-Zonotopes of a common
+dimension ``n`` with a *uniform* number of error terms ``k``::
+
+    centers    (B, n)
+    generators (B, n, k)
+    box        (B, n)
+
+Every abstract transformer of :class:`~repro.domains.chzonotope.CHZonotope`
+is mirrored here as a single broadcast/einsum expression, so certifying a
+batch of input regions costs a handful of large matrix products instead of
+``B`` Python-level passes.  The per-sample semantics are identical: sample
+``i`` of the result equals the sequential transformer applied to sample
+``i`` of the operands, up to floating-point round-off and zero generator
+columns (samples whose Box/ReLU patterns differ carry each other's columns
+with coefficient zero — a representation difference only, never a change of
+the concretised set).
+
+Elements enter and leave the batch via :meth:`from_elements` (right-pads
+generators with zero columns to a uniform ``k``) and :meth:`select` /
+:meth:`element`, which is how the batched Craft driver implements
+per-sample early exit: finished samples are gathered out and the remaining
+rows keep iterating as a smaller stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.domains.chzonotope import CHZonotope
+from repro.domains.relu import default_slopes, relu_relaxation
+from repro.exceptions import DimensionMismatchError, DomainError, ImproperZonotopeError
+from repro.utils.linalg import pca_basis
+
+
+class BatchedCHZonotope:
+    """A stack of ``B`` CH-Zonotopes ``{ a_i + A_i nu + diag(b_i) eta }``."""
+
+    __slots__ = ("_center", "_generators", "_box", "_inverse_cache", "_bounds_cache")
+
+    def __init__(self, center, generators=None, box=None):
+        center = np.asarray(center, dtype=float)
+        if center.ndim != 2:
+            raise DomainError(f"centers must have shape (batch, dim), got {center.shape}")
+        batch, dim = center.shape
+        if generators is None:
+            generators = np.zeros((batch, dim, 0))
+        generators = np.asarray(generators, dtype=float)
+        if generators.ndim != 3 or generators.shape[:2] != (batch, dim):
+            raise DomainError(
+                f"generators must have shape ({batch}, {dim}, k), got {generators.shape}"
+            )
+        if box is None:
+            box = np.zeros((batch, dim))
+        box = np.asarray(box, dtype=float)
+        if box.shape != (batch, dim):
+            raise DomainError(f"box must have shape ({batch}, {dim}), got {box.shape}")
+        if np.any(box < 0):
+            raise DomainError("box radii must be non-negative")
+        self._center = center
+        self._generators = generators
+        self._box = box
+        self._inverse_cache = None
+        self._bounds_cache = None
+
+    # ------------------------------------------------------------------
+    # Conversions to and from sequential elements
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_elements(cls, elements: Sequence[CHZonotope]) -> "BatchedCHZonotope":
+        """Stack sequential elements, right-padding generators to a common k."""
+        elements = list(elements)
+        if not elements:
+            raise DomainError("from_elements requires at least one element")
+        dim = elements[0].dim
+        if any(element.dim != dim for element in elements):
+            raise DimensionMismatchError("all elements must share the same dimension")
+        k = max(element.num_generators for element in elements)
+        centers = np.stack([element.center for element in elements])
+        box = np.stack([element.box for element in elements])
+        generators = np.zeros((len(elements), dim, k))
+        for index, element in enumerate(elements):
+            generators[index, :, : element.num_generators] = element.generators
+        return cls(centers, generators, box)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "BatchedCHZonotope":
+        """Degenerate stack containing exactly the rows of ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return cls(points, np.zeros((points.shape[0], points.shape[1], 0)), None)
+
+    def element(self, index: int) -> CHZonotope:
+        """The ``index``-th sample as a sequential :class:`CHZonotope`."""
+        generators = self._generators[index]
+        keep = np.abs(generators).sum(axis=0) > 0
+        return CHZonotope(self._center[index], generators[:, keep], self._box[index])
+
+    def to_elements(self) -> List[CHZonotope]:
+        return [self.element(index) for index in range(self.batch_size)]
+
+    def select(self, indices) -> "BatchedCHZonotope":
+        """Gather a sub-batch (used for per-sample early exit)."""
+        indices = np.asarray(indices)
+        selected = BatchedCHZonotope(
+            self._center[indices], self._generators[indices], self._box[indices]
+        )
+        if self._inverse_cache is not None:
+            selected._inverse_cache = self._inverse_cache[indices]
+        return selected
+
+    # ------------------------------------------------------------------
+    # Representation accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        return self._center.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._center.shape[1]
+
+    @property
+    def num_generators(self) -> int:
+        return self._generators.shape[2]
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._center.copy()
+
+    @property
+    def generators(self) -> np.ndarray:
+        return self._generators.copy()
+
+    @property
+    def box(self) -> np.ndarray:
+        return self._box.copy()
+
+    def concretize_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        # Elements are immutable and the driver reads bounds several times
+        # per iteration (ReLU relaxation, width heuristics, traces), so the
+        # |A| column sum — a full pass over the largest array — is cached.
+        if self._bounds_cache is None:
+            radius = np.abs(self._generators).sum(axis=2) + self._box
+            self._bounds_cache = (self._center - radius, self._center + radius)
+        return self._bounds_cache
+
+    @property
+    def width(self) -> np.ndarray:
+        """Per-sample element-wise widths, shape ``(B, n)``."""
+        lower, upper = self.concretize_bounds()
+        return upper - lower
+
+    @property
+    def mean_width(self) -> np.ndarray:
+        """Per-sample mean width, shape ``(B,)``."""
+        return self.width.mean(axis=1)
+
+    @property
+    def max_width(self) -> np.ndarray:
+        """Per-sample maximum width, shape ``(B,)``."""
+        return self.width.max(axis=1)
+
+    # ------------------------------------------------------------------
+    # Abstract transformers (mirroring CHZonotope)
+    # ------------------------------------------------------------------
+
+    def affine(self, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> "BatchedCHZonotope":
+        """Exact affine transformer, batched.
+
+        ``weight`` is either a shared ``(m, n)`` matrix or a per-sample
+        ``(B, m, n)`` stack (the latter is used for per-sample postcondition
+        difference matrices).  As in the sequential transformer, the Box
+        errors are cast into generator columns — one column per coordinate
+        whose Box radius is non-zero in *any* sample — and the result has a
+        zero Box component.
+        """
+        weight = np.asarray(weight, dtype=float)
+        if weight.ndim == 2:
+            if weight.shape[1] != self.dim:
+                raise DimensionMismatchError(
+                    f"weight must have shape (m, {self.dim}), got {weight.shape}"
+                )
+            center = self._center @ weight.T
+            generators = np.matmul(weight, self._generators)
+            box_axes = np.nonzero(np.any(self._box > 0, axis=0))[0]
+            box_columns = weight[None, :, box_axes] * self._box[:, None, box_axes]
+        elif weight.ndim == 3:
+            if weight.shape[0] != self.batch_size or weight.shape[2] != self.dim:
+                raise DimensionMismatchError(
+                    f"weight must have shape ({self.batch_size}, m, {self.dim}), "
+                    f"got {weight.shape}"
+                )
+            center = np.matmul(weight, self._center[:, :, None])[:, :, 0]
+            generators = np.matmul(weight, self._generators)
+            box_axes = np.nonzero(np.any(self._box > 0, axis=0))[0]
+            box_columns = weight[:, :, box_axes] * self._box[:, None, box_axes]
+        else:
+            raise DimensionMismatchError("weight must be a 2-d or 3-d array")
+        if bias is not None:
+            bias = np.asarray(bias, dtype=float).reshape(-1)
+            if bias.shape[0] != center.shape[1]:
+                raise DimensionMismatchError(
+                    f"bias must have dimension {center.shape[1]}, got {bias.shape[0]}"
+                )
+            center = center + bias[None, :]
+        generators = np.concatenate([generators, box_columns], axis=2)
+        return BatchedCHZonotope(center, generators, None)
+
+    def relu(
+        self,
+        slopes: Optional[np.ndarray] = None,
+        box_new_errors: bool = True,
+        pass_through: Optional[np.ndarray] = None,
+    ) -> "BatchedCHZonotope":
+        """Batched ReLU transformer (per-sample identical to the sequential one)."""
+        lower, upper = self.concretize_bounds()
+        relaxation = relu_relaxation(lower, upper, slopes, pass_through=pass_through)
+        center = relaxation.slopes * self._center + relaxation.offsets
+        generators = relaxation.slopes[:, :, None] * self._generators
+        box = relaxation.slopes * self._box
+        if box_new_errors:
+            return BatchedCHZonotope(center, generators, box + relaxation.new_errors)
+        new_axes = np.nonzero(np.any(relaxation.new_errors > 0, axis=0))[0]
+        if new_axes.size:
+            fresh = np.zeros((self.batch_size, self.dim, new_axes.size))
+            fresh[:, new_axes, np.arange(new_axes.size)] = relaxation.new_errors[:, new_axes]
+            generators = np.concatenate([generators, fresh], axis=2)
+        return BatchedCHZonotope(center, generators, box)
+
+    def sum(self, other: "BatchedCHZonotope") -> "BatchedCHZonotope":
+        """Minkowski sum: generator columns concatenate, Box radii add."""
+        other = self._coerce(other)
+        return BatchedCHZonotope(
+            self._center + other._center,
+            np.concatenate([self._generators, other._generators], axis=2),
+            self._box + other._box,
+        )
+
+    def scale(self, factor: float) -> "BatchedCHZonotope":
+        factor = float(factor)
+        return BatchedCHZonotope(
+            factor * self._center, factor * self._generators, abs(factor) * self._box
+        )
+
+    def translate(self, offset: np.ndarray) -> "BatchedCHZonotope":
+        offset = np.asarray(offset, dtype=float)
+        return BatchedCHZonotope(self._center + offset, self._generators, self._box)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``count`` points per element, shape ``(B, count, n)``."""
+        nu = rng.uniform(-1.0, 1.0, size=(self.batch_size, count, self.num_generators))
+        eta = rng.uniform(-1.0, 1.0, size=(self.batch_size, count, self.dim))
+        return (
+            self._center[:, None, :]
+            + np.matmul(nu, np.transpose(self._generators, (0, 2, 1)))
+            + eta * self._box[:, None, :]
+        )
+
+    # ------------------------------------------------------------------
+    # Error consolidation and the Theorem 4.2 containment check
+    # ------------------------------------------------------------------
+
+    def consolidate(
+        self,
+        basis: Optional[np.ndarray] = None,
+        w_mul: float = 0.0,
+        w_add: float = 0.0,
+    ) -> "BatchedCHZonotope":
+        """Batched error consolidation (Theorem 4.1 + Eq. 10 expansion)."""
+        if w_mul < 0 or w_add < 0:
+            raise DomainError("expansion parameters must be non-negative")
+        if basis is None:
+            basis = self.pca_basis()
+        basis = np.asarray(basis, dtype=float)
+        if basis.shape != (self.batch_size, self.dim, self.dim):
+            raise DomainError(
+                f"basis must have shape ({self.batch_size}, {self.dim}, {self.dim}), "
+                f"got {basis.shape}"
+            )
+        basis_inverse = _batched_inverse(basis, context="consolidation basis")
+        if self.num_generators:
+            coefficients = np.abs(np.matmul(basis_inverse, self._generators)).sum(axis=2)
+        else:
+            coefficients = np.zeros((self.batch_size, self.dim))
+        coefficients = (1.0 + w_mul) * coefficients + w_add
+        floor = max(w_add, 1e-12)
+        coefficients = np.maximum(coefficients, floor)
+        new_generators = basis * coefficients[:, None, :]
+        return BatchedCHZonotope(self._center, new_generators, self._box)
+
+    def pca_basis(self, jitter: float = 1e-12) -> np.ndarray:
+        """Per-sample PCA bases, shape ``(B, n, n)`` (identity where no errors)."""
+        if self.num_generators == 0:
+            return np.broadcast_to(
+                np.eye(self.dim), (self.batch_size, self.dim, self.dim)
+            ).copy()
+        try:
+            u, _, _ = np.linalg.svd(self._generators, full_matrices=True)
+        except np.linalg.LinAlgError:
+            # A numerically degenerate sample must not abort the whole
+            # batch: fall back to the sequential helper, which retries the
+            # failing sample with diagonal jitter (utils.linalg.pca_basis).
+            u = np.stack([pca_basis(sample, jitter=jitter) for sample in self._generators])
+        zero = ~np.any(self._generators, axis=(1, 2))
+        if np.any(zero):
+            u[zero] = np.eye(self.dim)
+        return u
+
+    def contains(self, other: "BatchedCHZonotope", tol: float = 1e-9) -> np.ndarray:
+        """Per-sample Theorem 4.2 containment flags, shape ``(B,)``."""
+        margins = self.containment_margin(other)
+        return np.all(margins <= 1.0 + tol, axis=1)
+
+    def containment_margin(self, other: "BatchedCHZonotope") -> np.ndarray:
+        """Per-sample element-wise Theorem 4.2 margins, shape ``(B, n)``."""
+        other = self._coerce(other)
+        inverse = self._generator_inverse()
+        if other.num_generators:
+            zonotope_part = np.abs(np.matmul(inverse, other._generators)).sum(axis=2)
+        else:
+            zonotope_part = np.zeros((self.batch_size, self.dim))
+        residual = np.maximum(
+            0.0, np.abs(other._center - self._center) + other._box - self._box
+        )
+        box_part = np.abs(inverse * residual[:, None, :]).sum(axis=2)
+        return zonotope_part + box_part
+
+    def _generator_inverse(self) -> np.ndarray:
+        if self._generators.shape[1:] != (self.dim, self.dim):
+            raise ImproperZonotopeError(
+                "containment check requires the outer batch to be proper "
+                f"(square error matrices); got shape {self._generators.shape[1:]}"
+            )
+        if self._inverse_cache is None:
+            self._inverse_cache = _batched_inverse(self._generators, context="error matrix")
+        return self._inverse_cache
+
+    # ------------------------------------------------------------------
+    # Misc utilities
+    # ------------------------------------------------------------------
+
+    def compress(self) -> "BatchedCHZonotope":
+        """Drop generator columns that are zero across the whole batch."""
+        if self.num_generators == 0:
+            return self
+        keep = np.abs(self._generators).sum(axis=(0, 1)) > 0
+        if np.all(keep):
+            return self
+        return BatchedCHZonotope(self._center, self._generators[:, :, keep], self._box)
+
+    def relu_slopes(self, slope_delta: float) -> np.ndarray:
+        """Minimum-area slopes shifted by ``slope_delta`` (slope optimisation)."""
+        lower, upper = self.concretize_bounds()
+        return np.clip(default_slopes(lower, upper) + slope_delta, 0.0, 1.0)
+
+    def _coerce(self, other: "BatchedCHZonotope") -> "BatchedCHZonotope":
+        if not isinstance(other, BatchedCHZonotope):
+            raise DomainError(f"expected a BatchedCHZonotope, got {type(other).__name__}")
+        if other.batch_size != self.batch_size or other.dim != self.dim:
+            raise DimensionMismatchError(
+                f"batch/dimension mismatch: ({self.batch_size}, {self.dim}) vs "
+                f"({other.batch_size}, {other.dim})"
+            )
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BatchedCHZonotope(batch={self.batch_size}, dim={self.dim}, "
+            f"k={self.num_generators})"
+        )
+
+
+def _batched_inverse(matrices: np.ndarray, context: str) -> np.ndarray:
+    try:
+        return np.linalg.inv(matrices)
+    except np.linalg.LinAlgError as exc:
+        raise ImproperZonotopeError(f"{context} is singular and cannot be inverted") from exc

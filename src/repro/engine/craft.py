@@ -1,0 +1,635 @@
+"""The batched Craft driver: Algorithm 1 over a stack of input regions.
+
+:class:`BatchedCraft` runs both phases of the Craft verifier
+(:mod:`repro.core.craft`) for ``B`` certification queries against the same
+monDEQ weights simultaneously.  The per-sample semantics — consolidation
+cadence, expansion schedule, containment history, tightening line search,
+patience and abort heuristics — replicate the sequential
+:class:`~repro.core.craft.CraftVerifier` exactly; what changes is that
+every abstract-transformer application advances the whole batch through
+shared BLAS calls on a :class:`~repro.engine.batched_chzonotope.BatchedCHZonotope`.
+
+Per-sample **early exit** works by shrinking the active stack: a sample
+that proves containment (phase one), certifies its postcondition, diverges
+or exhausts its patience (phase two) is gathered out of the batch, and the
+remaining rows keep iterating.  A sample's trajectory is therefore
+independent of its batch mates, which is what the batched-vs-sequential
+parity tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.core.expansion import ExpansionSchedule
+from repro.core.results import (
+    FixpointAbstraction,
+    VerificationOutcome,
+    VerificationResult,
+)
+from repro.domains.chzonotope import CHZonotope
+from repro.engine.batched_chzonotope import BatchedCHZonotope
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.mondeq.abstract_solvers import layout_for, make_batched_abstract_step
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import default_alpha, solve_fixpoint_batch
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+
+@dataclass
+class _ContainmentRecord:
+    """Per-sample outcome of the batched containment phase."""
+
+    contained: bool
+    diverged: bool
+    state: CHZonotope
+    reference: Optional[CHZonotope]
+    iterations: int
+    consolidations: int
+    width_trace: List[float] = field(default_factory=list)
+
+
+@dataclass
+class _TighteningRecord:
+    """Per-sample outcome of one batched tightening run.
+
+    ``state`` and ``output`` are lazy ``(stack, row)`` references until the
+    driver materialises the finally selected record per sample — probe-run
+    records are mostly discarded, so eager extraction would dominate the
+    small-model regime.
+    """
+
+    certified: bool
+    margin: float
+    iterations: int
+    state: Tuple[object, Optional[int]]
+    output: Optional[Tuple[object, int]]
+    alpha: Optional[float]
+    solver: Optional[str]
+    slope_delta: float
+    width_trace: List[float] = field(default_factory=list)
+
+
+def _materialise(reference) -> Optional[CHZonotope]:
+    if reference is None:
+        return None
+    stack, row = reference
+    return stack if row is None else stack.element(row)
+
+
+def anchor_reuse_valid(model: MonDEQ, config: CraftConfig) -> bool:
+    """Whether fixpoints from a prediction pass (``solve_fixpoint_batch``
+    with pr/default-alpha/1e-9/2000) can double as the configuration's
+    phase-zero anchors.  Shared by every caller that wants to skip the
+    second concrete solve — the gate must stay in one place, because a
+    mismatch would silently hand ``certify_regions`` initial states solved
+    with the wrong parameters."""
+    return (
+        config.solver1 == "pr"
+        and config.alpha1 == default_alpha(model, "pr")
+        and config.concrete_tol == 1e-9
+        and config.concrete_max_iterations == 2000
+    )
+
+
+@dataclass
+class _TighteningStacks:
+    """Shared, pre-stacked phase-two inputs (built once per batch).
+
+    Every tightening run — the line-search probes, the full-budget
+    continuation and the slope-optimisation attempts — starts from the same
+    contraction states and postcondition matrices; stacking them once and
+    gathering rows per run keeps the per-run setup cost flat.
+    """
+
+    inputs: BatchedCHZonotope
+    states: BatchedCHZonotope
+    previous: BatchedCHZonotope
+    initial_states: List[CHZonotope]
+    differences: np.ndarray
+
+
+class BatchedCraft:
+    """Vectorised two-phase Craft verification over a batch of regions."""
+
+    def __init__(self, model: MonDEQ, config: Optional[CraftConfig] = None):
+        self._model = model
+        self._config = config if config is not None else CraftConfig()
+        if self._config.domain != "chzonotope":
+            raise ConfigurationError(
+                "the batched engine supports the CH-Zonotope domain only; use the "
+                f"sequential CraftVerifier for domain {self._config.domain!r}"
+            )
+        if self._config.solver1 == "fb" and self._config.solver2 == "pr":
+            raise VerificationError(
+                "tightening with PR after an FB containment phase is not supported: "
+                "the auxiliary PR state was never computed (Section 6.3)"
+            )
+        self._layout = layout_for(model, self._config.solver1)
+        self._output_selector = model.v_weight @ self._layout.z_selector()
+
+    @property
+    def config(self) -> CraftConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def certify(
+        self,
+        xs: np.ndarray,
+        labels: np.ndarray,
+        epsilon: float,
+        clip_min: Optional[float] = 0.0,
+        clip_max: Optional[float] = 1.0,
+    ) -> List[VerificationResult]:
+        """Certify l-infinity robustness of every row of ``xs`` in one pass.
+
+        Semantically equivalent to mapping
+        :func:`repro.verify.robustness.certify_sample` over the rows;
+        misclassified samples short-circuit exactly as in the sequential
+        path.
+        """
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        labels = np.asarray(labels, dtype=int).reshape(-1)
+        if xs.shape[0] != labels.shape[0]:
+            raise VerificationError("xs and labels must have matching lengths")
+        predict = solve_fixpoint_batch(self._model, xs, method="pr")
+        predictions = self._model.readout_batch(predict.z).argmax(axis=1)
+
+        results: List[Optional[VerificationResult]] = [None] * xs.shape[0]
+        queued: List[int] = []
+        for index, (prediction, label) in enumerate(zip(predictions, labels)):
+            if int(prediction) != int(label):
+                results[index] = VerificationResult(
+                    outcome=VerificationOutcome.MISCLASSIFIED,
+                    contained=False,
+                    certified=False,
+                    margin=-np.inf,
+                    iterations_phase1=0,
+                    iterations_phase2=0,
+                    time_seconds=0.0,
+                    notes=f"model predicts class {int(prediction)}, expected {int(label)}",
+                )
+            else:
+                queued.append(index)
+        if queued:
+            balls = [
+                LinfBall(center=xs[i], epsilon=epsilon, clip_min=clip_min, clip_max=clip_max)
+                for i in queued
+            ]
+            specs = [
+                ClassificationSpec(target=int(labels[i]), num_classes=self._model.output_dim)
+                for i in queued
+            ]
+            # The prediction pass above already solved the anchor fixpoints
+            # with pr/default-alpha/1e-9/2000; reuse them when the config
+            # asks for exactly those parameters (the default) instead of
+            # re-running up to 2000 full-batch iterations.
+            anchors = None
+            if anchor_reuse_valid(self._model, self._config):
+                anchors = predict.z[queued]
+            for index, result in zip(queued, self.certify_regions(balls, specs, anchors)):
+                results[index] = result
+        return results
+
+    def certify_regions(
+        self,
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchor_fixpoints: Optional[np.ndarray] = None,
+    ) -> List[VerificationResult]:
+        """Run both Craft phases for every (precondition, postcondition) pair.
+
+        ``anchor_fixpoints`` optionally supplies the pre-solved concrete
+        fixpoints of the ball centres (shape ``(B, latent)``), skipping the
+        phase-zero batched solve; the caller is responsible for having
+        produced them with the configuration's solver parameters.
+        """
+        balls = list(balls)
+        specs = list(specs)
+        if len(balls) != len(specs):
+            raise VerificationError("balls and specs must have matching lengths")
+        if not balls:
+            return []
+        for ball in balls:
+            if ball.dim != self._model.input_dim:
+                raise VerificationError(
+                    f"precondition dimension {ball.dim} does not match the model "
+                    f"input dimension {self._model.input_dim}"
+                )
+        start = time.perf_counter()
+        config = self._config
+        batch = len(balls)
+
+        input_elements = BatchedCHZonotope.from_elements(
+            [ball.to_chzonotope() for ball in balls]
+        )
+        if anchor_fixpoints is None:
+            centers = np.stack([ball.center for ball in balls])
+            anchor_fixpoints = solve_fixpoint_batch(
+                self._model,
+                centers,
+                method=config.solver1,
+                alpha=config.alpha1 if config.solver1 == "pr" else None,
+                tol=config.concrete_tol,
+                max_iterations=config.concrete_max_iterations,
+            ).z
+        blocks = 2 if self._layout.has_aux else 1
+        initial = BatchedCHZonotope.from_points(np.tile(anchor_fixpoints, (1, blocks)))
+        contraction_step = make_batched_abstract_step(
+            self._model,
+            self._layout,
+            input_elements,
+            config.solver1,
+            config.alpha1,
+            use_box_component=config.use_box_component,
+        )
+
+        containment = self._containment_phase(contraction_step, initial)
+        contained_samples = [i for i in range(batch) if containment[i].contained]
+        tightening: Dict[int, _TighteningRecord] = {}
+        if contained_samples:
+            tightening = self._tighten_and_certify(
+                input_elements, specs, containment, contained_samples
+            )
+
+        per_region_time = (time.perf_counter() - start) / batch
+        return [
+            self._assemble_result(containment[i], tightening.get(i), per_region_time)
+            for i in range(batch)
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase one: batched containment search
+    # ------------------------------------------------------------------
+
+    def _containment_phase(self, step, initial: BatchedCHZonotope) -> List[_ContainmentRecord]:
+        settings = self._config.contraction
+        expansion = ExpansionSchedule.from_config(self._config)
+        batch = initial.batch_size
+        records: List[Optional[_ContainmentRecord]] = [None] * batch
+        # (active indices, mean widths) per iteration; scattered into
+        # per-sample traces only on exit to keep the hot loop free of
+        # per-row Python work.
+        trace_log: List[Tuple[np.ndarray, np.ndarray]] = []
+
+        active = np.arange(batch)
+        state = initial
+        current_step = step
+        history: deque = deque(maxlen=settings.history_size)
+        basis: Optional[np.ndarray] = None
+        consolidations = 0
+
+        for iteration in range(settings.max_iterations):
+            if active.size == 0:
+                break
+            if iteration % settings.consolidate_every == 0:
+                if basis is None or iteration % settings.basis_recompute_every == 0:
+                    basis = state.pca_basis()
+                w_mul, w_add = expansion.step()
+                state = state.consolidate(basis, w_mul, w_add)
+                history.append(state)
+                consolidations += 1
+
+            next_state = current_step(state)
+            widths = next_state.width
+            if settings.track_trace:
+                trace_log.append((active, widths.mean(axis=1)))
+
+            diverged = (widths.max(axis=1) > settings.abort_width) | ~np.isfinite(
+                widths
+            ).all(axis=1)
+            contained = np.zeros(active.size, dtype=bool)
+            reference_pick = np.full(active.size, -1, dtype=int)
+            # Mirror the sequential engine: compare against the most recent
+            # consolidated states first, record the first (newest) match.
+            for h_index in range(len(history) - 1, -1, -1):
+                pending = ~diverged & ~contained
+                if not pending.any():
+                    break
+                flags = history[h_index].contains(next_state)
+                newly = pending & flags
+                contained |= newly
+                reference_pick[newly] = h_index
+
+            exit_mask = diverged | contained
+            for row in np.nonzero(exit_mask)[0]:
+                sample = int(active[row])
+                records[sample] = _ContainmentRecord(
+                    contained=bool(contained[row]),
+                    diverged=bool(diverged[row]),
+                    state=next_state.element(row),
+                    reference=(
+                        history[reference_pick[row]].element(row)
+                        if contained[row]
+                        else None
+                    ),
+                    iterations=iteration + 1,
+                    consolidations=consolidations,
+                )
+            if exit_mask.any():
+                keep = np.nonzero(~exit_mask)[0]
+                active = active[keep]
+                if active.size == 0:
+                    break
+                state = next_state.select(keep)
+                history = deque(
+                    (entry.select(keep) for entry in history), maxlen=settings.history_size
+                )
+                if basis is not None:
+                    basis = basis[keep]
+                current_step = current_step.select(keep)
+            else:
+                state = next_state
+
+        for row, sample in enumerate(active):
+            records[int(sample)] = _ContainmentRecord(
+                contained=False,
+                diverged=False,
+                state=state.element(row),
+                reference=None,
+                iterations=settings.max_iterations,
+                consolidations=consolidations,
+            )
+        for active_rows, means in trace_log:
+            for row, sample in zip(active_rows.tolist(), means.tolist()):
+                records[row].width_trace.append(sample)
+        return records
+
+    # ------------------------------------------------------------------
+    # Phase two: batched tightening and certification
+    # ------------------------------------------------------------------
+
+    def _tighten_and_certify(
+        self,
+        input_elements: BatchedCHZonotope,
+        specs: Sequence[ClassificationSpec],
+        containment: List[_ContainmentRecord],
+        contained_samples: List[int],
+    ) -> Dict[int, _TighteningRecord]:
+        config = self._config
+        probe_budget = max(5, config.tighten_max_iterations // 5)
+        candidates = list(config.candidate_parameters())
+
+        # All tightening runs start from the same contraction states; stack
+        # them (and the per-sample postcondition matrices) once, so probe
+        # runs only gather rows instead of re-stacking elements.
+        stacks = _TighteningStacks(
+            inputs=input_elements.select(np.asarray(contained_samples)),
+            states=BatchedCHZonotope.from_elements(
+                [containment[s].state for s in contained_samples]
+            ),
+            previous=BatchedCHZonotope.from_elements(
+                [
+                    containment[s].reference
+                    if containment[s].reference is not None
+                    else containment[s].state
+                    for s in contained_samples
+                ]
+            ),
+            initial_states=[containment[s].state for s in contained_samples],
+            differences=np.stack(
+                [specs[s].difference_matrix() for s in contained_samples]
+            ),
+        )
+        count = len(contained_samples)
+        all_rows = np.arange(count)
+
+        probe_runs = [
+            self._run_tightening(stacks, all_rows, solver, alpha, 0.0, probe_budget)
+            for solver, alpha in candidates
+        ]
+        margins = np.array([[record.margin for record in run] for run in probe_runs])
+        best_candidate = np.argmax(margins, axis=0)
+        best: List[_TighteningRecord] = [
+            probe_runs[best_candidate[i]][i] for i in range(count)
+        ]
+
+        # Continue the most promising candidate with the full budget, grouped
+        # so samples sharing a candidate advance in one batch.
+        groups: Dict[int, List[int]] = {}
+        for i in range(count):
+            if not best[i].certified:
+                groups.setdefault(int(best_candidate[i]), []).append(i)
+        for candidate_index, rows in groups.items():
+            solver, alpha = candidates[candidate_index]
+            full = self._run_tightening(
+                stacks, np.asarray(rows), solver, alpha, 0.0, config.tighten_max_iterations
+            )
+            for i, record in zip(rows, full):
+                if record.margin >= best[i].margin:
+                    best[i] = record
+
+        deltas = config.slope_deltas()
+        if deltas:
+            eligible = [
+                i
+                for i in range(count)
+                if not best[i].certified
+                and best[i].margin > -config.slope_margin_threshold
+            ]
+            for delta in deltas:
+                rows = [i for i in eligible if not best[i].certified]
+                if not rows:
+                    break
+                by_candidate: Dict[Tuple[str, float], List[int]] = {}
+                for i in rows:
+                    by_candidate.setdefault((best[i].solver, best[i].alpha), []).append(i)
+                for (solver, alpha), group_rows in by_candidate.items():
+                    attempts = self._run_tightening(
+                        stacks, np.asarray(group_rows), solver, alpha,
+                        float(delta), config.tighten_max_iterations,
+                    )
+                    for i, record in zip(group_rows, attempts):
+                        if record.margin > best[i].margin:
+                            best[i] = record
+
+        for i in range(count):
+            best[i] = replace(
+                best[i],
+                state=_materialise(best[i].state),
+                output=_materialise(best[i].output),
+            )
+        return {contained_samples[i]: best[i] for i in range(count)}
+
+    def _run_tightening(
+        self,
+        stacks: "_TighteningStacks",
+        rows: np.ndarray,
+        solver: str,
+        alpha: float,
+        slope_delta: float,
+        budget: int,
+    ) -> List[_TighteningRecord]:
+        config = self._config
+        count = len(rows)
+        full_batch = count == stacks.states.batch_size and np.array_equal(
+            rows, np.arange(count)
+        )
+        step = make_batched_abstract_step(
+            self._model,
+            self._layout,
+            stacks.inputs if full_batch else stacks.inputs.select(rows),
+            solver,
+            alpha,
+            slope_delta=slope_delta,
+            use_box_component=config.use_box_component,
+        )
+        state = stacks.states if full_batch else stacks.states.select(rows)
+        previous = stacks.previous if full_batch else stacks.previous.select(rows)
+        difference_stack = stacks.differences[rows]
+
+        best_margin = np.full(count, -np.inf)
+        # Best states/outputs are tracked as (stack, row) references and only
+        # materialised for the finally selected record per sample — margins
+        # improve on most iterations, and copying a (n, k) slice out of the
+        # stack every time would rival the cost of the step itself.
+        best_state: List[Tuple[object, Optional[int]]] = [
+            (stacks.initial_states[r], None) for r in rows
+        ]
+        best_output: List[Optional[Tuple[object, int]]] = [None] * count
+        certified = np.zeros(count, dtype=bool)
+        since_improvement = np.zeros(count, dtype=int)
+        iterations = np.zeros(count, dtype=int)
+        trace_log: List[Tuple[np.ndarray, np.ndarray]] = []
+
+        active = np.arange(count)
+        current_step = step
+        for iteration in range(1, budget + 1):
+            if active.size == 0:
+                break
+            new_state = current_step(state)
+            iterations[active] = iteration
+            trace_log.append((active, new_state.mean_width))
+
+            if config.same_iteration_containment:
+                proper_previous = previous.consolidate(None, 0.0, 0.0)
+                usable = proper_previous.contains(new_state)
+            else:
+                usable = np.ones(active.size, dtype=bool)
+
+            outputs = new_state.affine(self._output_selector, self._model.v_bias)
+            differences = outputs.affine(difference_stack[active])
+            lower, _ = differences.concretize_bounds()
+            margins = lower.min(axis=1)
+            holds = margins > 0.0
+
+            improved = usable & (margins > best_margin[active])
+            for row in np.nonzero(improved)[0]:
+                sample_row = int(active[row])
+                best_margin[sample_row] = margins[row]
+                best_state[sample_row] = (new_state, int(row))
+                best_output[sample_row] = (outputs, int(row))
+                since_improvement[sample_row] = 0
+            stalled = active[~improved]
+            since_improvement[stalled] += 1
+
+            certified_now = usable & holds
+            certified[active[certified_now]] = True
+
+            widths = new_state.width
+            aborted = ~np.isfinite(widths).all(axis=1) | (
+                widths.max(axis=1) > config.contraction.abort_width
+            )
+            exhausted = since_improvement[active] >= config.tighten_patience
+
+            exit_mask = certified_now | aborted | exhausted
+            if exit_mask.any():
+                keep = np.nonzero(~exit_mask)[0]
+                active = active[keep]
+                if active.size == 0:
+                    break
+                previous = state.select(keep)
+                state = new_state.select(keep)
+                current_step = current_step.select(keep)
+            else:
+                previous = state
+                state = new_state
+
+        traces: List[List[float]] = [[] for _ in range(count)]
+        for active_rows, means in trace_log:
+            for row, mean in zip(active_rows.tolist(), means.tolist()):
+                traces[row].append(mean)
+        return [
+            _TighteningRecord(
+                certified=bool(certified[i]),
+                margin=float(best_margin[i]),
+                iterations=int(iterations[i]),
+                state=best_state[i],
+                output=best_output[i],
+                alpha=alpha,
+                solver=solver,
+                slope_delta=slope_delta,
+                width_trace=traces[i],
+            )
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Result assembly (mirrors CraftVerifier.solve)
+    # ------------------------------------------------------------------
+
+    def _assemble_result(
+        self,
+        containment: _ContainmentRecord,
+        tightening: Optional[_TighteningRecord],
+        time_seconds: float,
+    ) -> VerificationResult:
+        if not containment.contained:
+            outcome = (
+                VerificationOutcome.DIVERGED
+                if containment.diverged
+                else VerificationOutcome.NO_CONTAINMENT
+            )
+            return VerificationResult(
+                outcome=outcome,
+                contained=False,
+                certified=False,
+                margin=-np.inf,
+                iterations_phase1=containment.iterations,
+                iterations_phase2=0,
+                time_seconds=time_seconds,
+                fixpoint_abstraction=FixpointAbstraction(
+                    element=containment.state,
+                    contained=False,
+                    iterations_phase1=containment.iterations,
+                    iterations_phase2=0,
+                    width_trace_phase1=containment.width_trace,
+                ),
+                notes="containment phase did not detect contraction",
+            )
+        outcome = (
+            VerificationOutcome.VERIFIED
+            if tightening.certified
+            else VerificationOutcome.UNKNOWN
+        )
+        abstraction = FixpointAbstraction(
+            element=tightening.state,
+            contained=True,
+            iterations_phase1=containment.iterations,
+            iterations_phase2=tightening.iterations,
+            width_trace_phase1=containment.width_trace,
+            width_trace_phase2=tightening.width_trace,
+        )
+        return VerificationResult(
+            outcome=outcome,
+            contained=True,
+            certified=tightening.certified,
+            margin=tightening.margin,
+            iterations_phase1=containment.iterations,
+            iterations_phase2=tightening.iterations,
+            time_seconds=time_seconds,
+            selected_alpha2=tightening.alpha,
+            selected_solver2=tightening.solver,
+            slope_optimized=tightening.slope_delta != 0.0,
+            fixpoint_abstraction=abstraction,
+            output_element=tightening.output,
+        )

@@ -1,0 +1,220 @@
+"""Batch scheduling and the on-disk fixpoint cache.
+
+The scheduler is the entry point the verification front-ends use: it takes
+an arbitrary number of certification queries against one set of monDEQ
+weights, answers what it can from the cache, chunks the misses into batches
+of ``batch_size`` and runs :class:`~repro.engine.craft.BatchedCraft` per
+chunk, then aggregates everything into an
+:class:`~repro.engine.results.EngineReport`.
+
+Cache entries are keyed by ``sha256(weights hash | center bytes | epsilon |
+clip range | target | config signature)`` — see :class:`FixpointCache` for
+the exact layout — so re-running a sweep with unchanged weights (the
+Table 2 / Fig. 11 setting) skips already-certified regions entirely.  Only
+scalar verdict data (outcome, margin, iteration counts) is persisted; the
+abstraction elements are not, since cached queries do not need them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.core.results import VerificationOutcome, VerificationResult
+from repro.engine.craft import BatchedCraft
+from repro.engine.results import EngineReport
+from repro.exceptions import ConfigurationError
+from repro.mondeq.model import MonDEQ
+
+
+def weights_hash(model: MonDEQ) -> str:
+    """A stable hexadecimal digest of the model's parameters."""
+    digest = hashlib.sha256()
+    for name in sorted(model.parameters()):
+        array = np.ascontiguousarray(model.parameters()[name], dtype=float)
+        digest.update(name.encode())
+        digest.update(array.tobytes())
+    digest.update(repr(float(model.monotonicity)).encode())
+    return digest.hexdigest()
+
+
+def _config_signature(config: CraftConfig) -> str:
+    """The configuration fields that influence a certification verdict.
+
+    The library version is part of the signature: an upgrade that changes
+    certification behaviour (solver numerics, membership tolerances, …)
+    must invalidate on-disk verdicts by construction.
+    """
+    import repro  # late import: repro/__init__ imports this module's package
+
+    fields = (
+        repro.__version__,
+        config.domain, config.solver1, config.alpha1, config.solver2,
+        config.alpha2, tuple(config.alpha2_grid), config.expansion,
+        config.w_mul, config.w_add, config.expansion_mul_growth,
+        config.expansion_add_growth, config.expansion_growth_every,
+        config.slope_optimization, tuple(config.slope_candidates_reduced),
+        tuple(config.slope_candidates_reference), config.slope_margin_threshold,
+        config.same_iteration_containment, config.use_box_component,
+        config.tighten_max_iterations, config.tighten_patience,
+        config.concrete_tol, config.concrete_max_iterations,
+        config.contraction.max_iterations, config.contraction.consolidate_every,
+        config.contraction.basis_recompute_every, config.contraction.history_size,
+        config.contraction.abort_width,
+    )
+    return repr(fields)
+
+
+class FixpointCache:
+    """Directory-backed cache of certification verdicts.
+
+    One JSON file per query, named by the query key.  Values restore a
+    :class:`VerificationResult` without the abstraction elements (which are
+    only needed by the live certification path, never by cache consumers).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @staticmethod
+    def query_key(
+        model_digest: str,
+        center: np.ndarray,
+        epsilon: float,
+        target: int,
+        config: CraftConfig,
+        clip_min: Optional[float],
+        clip_max: Optional[float],
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(model_digest.encode())
+        digest.update(np.ascontiguousarray(center, dtype=float).tobytes())
+        digest.update(repr((float(epsilon), clip_min, clip_max, int(target))).encode())
+        digest.update(_config_signature(config).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[VerificationResult]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return VerificationResult(
+            outcome=VerificationOutcome(data["outcome"]),
+            contained=bool(data["contained"]),
+            certified=bool(data["certified"]),
+            margin=float(data["margin"]),
+            iterations_phase1=int(data["iterations_phase1"]),
+            iterations_phase2=int(data["iterations_phase2"]),
+            time_seconds=float(data["time_seconds"]),
+            selected_alpha2=data.get("selected_alpha2"),
+            selected_solver2=data.get("selected_solver2"),
+            slope_optimized=bool(data.get("slope_optimized", False)),
+            notes=data.get("notes", "") + " [cached]",
+        )
+
+    def store(self, key: str, result: VerificationResult) -> None:
+        payload = {
+            "outcome": result.outcome.value,
+            "contained": result.contained,
+            "certified": result.certified,
+            # json round-trips -Infinity natively, so -inf margins
+            # (misclassified / no-containment queries) survive unchanged.
+            "margin": float(result.margin),
+            "iterations_phase1": result.iterations_phase1,
+            "iterations_phase2": result.iterations_phase2,
+            "time_seconds": result.time_seconds,
+            "selected_alpha2": result.selected_alpha2,
+            "selected_solver2": result.selected_solver2,
+            "slope_optimized": result.slope_optimized,
+            "notes": result.notes,
+        }
+        path = self._path(key)
+        temporary = f"{path}.tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temporary, path)
+
+
+class BatchCertificationScheduler:
+    """Chunk certification queries into batches and aggregate the verdicts."""
+
+    def __init__(
+        self,
+        model: MonDEQ,
+        config: Optional[CraftConfig] = None,
+        batch_size: int = 64,
+        cache_dir: Optional[str] = None,
+    ):
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be positive")
+        self.model = model
+        self.config = config if config is not None else CraftConfig()
+        self.batch_size = batch_size
+        self.cache = FixpointCache(cache_dir) if cache_dir is not None else None
+        self._craft = BatchedCraft(model, self.config)
+        self._model_digest = weights_hash(model) if self.cache is not None else None
+
+    def certify(
+        self,
+        xs: np.ndarray,
+        labels: Sequence[int],
+        epsilon: float,
+        clip_min: Optional[float] = 0.0,
+        clip_max: Optional[float] = 1.0,
+    ) -> EngineReport:
+        """Certify every (row of ``xs``, label) query, using cache and batches."""
+        start = time.perf_counter()
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        labels = np.asarray(labels, dtype=int).reshape(-1)
+        total = xs.shape[0]
+        results: List[Optional[VerificationResult]] = [None] * total
+
+        keys: List[Optional[str]] = [None] * total
+        misses: List[int] = []
+        cache_hits = 0
+        for index in range(total):
+            if self.cache is not None:
+                key = FixpointCache.query_key(
+                    self._model_digest, xs[index], epsilon, int(labels[index]),
+                    self.config, clip_min, clip_max,
+                )
+                keys[index] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    cache_hits += 1
+                    continue
+            misses.append(index)
+
+        num_batches = 0
+        for offset in range(0, len(misses), self.batch_size):
+            chunk = misses[offset : offset + self.batch_size]
+            chunk_results = self._craft.certify(
+                xs[chunk], labels[chunk], epsilon, clip_min=clip_min, clip_max=clip_max
+            )
+            num_batches += 1
+            for index, result in zip(chunk, chunk_results):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store(keys[index], result)
+
+        return EngineReport(
+            results=results,
+            cache_hits=cache_hits,
+            num_batches=num_batches,
+            elapsed_seconds=time.perf_counter() - start,
+        )

@@ -241,6 +241,86 @@ def make_abstract_step(
     return step
 
 
+class BatchedAbstractStep:
+    """The batched abstract transformer ``S -> g#_alpha(X, S)`` over a stack.
+
+    The per-sample semantics are exactly those of the step built by
+    :func:`make_abstract_step`; the input-injection element is a
+    :class:`~repro.engine.batched_chzonotope.BatchedCHZonotope` precomputed
+    from the whole batch of input regions.  :meth:`select` derives the step
+    for a sub-batch, which is how the batched Craft driver keeps iterating
+    only the still-active samples after early exits.
+    """
+
+    def __init__(self, state_matrix, injection, pass_through, slope_delta, use_box_component):
+        self._state_matrix = state_matrix
+        self._injection = injection
+        self._pass_through = pass_through
+        self._slope_delta = slope_delta
+        self._use_box_component = use_box_component
+
+    @property
+    def batch_size(self) -> int:
+        return self._injection.batch_size
+
+    def select(self, indices) -> "BatchedAbstractStep":
+        """The same step restricted to the given sample rows."""
+        return BatchedAbstractStep(
+            self._state_matrix,
+            self._injection.select(indices),
+            self._pass_through,
+            self._slope_delta,
+            self._use_box_component,
+        )
+
+    def __call__(self, state):
+        if state.dim != self._state_matrix.shape[0]:
+            raise DomainError(
+                f"solver state has dimension {state.dim}, "
+                f"expected {self._state_matrix.shape[0]}"
+            )
+        if state.batch_size != self._injection.batch_size:
+            raise DomainError(
+                f"state batch {state.batch_size} does not match the injection "
+                f"batch {self._injection.batch_size}"
+            )
+        propagated = state.affine(self._state_matrix).sum(self._injection)
+        slopes = None
+        if self._slope_delta != 0.0:
+            slopes = propagated.relu_slopes(self._slope_delta)
+        return propagated.relu(
+            slopes=slopes,
+            box_new_errors=self._use_box_component,
+            pass_through=self._pass_through,
+        )
+
+
+def make_batched_abstract_step(
+    model: MonDEQ,
+    layout: StateLayout,
+    batched_input,
+    solver: str,
+    alpha: float,
+    slope_delta: float = 0.0,
+    use_box_component: bool = True,
+) -> BatchedAbstractStep:
+    """Batched counterpart of :func:`make_abstract_step`.
+
+    ``batched_input`` is a ``BatchedCHZonotope`` stacking the input-region
+    abstractions of the whole batch (one row per certification query).
+    """
+    if solver == "fb":
+        state_matrix, input_matrix, bias = fb_state_matrices(model, alpha, layout)
+    elif solver == "pr":
+        state_matrix, input_matrix, bias = pr_state_matrices(model, alpha, layout)
+    else:
+        raise ConfigurationError(f"unknown solver {solver!r}")
+    injection = batched_input.affine(input_matrix, bias)
+    return BatchedAbstractStep(
+        state_matrix, injection, layout.relu_pass_through(), slope_delta, use_box_component
+    )
+
+
 def build_initial_state(
     model: MonDEQ,
     layout: StateLayout,

@@ -175,6 +175,11 @@ class MonDEQ:
         z = ensure_vector(z, "z", dim=self.latent_dim)
         return self.v_weight @ z + self.v_bias
 
+    def readout_batch(self, zs: np.ndarray) -> np.ndarray:
+        """The classification layer applied to rows of ``zs``."""
+        zs = np.atleast_2d(np.asarray(zs, dtype=float))
+        return zs @ self.v_weight.T + self.v_bias[None, :]
+
     def forward(self, x: np.ndarray, solver: str = "pr", alpha: Optional[float] = None,
                 tol: float = 1e-9, max_iterations: int = 2000) -> np.ndarray:
         """Logits of a single input (solves the fixpoint to tolerance ``tol``)."""
@@ -184,10 +189,15 @@ class MonDEQ:
                                 max_iterations=max_iterations)
         return self.readout(result.z)
 
-    def forward_batch(self, xs: np.ndarray, **kwargs) -> np.ndarray:
-        """Logits for each row of ``xs``."""
+    def forward_batch(self, xs: np.ndarray, solver: str = "pr", alpha: Optional[float] = None,
+                      tol: float = 1e-9, max_iterations: int = 2000) -> np.ndarray:
+        """Logits for each row of ``xs`` (one vectorised fixpoint solve)."""
+        from repro.mondeq.solvers import solve_fixpoint_batch
+
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
-        return np.vstack([self.forward(x, **kwargs) for x in xs])
+        result = solve_fixpoint_batch(self, xs, method=solver, alpha=alpha, tol=tol,
+                                      max_iterations=max_iterations)
+        return self.readout_batch(result.z)
 
     def predict(self, x: np.ndarray, **kwargs) -> int:
         """Predicted class of a single input."""
@@ -195,8 +205,7 @@ class MonDEQ:
 
     def predict_batch(self, xs: np.ndarray, **kwargs) -> np.ndarray:
         """Predicted classes for each row of ``xs``."""
-        xs = np.atleast_2d(np.asarray(xs, dtype=float))
-        return np.array([self.predict(x, **kwargs) for x in xs], dtype=int)
+        return np.argmax(self.forward_batch(xs, **kwargs), axis=1).astype(int)
 
     # ------------------------------------------------------------------
     # Parameter access / serialisation

@@ -7,12 +7,19 @@ Craft tries to certify that every input in the cell is classified to the
 class predicted at the cell's centre.  Cells that cannot be certified up to
 a maximum depth remain uncovered; the paper reports 82.8 % coverage of the
 relevant HCAS input region.
+
+By default the splitting loop is a breadth-first frontier whose levels are
+certified by the batched engine (:mod:`repro.engine`) — every cell of a
+depth level shares the model weights, so a whole level is one vectorised
+pass.  ``use_engine=False`` restores the sequential depth-first recursion,
+kept as the reference implementation; both produce the same cell
+decomposition (up to ordering of the cell list).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -74,17 +81,31 @@ class DomainSplittingCertifier:
         config: Optional[CraftConfig] = None,
         max_depth: int = 4,
         min_cell_width: float = 1e-3,
+        use_engine: bool = True,
     ):
         self.model = model
         self.config = config if config is not None else CraftConfig()
         self.max_depth = max_depth
         self.min_cell_width = min_cell_width
         self._verifier = CraftVerifier(self.config)
+        self._engine = None
+        if use_engine and self.config.domain == "chzonotope":
+            from repro.engine.craft import BatchedCraft
+
+            self._engine = BatchedCraft(model, self.config)
 
     def certify_region(self, region: Interval) -> GlobalCertificationResult:
-        """Recursively certify ``region``; returns the full cell decomposition."""
+        """Certify ``region``; returns the full cell decomposition.
+
+        With the engine enabled (default) the decomposition proceeds
+        breadth-first, certifying every cell of a depth level in one
+        batched pass; otherwise the reference depth-first recursion runs.
+        """
         result = GlobalCertificationResult()
-        self._certify_recursive(region, depth=0, result=result)
+        if self._engine is None:
+            self._certify_recursive(region, depth=0, result=result)
+            return result
+        self._certify_frontier(region, result)
         return result
 
     # ------------------------------------------------------------------
@@ -92,16 +113,65 @@ class DomainSplittingCertifier:
     def _cell_prediction(self, region: Interval) -> int:
         return int(self.model.predict(region.center))
 
-    def _certify_cell(self, region: Interval, predicted: int) -> bool:
-        spec = ClassificationSpec(target=predicted, num_classes=self.model.output_dim)
+    def _cell_ball(self, region: Interval) -> LinfBall:
         # A box region is an l-infinity ball around its centre with per-dim
         # radius; LinfBall only supports a scalar radius, so the cell is
         # over-approximated by the enclosing ball (sound: a superset).
         radius = float(np.max(region.radius))
-        ball = LinfBall(
-            center=region.center, epsilon=radius, clip_min=None, clip_max=None
-        )
-        problem = build_fixpoint_problem(self.model, ball, spec, self.config)
+        return LinfBall(center=region.center, epsilon=radius, clip_min=None, clip_max=None)
+
+    def _can_split(self, region: Interval, depth: int) -> bool:
+        return depth < self.max_depth and float(np.max(region.width)) > 2 * self.min_cell_width
+
+    def _frontier_predictions(
+        self, frontier: List[Tuple[Interval, int]]
+    ) -> Tuple[List[int], Optional[np.ndarray]]:
+        """Predicted classes of the cell centres, solved as one batch.
+
+        Also returns the solved fixpoints as phase-zero anchors when the
+        configuration uses exactly the prediction-pass solver parameters,
+        so ``certify_regions`` does not re-solve the same centres.
+        """
+        from repro.engine.craft import anchor_reuse_valid
+        from repro.mondeq.solvers import solve_fixpoint_batch
+
+        centers = np.stack([cell.center for cell, _ in frontier])
+        fixpoints = solve_fixpoint_batch(self.model, centers, method="pr")
+        predictions = [
+            int(p) for p in self.model.readout_batch(fixpoints.z).argmax(axis=1)
+        ]
+        anchors = fixpoints.z if anchor_reuse_valid(self.model, self.config) else None
+        return predictions, anchors
+
+    def _certify_frontier(self, region: Interval, result: GlobalCertificationResult) -> None:
+        frontier: List[Tuple[Interval, int]] = [(region, 0)]
+        while frontier:
+            predictions, anchors = self._frontier_predictions(frontier)
+            balls = [self._cell_ball(cell) for cell, _ in frontier]
+            specs = [
+                ClassificationSpec(target=predicted, num_classes=self.model.output_dim)
+                for predicted in predictions
+            ]
+            outcomes = self._engine.certify_regions(balls, specs, anchors)
+            next_frontier: List[Tuple[Interval, int]] = []
+            for (cell, depth), predicted, outcome in zip(frontier, predictions, outcomes):
+                if outcome.certified:
+                    result.cells.append(
+                        CertifiedCell(region=cell, predicted_class=predicted, certified=True, depth=depth)
+                    )
+                elif self._can_split(cell, depth):
+                    left, right = cell.split()
+                    next_frontier.append((left, depth + 1))
+                    next_frontier.append((right, depth + 1))
+                else:
+                    result.cells.append(
+                        CertifiedCell(region=cell, predicted_class=predicted, certified=False, depth=depth)
+                    )
+            frontier = next_frontier
+
+    def _certify_cell(self, region: Interval, predicted: int) -> bool:
+        spec = ClassificationSpec(target=predicted, num_classes=self.model.output_dim)
+        problem = build_fixpoint_problem(self.model, self._cell_ball(region), spec, self.config)
         outcome = self._verifier.solve(problem)
         return outcome.certified
 
@@ -114,8 +184,7 @@ class DomainSplittingCertifier:
                 CertifiedCell(region=region, predicted_class=predicted, certified=True, depth=depth)
             )
             return
-        can_split = depth < self.max_depth and float(np.max(region.width)) > 2 * self.min_cell_width
-        if not can_split:
+        if not self._can_split(region, depth):
             result.cells.append(
                 CertifiedCell(region=region, predicted_class=predicted, certified=False, depth=depth)
             )

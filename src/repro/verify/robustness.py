@@ -9,6 +9,11 @@ two phases and reports a :class:`~repro.core.results.VerificationResult`.
 It also provides the dataset-level evaluation harness used by Tables 2
 and 3: natural accuracy, the PGD upper bound (``#Bound``), containment
 count (``#Cont.``), certified count (``#Cert.``) and mean runtime.
+
+Sweeps over many regions route through the batched certification engine
+(:mod:`repro.engine`) by default — see :func:`certify_local_robustness`;
+the per-sample :func:`certify_sample` loop is kept as the reference
+implementation the engine's parity tests compare against.
 """
 
 from __future__ import annotations
@@ -156,6 +161,56 @@ def fixpoint_set_abstraction(
     return abstraction, make_z_extractor(layout)
 
 
+def certify_local_robustness(
+    model: MonDEQ,
+    xs: np.ndarray,
+    labels: np.ndarray,
+    epsilon: float,
+    config: Optional[CraftConfig] = None,
+    engine: str = "batched",
+    batch_size: int = 64,
+    cache_dir: Optional[str] = None,
+    clip_min: Optional[float] = 0.0,
+    clip_max: Optional[float] = 1.0,
+) -> List[VerificationResult]:
+    """Certify l-infinity robustness for every (row of ``xs``, label) query.
+
+    ``engine`` selects the execution strategy:
+
+    * ``"batched"`` (default) routes through the vectorised certification
+      engine (:mod:`repro.engine`): the whole sweep shares one
+      :class:`~repro.engine.scheduler.BatchCertificationScheduler`, which
+      certifies up to ``batch_size`` regions per pass and optionally
+      persists verdicts to ``cache_dir``.  Only the CH-Zonotope domain is
+      vectorised; other domains silently fall back to the sequential path.
+    * ``"sequential"`` maps :func:`certify_sample` over the queries — the
+      reference implementation the engine's parity tests compare against.
+
+    Both paths return per-query results in input order with identical
+    verdicts (the engine's parity contract).
+    """
+    config = config if config is not None else CraftConfig()
+    if engine not in ("batched", "sequential"):
+        raise VerificationError(f"unknown engine {engine!r}; choose 'batched' or 'sequential'")
+    xs = np.atleast_2d(np.asarray(xs, dtype=float))
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if xs.shape[0] != labels.shape[0]:
+        raise VerificationError(
+            f"xs and labels must have matching lengths, got {xs.shape[0]} vs {labels.shape[0]}"
+        )
+    if engine == "batched" and config.domain == "chzonotope":
+        from repro.engine.scheduler import BatchCertificationScheduler
+
+        scheduler = BatchCertificationScheduler(
+            model, config, batch_size=batch_size, cache_dir=cache_dir
+        )
+        return scheduler.certify(xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max).results
+    return [
+        certify_sample(model, x, int(label), epsilon, config, clip_min=clip_min, clip_max=clip_max)
+        for x, label in zip(xs, labels)
+    ]
+
+
 @dataclass
 class SampleRecord:
     """Per-sample record of the dataset-level evaluation (Tables 2 / 3)."""
@@ -240,12 +295,15 @@ class RobustnessVerifier:
         max_samples: Optional[int] = None,
         run_attack: bool = True,
         seed: SeedLike = 0,
+        engine: str = "batched",
     ) -> RobustnessReport:
         """Evaluate the first ``max_samples`` samples (paper: first 100).
 
         For each correctly classified sample the PGD attack provides the
         empirical-robustness upper bound, and Craft attempts certification;
-        misclassified samples only count towards natural accuracy.
+        misclassified samples only count towards natural accuracy.  The
+        certification sweep routes through the batched engine by default
+        (``engine="sequential"`` restores the per-sample reference loop).
         """
         rng = as_generator(seed)
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
@@ -254,15 +312,21 @@ class RobustnessVerifier:
             xs = xs[:max_samples]
             labels = labels[:max_samples]
 
+        results = certify_local_robustness(
+            self.model, xs, labels, epsilon, self.config, engine=engine
+        )
+        # One vectorised fixpoint pass recovers every prediction (same
+        # pr/tol defaults as model.predict) instead of a sequential solve
+        # per record.
+        predictions = self.model.predict_batch(xs)
         report = RobustnessReport(model_name=self.model.name, epsilon=epsilon)
-        for index, (x, label) in enumerate(zip(xs, labels)):
-            prediction = self.model.predict(x)
+        for index, (x, label, result) in enumerate(zip(xs, labels, results)):
+            prediction = int(predictions[index])
             correct = prediction == label
             empirically_robust: Optional[bool] = None
             if correct and run_attack:
                 attack = pgd_attack(self.model, x, int(label), epsilon, self.attack_config, seed=rng)
                 empirically_robust = not attack.success
-            result = certify_sample(self.model, x, int(label), epsilon, self.config)
             report.records.append(
                 SampleRecord(
                     index=index,

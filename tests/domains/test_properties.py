@@ -3,121 +3,196 @@
 These encode the soundness contracts the whole verifier relies on:
 
 * abstract transformers over-approximate the concrete function on samples,
-* consolidation and expansion only ever enlarge concretisations,
+* consolidation, expansion, enclosure and order reduction only ever enlarge
+  concretisations,
 * the Theorem 4.2 containment check is never unsound,
 * joins are upper bounds.
+
+The element strategies are shared with the engine tests via
+:mod:`strategies` (``tests/strategies.py``), so every abstract transformer
+— sequential and batched — is exercised on the same distribution.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
-from hypothesis.extra.numpy import arrays
+
+from strategies import (
+    FINITE,
+    box_vectors,
+    centers,
+    generator_matrices,
+    invertible_matrices,
+    sample_points,
+    weight_matrices,
+)
 
 from repro.domains.chzonotope import CHZonotope
 from repro.domains.interval import Interval
+from repro.domains.order_reduction import reduce_order
+from repro.domains.parallelotope import Parallelotope
 from repro.domains.zonotope import Zonotope
 
 _DIM = 3
-_FINITE = {"allow_nan": False, "allow_infinity": False}
 
-centers = arrays(np.float64, (_DIM,), elements=st.floats(-5, 5, **_FINITE))
-generator_matrices = arrays(np.float64, (_DIM, 4), elements=st.floats(-2, 2, **_FINITE))
-box_vectors = arrays(np.float64, (_DIM,), elements=st.floats(0, 1.5, **_FINITE))
-weights = arrays(np.float64, (2, _DIM), elements=st.floats(-3, 3, **_FINITE))
-unit_floats = st.floats(0, 1, **_FINITE)
-
-
-def _sample(element, count=24, seed=0):
-    return element.sample(count, np.random.default_rng(seed))
+widths = st.builds(
+    lambda lower, width: (lower, lower + width),
+    centers(bound=4.0),
+    box_vectors(bound=3.0),
+)
 
 
 @settings(max_examples=40, deadline=None)
-@given(center=centers, generators=generator_matrices, box=box_vectors, weight=weights)
+@given(center=centers(), generators=generator_matrices(), box=box_vectors(), weight=weight_matrices())
 def test_chzonotope_affine_transformer_sound(center, generators, box, weight):
     element = CHZonotope(center, generators, box)
     image = element.affine(weight)
-    for point in _sample(element):
+    for point in sample_points(element):
         assert image.contains_point(weight @ point, tol=1e-6)
 
 
 @settings(max_examples=40, deadline=None)
-@given(center=centers, generators=generator_matrices, box=box_vectors)
+@given(center=centers(), generators=generator_matrices(), box=box_vectors())
 def test_chzonotope_relu_transformer_sound(center, generators, box):
     element = CHZonotope(center, generators, box)
     image = element.relu()
-    for point in _sample(element):
+    for point in sample_points(element):
         assert image.contains_point(np.maximum(point, 0.0), tol=1e-6)
 
 
 @settings(max_examples=40, deadline=None)
 @given(
-    center=centers,
-    generators=generator_matrices,
-    box=box_vectors,
-    w_mul=st.floats(0, 0.2, **_FINITE),
-    w_add=st.floats(0, 0.2, **_FINITE),
+    center=centers(),
+    generators=generator_matrices(),
+    box=box_vectors(),
+    w_mul=st.floats(0, 0.2, **FINITE),
+    w_add=st.floats(0, 0.2, **FINITE),
 )
 def test_consolidation_and_expansion_enlarge(center, generators, box, w_mul, w_add):
     element = CHZonotope(center, generators, box)
     consolidated = element.consolidate(w_mul=w_mul, w_add=w_add)
     assert consolidated.is_proper
-    for point in _sample(element):
+    for point in sample_points(element):
         assert consolidated.contains_point(point, tol=1e-6)
 
 
 @settings(max_examples=30, deadline=None)
 @given(
-    center=centers,
-    generators=generator_matrices,
-    box=box_vectors,
-    inner_center=centers,
-    inner_generators=generator_matrices,
+    center=centers(),
+    generators=generator_matrices(),
+    box=box_vectors(),
+    inner_center=centers(),
+    inner_generators=generator_matrices(),
 )
 def test_containment_check_never_unsound(center, generators, box, inner_center, inner_generators):
     outer = CHZonotope(center, generators, box).consolidate()
     inner = CHZonotope(center + 0.05 * (inner_center - center), 0.3 * inner_generators, None)
     if outer.contains(inner):
         for point in np.vstack(
-            [inner.sample_vertices(24, np.random.default_rng(1)), _sample(inner)]
+            [inner.sample_vertices(24, np.random.default_rng(1)), sample_points(inner)]
         ):
             assert outer.contains_point(point, tol=1e-5)
 
 
 @settings(max_examples=40, deadline=None)
-@given(center=centers, generators=generator_matrices, other_center=centers, other_generators=generator_matrices)
+@given(
+    center=centers(),
+    generators=generator_matrices(),
+    other_center=centers(),
+    other_generators=generator_matrices(),
+)
 def test_chzonotope_join_is_upper_bound(center, generators, other_center, other_generators):
     a = CHZonotope(center, generators, None)
     b = CHZonotope(other_center, other_generators, None)
     joined = a.join(b)
-    for point in np.vstack([_sample(a), _sample(b, seed=2)]):
+    for point in np.vstack([sample_points(a), sample_points(b, seed=2)]):
         assert joined.contains_point(point, tol=1e-6)
 
 
 @settings(max_examples=40, deadline=None)
-@given(
-    lower=arrays(np.float64, (_DIM,), elements=st.floats(-4, 4, **_FINITE)),
-    width=arrays(np.float64, (_DIM,), elements=st.floats(0, 3, **_FINITE)),
-    weight=weights,
-)
-def test_interval_affine_sound(lower, width, weight):
-    box = Interval(lower, lower + width)
+@given(bounds=widths, weight=weight_matrices())
+def test_interval_affine_sound(bounds, weight):
+    lower, upper = bounds
+    box = Interval(lower, upper)
     image = box.affine(weight)
-    for point in _sample(box):
+    for point in sample_points(box):
         assert image.contains_point(weight @ point, tol=1e-6)
 
 
 @settings(max_examples=40, deadline=None)
-@given(center=centers, generators=generator_matrices)
+@given(center=centers(), generators=generator_matrices())
 def test_zonotope_relu_sound(center, generators):
     z = Zonotope(center, generators)
     image = z.relu()
-    for point in _sample(z):
+    for point in sample_points(z):
         assert image.contains_point(np.maximum(point, 0.0), tol=1e-6)
 
 
 @settings(max_examples=40, deadline=None)
-@given(center=centers, generators=generator_matrices, factor=st.floats(-2, 2, **_FINITE))
+@given(center=centers(), generators=generator_matrices(), factor=st.floats(-2, 2, **FINITE))
 def test_zonotope_scale_sound(center, generators, factor):
     z = Zonotope(center, generators)
     image = z.scale(factor)
-    for point in _sample(z):
+    for point in sample_points(z):
         assert image.contains_point(factor * point, tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Parallelotope: enclosure and transformers
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers(), generators=generator_matrices(), box=box_vectors())
+def test_parallelotope_enclosing_contains_element(center, generators, box):
+    element = CHZonotope(center, generators, box)
+    enclosure = Parallelotope.enclosing(element)
+    assert enclosure.is_proper
+    for point in sample_points(element):
+        assert enclosure.contains_point(point, tol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers(), generators=invertible_matrices(), weight=weight_matrices())
+def test_parallelotope_affine_sound(center, generators, weight):
+    element = Parallelotope(center, generators)
+    image = element.affine(weight)
+    for point in sample_points(element):
+        assert image.contains_point(weight @ point, tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(center=centers(), generators=invertible_matrices())
+def test_parallelotope_relu_sound(center, generators):
+    element = Parallelotope(center, generators)
+    image = element.relu()
+    for point in sample_points(element):
+        assert image.contains_point(np.maximum(point, 0.0), tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Order reduction: every strategy over-approximates
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", ["box", "pca", "girard"])
+@settings(max_examples=30, deadline=None)
+@given(center=centers(), generators=generator_matrices(count=7))
+def test_order_reduction_sound(method, center, generators):
+    z = Zonotope(center, generators)
+    reduced = reduce_order(z, method=method)
+    assert reduced.num_generators <= z.num_generators + z.dim
+    for point in np.vstack(
+        [sample_points(z), z.sample_vertices(12, np.random.default_rng(3))]
+    ):
+        assert reduced.contains_point(point, tol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(center=centers(), generators=generator_matrices(count=9))
+def test_order_reduction_girard_respects_target_order(center, generators):
+    z = Zonotope(center, generators)
+    reduced = reduce_order(z, method="girard", order=2.0)
+    assert reduced.num_generators <= 2 * z.dim
+    for point in sample_points(z):
+        assert reduced.contains_point(point, tol=1e-5)

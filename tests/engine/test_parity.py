@@ -1,0 +1,205 @@
+"""Batched-vs-sequential parity: the engine's core correctness contract.
+
+For seeded sets of regions the batched driver must return identical
+verdicts (outcome, containment, certification, selected tightening
+parameters) and matching bounds (within 1e-9) to the per-sample sequential
+``CraftVerifier`` loop — including batches whose samples exit early at
+different iterations.
+
+Phase-2 iteration *counts* are deliberately not compared: on a converged
+tightening plateau successive margins differ at machine epsilon, so the
+patience counter may stop the batched and sequential loops a few iterations
+apart while margins and bounds still agree to ~1e-16.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ContractionSettings, CraftConfig
+from repro.engine import BatchedCraft
+from repro.exceptions import ConfigurationError
+from repro.verify.robustness import certify_local_robustness, certify_sample
+
+BOUND_TOL = 1e-9
+
+
+def _assert_result_parity(sequential, batched):
+    __tracebackhide__ = True
+    assert sequential.outcome == batched.outcome
+    assert sequential.contained == batched.contained
+    assert sequential.certified == batched.certified
+    assert sequential.iterations_phase1 == batched.iterations_phase1
+    assert sequential.selected_solver2 == batched.selected_solver2
+    assert sequential.selected_alpha2 == batched.selected_alpha2
+    if np.isfinite(sequential.margin) or np.isfinite(batched.margin):
+        assert sequential.margin == pytest.approx(batched.margin, abs=BOUND_TOL)
+    else:
+        assert sequential.margin == batched.margin
+    for seq_el, bat_el in (
+        (sequential.output_element, batched.output_element),
+        (
+            sequential.fixpoint_abstraction.element
+            if sequential.fixpoint_abstraction is not None
+            else None,
+            batched.fixpoint_abstraction.element
+            if batched.fixpoint_abstraction is not None
+            else None,
+        ),
+    ):
+        assert (seq_el is None) == (bat_el is None)
+        if seq_el is not None:
+            seq_lower, seq_upper = seq_el.concretize_bounds()
+            bat_lower, bat_upper = bat_el.concretize_bounds()
+            np.testing.assert_allclose(seq_lower, bat_lower, atol=BOUND_TOL)
+            np.testing.assert_allclose(seq_upper, bat_upper, atol=BOUND_TOL)
+
+
+def _evaluation_set(toy_data, count=16):
+    xs, ys = toy_data
+    return xs[120 : 120 + count], ys[120 : 120 + count].astype(int)
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("epsilon", [1e-4, 0.05, 0.5])
+    def test_verdicts_identical_to_sequential_loop(self, trained_mondeq, toy_data, epsilon):
+        """≥16 seeded regions: identical verdicts, bounds within 1e-9."""
+        xs, ys = _evaluation_set(toy_data)
+        assert xs.shape[0] >= 16
+        config = CraftConfig(slope_optimization="none")
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), epsilon, config)
+            for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, epsilon)
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    def test_early_exit_mixture(self, trained_mondeq, toy_data):
+        """Samples certifying at different iterations (and some never) share
+        one batch without influencing each other."""
+        xs, ys = _evaluation_set(toy_data)
+        correct = [i for i in range(len(ys)) if trained_mondeq.predict(xs[i]) == ys[i]]
+        assert len(correct) >= 3
+        # Shrink three samples to a tiny ball (immediate certification) by
+        # verifying them against mixed epsilons through separate regions:
+        # a tiny-radius query exits phase two on its first usable iteration
+        # while large-radius batch mates keep iterating.
+        config = CraftConfig(slope_optimization="none")
+        craft = BatchedCraft(trained_mondeq, config)
+        for epsilon in (1e-5, 0.3):
+            sequential = [
+                certify_sample(trained_mondeq, xs[i], int(ys[i]), epsilon, config)
+                for i in correct
+            ]
+            batched = craft.certify(xs[correct], ys[correct], epsilon)
+            for seq, bat in zip(sequential, batched):
+                _assert_result_parity(seq, bat)
+            # The mixture must actually exercise staggered early exit — at
+            # the tiny radius samples leave phase one at different
+            # iterations, at the large radius certified samples leave phase
+            # two long before the patience-bound stragglers.
+            if epsilon == 1e-5:
+                assert len({r.iterations_phase1 for r in batched if r.contained}) >= 2
+            else:
+                assert len({r.iterations_phase2 for r in batched if r.contained}) >= 2
+
+    def test_parity_under_adaptive_line_search_and_slopes(self, trained_mondeq, toy_data):
+        xs, ys = _evaluation_set(toy_data)
+        config = CraftConfig(slope_optimization="reduced")
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), 0.4, config) for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, 0.4)
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"same_iteration_containment": True},
+            {"use_box_component": False},
+            {"solver1": "fb", "alpha1": 0.04},
+        ],
+        ids=["same-iter-containment", "no-box-component", "only-fb"],
+    )
+    def test_parity_under_ablation_configs(self, trained_mondeq, toy_data, overrides):
+        """The Table 4 ablation switches have dedicated batched code paths
+        (per-iteration containment gate, fresh-generator ReLU columns, the
+        aux-free FB layout) — each must stay in lockstep too."""
+        xs, ys = _evaluation_set(toy_data, count=8)
+        config = CraftConfig(slope_optimization="none", **overrides)
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), 0.05, config) for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, 0.05)
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    def test_parity_with_pr_tightening(self, trained_mondeq, toy_data):
+        xs, ys = _evaluation_set(toy_data, count=6)
+        config = CraftConfig(slope_optimization="none", solver2="pr")
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), 0.05, config) for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, 0.05)
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    def test_parity_with_bounded_containment_budget(self, trained_mondeq, toy_data):
+        """A tiny phase-one budget produces NO_CONTAINMENT identically."""
+        xs, ys = _evaluation_set(toy_data, count=8)
+        config = CraftConfig(
+            slope_optimization="none",
+            contraction=ContractionSettings(max_iterations=2),
+        )
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), 0.05, config) for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, 0.05)
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    def test_front_end_routes_match(self, trained_mondeq, toy_data):
+        """certify_local_robustness(engine=...) keeps both paths in lockstep."""
+        xs, ys = _evaluation_set(toy_data, count=6)
+        config = CraftConfig(slope_optimization="none")
+        batched = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.05, config, engine="batched"
+        )
+        sequential = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.05, config, engine="sequential"
+        )
+        for seq, bat in zip(sequential, batched):
+            _assert_result_parity(seq, bat)
+
+    def test_engine_rejects_non_chzonotope_domains(self, trained_mondeq):
+        with pytest.raises(ConfigurationError):
+            BatchedCraft(trained_mondeq, CraftConfig(domain="box"))
+
+
+class TestGlobalCertParity:
+    def test_frontier_matches_recursive_decomposition(self, trained_mondeq, toy_data):
+        from repro.domains.interval import Interval
+        from repro.verify.global_cert import DomainSplittingCertifier
+
+        xs, ys = toy_data
+        config = CraftConfig(
+            slope_optimization="none", contraction=ContractionSettings(max_iterations=200)
+        )
+        region = Interval.from_center_radius(xs[120], 0.05)
+        batched = DomainSplittingCertifier(
+            trained_mondeq, config, max_depth=2, use_engine=True
+        ).certify_region(region)
+        sequential = DomainSplittingCertifier(
+            trained_mondeq, config, max_depth=2, use_engine=False
+        ).certify_region(region)
+        assert batched.total_volume == pytest.approx(sequential.total_volume, rel=1e-9)
+        assert batched.coverage == pytest.approx(sequential.coverage, rel=1e-9)
+
+        def signature(result):
+            return sorted(
+                (tuple(cell.region.lower), cell.predicted_class, cell.certified, cell.depth)
+                for cell in result.cells
+            )
+
+        assert signature(batched) == signature(sequential)

@@ -1,0 +1,56 @@
+"""Shared hypothesis strategies for the abstract-domain property tests.
+
+Every abstract transformer in :mod:`repro.domains` carries an
+over-approximation contract ("the image of every concrete point lies in the
+abstract image"); the strategies here generate the raw material — centres,
+generator matrices, Box radii, weights — those contract tests are driven
+with.  Keeping them in one place guarantees that the CH-Zonotope, Zonotope,
+Interval, Parallelotope and order-reduction soundness tests all sample the
+same distribution of elements.
+"""
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+FINITE = {"allow_nan": False, "allow_infinity": False}
+
+DIM = 3
+
+
+def centers(dim=DIM, bound=5.0):
+    """Centre vectors with entries in ``[-bound, bound]``."""
+    return arrays(np.float64, (dim,), elements=st.floats(-bound, bound, **FINITE))
+
+
+def generator_matrices(dim=DIM, count=4, bound=2.0):
+    """Generator matrices ``(dim, count)`` with entries in ``[-bound, bound]``."""
+    return arrays(np.float64, (dim, count), elements=st.floats(-bound, bound, **FINITE))
+
+
+def box_vectors(dim=DIM, bound=1.5):
+    """Non-negative Box radii in ``[0, bound]``."""
+    return arrays(np.float64, (dim,), elements=st.floats(0, bound, **FINITE))
+
+
+def weight_matrices(rows=2, cols=DIM, bound=3.0):
+    """Affine weights ``(rows, cols)`` with entries in ``[-bound, bound]``."""
+    return arrays(np.float64, (rows, cols), elements=st.floats(-bound, bound, **FINITE))
+
+
+def invertible_matrices(dim=DIM, bound=2.0):
+    """Strictly diagonally dominant (hence invertible) ``(dim, dim)`` matrices."""
+    margin = bound * dim + 1.0
+    return arrays(
+        np.float64, (dim, dim), elements=st.floats(-bound, bound, **FINITE)
+    ).map(lambda matrix: matrix + margin * np.eye(dim))
+
+
+def unit_floats():
+    """Floats in ``[0, 1]`` (ReLU slopes, interpolation weights)."""
+    return st.floats(0, 1, **FINITE)
+
+
+def sample_points(element, count=24, seed=0):
+    """Deterministic concretisation samples of an abstract element."""
+    return element.sample(count, np.random.default_rng(seed))
