@@ -28,7 +28,8 @@ substrates they need:
 ``repro.engine``
     The batched certification engine: stacks of CH-Zonotopes advanced by
     shared BLAS calls, a batched Craft driver with per-sample early exit,
-    and a scheduler with an on-disk fixpoint cache.
+    schedulers (single-process batched and multi-process sharded) with a
+    shared on-disk fixpoint cache, and cache-aware batch sizing.
 
 ``repro.datasets``
     Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
@@ -44,11 +45,16 @@ from repro.core.results import FixpointAbstraction, VerificationOutcome, Verific
 from repro.domains.chzonotope import CHZonotope
 from repro.domains.interval import Interval
 from repro.domains.zonotope import Zonotope
-from repro.engine import BatchCertificationScheduler, BatchedCHZonotope, BatchedCraft
+from repro.engine import (
+    BatchCertificationScheduler,
+    BatchedCHZonotope,
+    BatchedCraft,
+    ShardedScheduler,
+)
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchCertificationScheduler",
@@ -62,6 +68,7 @@ __all__ = [
     "Interval",
     "LinfBall",
     "MonDEQ",
+    "ShardedScheduler",
     "VerificationOutcome",
     "VerificationResult",
     "Zonotope",

@@ -98,6 +98,24 @@ class CraftConfig:
     tighten_max_iterations, tighten_patience:
         Phase-two budget and the no-improvement abort heuristic (3 r' steps
         in Appendix C; here expressed directly as a step count).
+    tighten_consolidate_every:
+        Periodic error consolidation in the *tightening* phase (Appendix C
+        permits consolidation at any point of either phase).  ``0`` (the
+        default) disables it; a positive cadence bounds the error-term
+        count — which otherwise grows by roughly (input dim + state dim)
+        per step — at the price of a slightly coarser abstraction.  Both
+        the sequential and the batched driver apply the same cadence, so
+        the engine parity contract is preserved.
+    engine_batch_size:
+        Fixed batch size for the certification engines.  ``None`` (the
+        default) sizes batches from the phase-two working-set estimate so
+        a batch fits the last-level cache
+        (:func:`repro.engine.working_set.auto_batch_size`).
+    cache_budget_bytes:
+        Last-level-cache budget used by the automatic batch sizing.
+        ``None`` detects the LLC size from the host (falling back to
+        32 MiB).  Neither this field nor ``engine_batch_size`` influences
+        verdicts — they only trade memory locality against batching.
     """
 
     domain: str = "chzonotope"
@@ -121,6 +139,9 @@ class CraftConfig:
     use_box_component: bool = True
     tighten_max_iterations: int = 150
     tighten_patience: int = 30
+    tighten_consolidate_every: int = 0
+    engine_batch_size: Optional[int] = None
+    cache_budget_bytes: Optional[int] = None
     concrete_tol: float = 1e-9
     concrete_max_iterations: int = 2000
     verbose: bool = False
@@ -154,6 +175,12 @@ class CraftConfig:
             raise ConfigurationError("tighten_max_iterations must be positive")
         if self.tighten_patience < 1:
             raise ConfigurationError("tighten_patience must be positive")
+        if self.tighten_consolidate_every < 0:
+            raise ConfigurationError("tighten_consolidate_every must be non-negative")
+        if self.engine_batch_size is not None and self.engine_batch_size < 1:
+            raise ConfigurationError("engine_batch_size must be positive")
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
+            raise ConfigurationError("cache_budget_bytes must be positive")
         if not self.alpha2_grid:
             raise ConfigurationError("alpha2_grid must not be empty")
 
@@ -173,6 +200,20 @@ class CraftConfig:
         if self.alpha2 is not None:
             return (("fb", self.alpha2),)
         return tuple(("fb", float(alpha)) for alpha in self.alpha2_grid)
+
+    def tighten_should_consolidate(self, iteration: int) -> bool:
+        """Whether to consolidate the state entering tightening step ``iteration``.
+
+        ``iteration`` is 1-based; consolidation fires every
+        ``tighten_consolidate_every`` completed steps.  This cadence is part
+        of the engine parity contract — every tightening driver (sequential,
+        batched, and the fixpoint-set path) must consult this one predicate.
+        """
+        return (
+            self.tighten_consolidate_every > 0
+            and iteration > 1
+            and (iteration - 1) % self.tighten_consolidate_every == 0
+        )
 
     def slope_deltas(self) -> Tuple[float, ...]:
         """ReLU-slope shifts tried by the slope-optimisation pass."""

@@ -211,7 +211,9 @@ class CraftVerifier:
         if contraction.contained and tighten_iterations > 0:
             alpha = self._default_alpha2()
             step = problem.tightening_step_factory(self._config.solver2, alpha, 0.0)
-            for _ in range(tighten_iterations):
+            for iteration in range(1, tighten_iterations + 1):
+                if self._config.tighten_should_consolidate(iteration):
+                    state = self._ops.consolidate(state, None, 0.0, 0.0)
                 state = step(state)
                 width_trace_two.append(state.mean_width)
                 iterations_two += 1
@@ -312,6 +314,13 @@ class CraftVerifier:
         iterations = 0
 
         for iterations in range(1, budget + 1):
+            if config.tighten_should_consolidate(iterations):
+                # Periodic phase-two consolidation (Appendix C): bounds the
+                # error-term growth at a small precision cost.  Consolidation
+                # over-approximates, so the state keeps containing the
+                # fixpoint set and certification stays sound.  The batched
+                # driver applies the identical cadence (parity contract).
+                state = self._ops.consolidate(state, None, 0.0, 0.0)
             new_state = step(state)
             width_trace.append(new_state.mean_width)
 

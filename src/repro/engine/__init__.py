@@ -53,14 +53,35 @@ optionally persists verdicts through an on-disk
 stored as ``<key>.json`` holding the scalar verdict (outcome, margin,
 iteration counts, selected tightening parameters) — enough to restore a
 :class:`~repro.core.results.VerificationResult` without the abstraction
-elements.  Any weight update, region change or verdict-relevant
-configuration change therefore misses the cache by construction.
+elements — plus the writing configuration's fingerprint as a version
+stamp.  Any weight update, region change or verdict-relevant configuration
+change therefore misses the cache by construction, and entries stamped by
+a mismatched configuration are rejected on load.
+
+Multi-process sharding
+----------------------
+:class:`~repro.engine.sharded.ShardedScheduler` scales a sweep across
+worker processes: the query regions are partitioned into shards, each
+worker receives the (read-only) weights once at pool start and runs
+``BatchedCraft`` per shard, verdicts stream back as shards complete, and
+all workers share the on-disk fixpoint cache through atomic per-entry
+writes.  Shard batch sizes default to the cache-aware estimate of
+:mod:`repro.engine.working_set`, which bounds the phase-two working set —
+error terms grow by roughly (input dim + state dim) per tightening step —
+to the host's last-level cache.
 """
 
 from repro.engine.batched_chzonotope import BatchedCHZonotope
 from repro.engine.craft import BatchedCraft
 from repro.engine.results import EngineReport
-from repro.engine.scheduler import BatchCertificationScheduler, FixpointCache, weights_hash
+from repro.engine.scheduler import (
+    BatchCertificationScheduler,
+    FixpointCache,
+    config_fingerprint,
+    weights_hash,
+)
+from repro.engine.sharded import ShardedScheduler
+from repro.engine.working_set import auto_batch_size, phase2_working_set_bytes
 
 __all__ = [
     "BatchCertificationScheduler",
@@ -68,5 +89,9 @@ __all__ = [
     "BatchedCraft",
     "EngineReport",
     "FixpointCache",
+    "ShardedScheduler",
+    "auto_batch_size",
+    "config_fingerprint",
+    "phase2_working_set_bytes",
     "weights_hash",
 ]

@@ -300,7 +300,12 @@ class BatchedCHZonotope:
                 np.eye(self.dim), (self.batch_size, self.dim, self.dim)
             ).copy()
         try:
-            u, _, _ = np.linalg.svd(self._generators, full_matrices=True)
+            # Economy SVD once k >= n: all n left vectors without the
+            # (k, k) right factor — the same rule as utils.linalg.pca_basis
+            # (engine parity requires both sides to pick the same driver).
+            u, _, _ = np.linalg.svd(
+                self._generators, full_matrices=self.num_generators < self.dim
+            )
         except np.linalg.LinAlgError:
             # A numerically degenerate sample must not abort the whole
             # batch: fall back to the sequential helper, which retries the

@@ -83,6 +83,48 @@ def _materialise(reference) -> Optional[CHZonotope]:
     return stack if row is None else stack.element(row)
 
 
+def prediction_pass(
+    model: MonDEQ,
+    config: CraftConfig,
+    xs: np.ndarray,
+    labels: np.ndarray,
+) -> Tuple[List[Optional[VerificationResult]], List[int], Optional[np.ndarray]]:
+    """One vectorised prediction pass over a sweep's query centres.
+
+    Returns ``(results, queued, anchors)``: misclassified rows get their
+    ``MISCLASSIFIED`` short-circuit result (the property is trivially
+    false), ``queued`` lists the correctly classified row indices, and
+    ``anchors`` carries their solved fixpoints when the configuration can
+    reuse them as phase-zero anchors (:func:`anchor_reuse_valid`).
+
+    This is the single copy of the short-circuit semantics — the batched
+    driver and the sharded scheduler both route through it, so the engine
+    parity contract cannot drift between them.
+    """
+    predict = solve_fixpoint_batch(model, xs, method="pr")
+    predictions = model.readout_batch(predict.z).argmax(axis=1)
+    results: List[Optional[VerificationResult]] = [None] * xs.shape[0]
+    queued: List[int] = []
+    for index, (prediction, label) in enumerate(zip(predictions, labels)):
+        if int(prediction) != int(label):
+            results[index] = VerificationResult(
+                outcome=VerificationOutcome.MISCLASSIFIED,
+                contained=False,
+                certified=False,
+                margin=-np.inf,
+                iterations_phase1=0,
+                iterations_phase2=0,
+                time_seconds=0.0,
+                notes=f"model predicts class {int(prediction)}, expected {int(label)}",
+            )
+        else:
+            queued.append(index)
+    anchors = None
+    if queued and anchor_reuse_valid(model, config):
+        anchors = predict.z[queued]
+    return results, queued, anchors
+
+
 def anchor_reuse_valid(model: MonDEQ, config: CraftConfig) -> bool:
     """Whether fixpoints from a prediction pass (``solve_fixpoint_batch``
     with pr/default-alpha/1e-9/2000) can double as the configuration's
@@ -161,25 +203,11 @@ class BatchedCraft:
         labels = np.asarray(labels, dtype=int).reshape(-1)
         if xs.shape[0] != labels.shape[0]:
             raise VerificationError("xs and labels must have matching lengths")
-        predict = solve_fixpoint_batch(self._model, xs, method="pr")
-        predictions = self._model.readout_batch(predict.z).argmax(axis=1)
-
-        results: List[Optional[VerificationResult]] = [None] * xs.shape[0]
-        queued: List[int] = []
-        for index, (prediction, label) in enumerate(zip(predictions, labels)):
-            if int(prediction) != int(label):
-                results[index] = VerificationResult(
-                    outcome=VerificationOutcome.MISCLASSIFIED,
-                    contained=False,
-                    certified=False,
-                    margin=-np.inf,
-                    iterations_phase1=0,
-                    iterations_phase2=0,
-                    time_seconds=0.0,
-                    notes=f"model predicts class {int(prediction)}, expected {int(label)}",
-                )
-            else:
-                queued.append(index)
+        # The prediction pass solves the anchor fixpoints with
+        # pr/default-alpha/1e-9/2000; when the config asks for exactly those
+        # parameters (the default) they double as the phase-zero anchors
+        # instead of re-running up to 2000 full-batch iterations.
+        results, queued, anchors = prediction_pass(self._model, self._config, xs, labels)
         if queued:
             balls = [
                 LinfBall(center=xs[i], epsilon=epsilon, clip_min=clip_min, clip_max=clip_max)
@@ -189,13 +217,6 @@ class BatchedCraft:
                 ClassificationSpec(target=int(labels[i]), num_classes=self._model.output_dim)
                 for i in queued
             ]
-            # The prediction pass above already solved the anchor fixpoints
-            # with pr/default-alpha/1e-9/2000; reuse them when the config
-            # asks for exactly those parameters (the default) instead of
-            # re-running up to 2000 full-batch iterations.
-            anchors = None
-            if anchor_reuse_valid(self._model, self._config):
-                anchors = predict.z[queued]
             for index, result in zip(queued, self.certify_regions(balls, specs, anchors)):
                 results[index] = result
         return results
@@ -506,6 +527,15 @@ class BatchedCraft:
         for iteration in range(1, budget + 1):
             if active.size == 0:
                 break
+            if config.tighten_should_consolidate(iteration):
+                # Periodic phase-two consolidation (Appendix C), same cadence
+                # as the sequential driver: bounds the error-term growth —
+                # roughly (input dim + state dim) fresh columns per step —
+                # which is what keeps wide-input batches inside the LLC.
+                # The cadence is indexed by the global iteration counter, and
+                # all active rows share it, so per-sample behaviour is
+                # independent of batch composition.
+                state = state.consolidate(None, 0.0, 0.0)
             new_state = current_step(state)
             iterations[active] = iteration
             trace_log.append((active, new_state.mean_width))

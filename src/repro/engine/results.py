@@ -24,6 +24,7 @@ class EngineReport:
     cache_hits: int = 0
     num_batches: int = 0
     elapsed_seconds: float = 0.0
+    num_workers: int = 1
 
     @property
     def num_regions(self) -> int:
@@ -57,6 +58,7 @@ class EngineReport:
             "certified": self.num_certified,
             "cache_hits": self.cache_hits,
             "batches": self.num_batches,
+            "workers": self.num_workers,
             "time": round(self.elapsed_seconds, 3),
             "regions_per_second": round(self.throughput, 2),
         }

@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 import time
+import uuid
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -63,6 +64,7 @@ def _config_signature(config: CraftConfig) -> str:
         tuple(config.slope_candidates_reference), config.slope_margin_threshold,
         config.same_iteration_containment, config.use_box_component,
         config.tighten_max_iterations, config.tighten_patience,
+        config.tighten_consolidate_every,
         config.concrete_tol, config.concrete_max_iterations,
         config.contraction.max_iterations, config.contraction.consolidate_every,
         config.contraction.basis_recompute_every, config.contraction.history_size,
@@ -71,17 +73,60 @@ def _config_signature(config: CraftConfig) -> str:
     return repr(fields)
 
 
+def config_fingerprint(config: CraftConfig) -> str:
+    """Version stamp persisted inside every cache entry.
+
+    The query *key* already hashes the configuration, so a mismatched
+    config cannot hit by key alone; the stamp additionally travels inside
+    the payload so an entry can prove which configuration (and library
+    version) wrote it.  That makes corruption and key-collision scenarios
+    fail closed — and it is the hook a future quantised/nearest-neighbour
+    keying mode needs, where the key will no longer pin the exact config.
+    """
+    return hashlib.sha256(_config_signature(config).encode()).hexdigest()
+
+
 class FixpointCache:
     """Directory-backed cache of certification verdicts.
 
     One JSON file per query, named by the query key.  Values restore a
     :class:`VerificationResult` without the abstraction elements (which are
     only needed by the live certification path, never by cache consumers).
+
+    The cache is safe for concurrent writers *without file locking*: every
+    entry is its own file, written to a writer-unique temporary name and
+    published with the atomic ``os.replace`` — readers observe either the
+    previous entry or the complete new one, never a torn write.  When a
+    ``signature`` (see :func:`config_fingerprint`) is given, entries
+    stamped by a different configuration are rejected on load.
     """
 
-    def __init__(self, directory: str):
+    #: Scratch files older than this are presumed orphaned (a worker killed
+    #: between writing and publishing) and swept on cache construction; no
+    #: live writer holds a scratch file anywhere near this long.
+    STALE_TMP_SECONDS = 600.0
+
+    def __init__(self, directory: str, signature: Optional[str] = None):
         self.directory = directory
+        self.signature = signature
         os.makedirs(directory, exist_ok=True)
+        self._sweep_stale_scratch()
+
+    def _sweep_stale_scratch(self) -> None:
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.unlink(path)
+            except OSError:
+                continue
 
     @staticmethod
     def query_key(
@@ -112,6 +157,11 @@ class FixpointCache:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
+        if self.signature is not None and data.get("signature") != self.signature:
+            # Version stamp mismatch: the entry was written by a different
+            # configuration or library version.  Treat it as a miss so the
+            # query is re-certified and the entry overwritten.
+            return None
         return VerificationResult(
             outcome=VerificationOutcome(data["outcome"]),
             contained=bool(data["contained"]),
@@ -141,30 +191,48 @@ class FixpointCache:
             "selected_solver2": result.selected_solver2,
             "slope_optimized": result.slope_optimized,
             "notes": result.notes,
+            "signature": self.signature,
         }
         path = self._path(key)
-        temporary = f"{path}.tmp"
+        # The temporary name is writer-unique (pid + fresh uuid, so two
+        # cache instances or threads in one process cannot collide either);
+        # os.replace then publishes atomically on POSIX.
+        temporary = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:12]}.tmp"
         with open(temporary, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(temporary, path)
 
 
 class BatchCertificationScheduler:
-    """Chunk certification queries into batches and aggregate the verdicts."""
+    """Chunk certification queries into batches and aggregate the verdicts.
+
+    ``batch_size=None`` (the default) sizes batches from the phase-two
+    working-set estimate so one batch fits the last-level cache — see
+    :mod:`repro.engine.working_set`; an integer pins the size explicitly
+    (as does ``CraftConfig.engine_batch_size``).
+    """
 
     def __init__(
         self,
         model: MonDEQ,
         config: Optional[CraftConfig] = None,
-        batch_size: int = 64,
+        batch_size: Optional[int] = None,
         cache_dir: Optional[str] = None,
     ):
-        if batch_size < 1:
-            raise ConfigurationError("batch_size must be positive")
+        from repro.engine.working_set import auto_batch_size
+
         self.model = model
         self.config = config if config is not None else CraftConfig()
+        if batch_size is None:
+            batch_size = auto_batch_size(model, self.config)
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be positive")
         self.batch_size = batch_size
-        self.cache = FixpointCache(cache_dir) if cache_dir is not None else None
+        self.cache = (
+            FixpointCache(cache_dir, signature=config_fingerprint(self.config))
+            if cache_dir is not None
+            else None
+        )
         self._craft = BatchedCraft(model, self.config)
         self._model_digest = weights_hash(model) if self.cache is not None else None
 

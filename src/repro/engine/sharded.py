@@ -1,0 +1,502 @@
+"""Multi-process sharded certification: shards of a sweep fan out to workers.
+
+The paper's headline sweeps (Table 2 local robustness, Fig. 11 HCAS domain
+splitting) are embarrassingly parallel across regions: every query shares
+one set of read-only monDEQ weights.  :class:`ShardedScheduler` exploits
+that by partitioning a sweep's query regions into shards of
+``batch_size`` regions, fanning the shards out to a pool of worker
+processes — each worker receives the pickled weights *once* at pool
+initialisation and runs the vectorised
+:class:`~repro.engine.craft.BatchedCraft` per shard — and streaming
+per-region verdicts back as shards complete (``imap_unordered``).
+Per-sample early-exit semantics inside a shard are exactly those of the
+batched engine, and verdicts are independent of the sharding (the engine's
+parity contract).
+
+Cache sharing
+-------------
+All workers share one on-disk :class:`~repro.engine.scheduler.FixpointCache`
+directory.  No file locking is needed: every entry is its own file,
+written under a writer-unique temporary name and published with the atomic
+``os.replace``, so concurrent workers certifying overlapping regions never
+corrupt an entry — the regression tests in
+``tests/engine/test_cache_concurrency.py`` pin this.  The parent answers
+cache hits before sharding; workers persist fresh verdicts themselves,
+stamped with the configuration fingerprint
+(:func:`~repro.engine.scheduler.config_fingerprint`).
+
+Execution modes
+---------------
+``start_method`` selects ``"fork"`` (default where available — weights are
+inherited copy-on-write and re-pickled only for the initializer args),
+``"spawn"`` (portable; workers re-import the library) or ``"inline"``
+(no subprocesses: shards run in the parent through the identical code
+path).  Inline mode is what the differential fuzzing suite uses to check
+shard semantics at hypothesis speed, and what ``num_workers=1`` degrades
+to — a single-worker pool would only add IPC overhead.
+
+A per-shard ``timeout_seconds`` bounds every wait on the pool, so a hung
+worker fails the sweep fast (with the pool terminated) instead of stalling
+CI forever.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.core.results import VerificationResult
+from repro.engine.craft import BatchedCraft
+from repro.engine.results import EngineReport
+from repro.engine.scheduler import (
+    FixpointCache,
+    config_fingerprint,
+    weights_hash,
+)
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.mondeq.model import MonDEQ
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+_START_METHODS = ("fork", "spawn", "forkserver", "inline")
+
+
+def default_start_method() -> str:
+    """``"fork"`` where the platform offers it (cheap, COW weights), else ``"spawn"``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def default_num_workers() -> int:
+    """Worker count matching the CPUs this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Module-level (not closures) so both fork and
+# spawn can address it; state lives in a module global initialised once
+# per worker process with the weights payload.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerState:
+    craft: BatchedCraft
+    cache: Optional[FixpointCache]
+    keep_abstractions: bool
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _build_worker_state(payload: bytes) -> _WorkerState:
+    model, config, cache_dir, keep_abstractions = pickle.loads(payload)
+    cache = (
+        FixpointCache(cache_dir, signature=config_fingerprint(config))
+        if cache_dir is not None
+        else None
+    )
+    return _WorkerState(
+        craft=BatchedCraft(model, config),
+        cache=cache,
+        keep_abstractions=keep_abstractions,
+    )
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER
+    _WORKER = _build_worker_state(payload)
+
+
+@dataclass
+class _Shard:
+    """One unit of work: a chunk of cache-miss queries."""
+
+    indices: List[int]
+    keys: List[Optional[str]]
+    balls: List[LinfBall]
+    specs: List[ClassificationSpec]
+    anchors: Optional[np.ndarray]
+
+
+def _run_shard(shard: _Shard) -> Tuple[List[int], List[VerificationResult]]:
+    return _execute_shard(_WORKER, shard)
+
+
+def _execute_shard(
+    state: _WorkerState, shard: _Shard
+) -> Tuple[List[int], List[VerificationResult]]:
+    results = state.craft.certify_regions(shard.balls, shard.specs, shard.anchors)
+    if state.cache is not None:
+        for key, result in zip(shard.keys, results):
+            if key is not None:
+                state.cache.store(key, result)
+    if not state.keep_abstractions:
+        # Strip on the worker side, *before* the results cross the pool
+        # pipe — avoiding the serialisation of the generator stacks is the
+        # whole point of the flag.
+        results = [_strip_abstractions(result) for result in results]
+    return shard.indices, results
+
+
+def _strip_abstractions(result: VerificationResult) -> VerificationResult:
+    if result.fixpoint_abstraction is None and result.output_element is None:
+        return result
+    return replace(result, fixpoint_abstraction=None, output_element=None)
+
+
+class ShardedScheduler:
+    """Fan certification queries out to a pool of read-only-weight workers.
+
+    Parameters
+    ----------
+    model, config:
+        The monDEQ and the verification configuration; both are pickled to
+        each worker exactly once (pool initializer).
+    num_workers:
+        Worker processes; defaults to the CPUs available to this process.
+        ``1`` runs inline (no subprocesses).
+    batch_size:
+        Regions per shard.  ``None`` (default) picks the cache-aware size
+        (:func:`repro.engine.working_set.auto_batch_size`).  When a sweep
+        would produce fewer shards than workers, shards are split further
+        so every worker is busy.
+    cache_dir:
+        Shared on-disk fixpoint cache; hits are answered by the parent
+        before sharding, fresh verdicts are persisted by the workers.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"``/``"inline"``; ``None``
+        selects :func:`default_start_method`.
+    timeout_seconds:
+        Bound on every wait for a shard result.  On expiry the pool is
+        terminated and a :class:`VerificationError` raised — a hung worker
+        must fail fast, not stall the sweep.
+    keep_abstractions:
+        When ``False``, workers strip the abstraction elements from
+        results before shipping them back (verdict-only sweeps avoid
+        serialising the — potentially large — generator matrices).
+    """
+
+    def __init__(
+        self,
+        model: MonDEQ,
+        config: Optional[CraftConfig] = None,
+        num_workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+        timeout_seconds: float = 600.0,
+        keep_abstractions: bool = True,
+    ):
+        from repro.engine.working_set import auto_batch_size, detect_llc_bytes
+
+        self.model = model
+        self.config = config if config is not None else CraftConfig()
+        if num_workers is None:
+            num_workers = default_num_workers()
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be positive")
+        self.num_workers = num_workers
+        if batch_size is None:
+            # The workers run concurrently on cores sharing one last-level
+            # cache, so each shard only gets a 1/num_workers slice of the
+            # budget — otherwise the aggregate working set is num_workers
+            # times the cache and every worker goes DRAM-bound again.
+            budget = (
+                self.config.cache_budget_bytes
+                if self.config.cache_budget_bytes is not None
+                else detect_llc_bytes()
+            )
+            batch_size = auto_batch_size(
+                model, self.config, budget_bytes=max(1, budget // num_workers)
+            )
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be positive")
+        self.batch_size = batch_size
+        if start_method is None:
+            start_method = default_start_method()
+        if start_method not in _START_METHODS:
+            raise ConfigurationError(
+                f"start_method must be one of {_START_METHODS}, got {start_method!r}"
+            )
+        self.start_method = start_method
+        if timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
+        self.timeout_seconds = timeout_seconds
+        self.keep_abstractions = keep_abstractions
+        self.cache_dir = cache_dir
+        self.cache = (
+            FixpointCache(cache_dir, signature=config_fingerprint(self.config))
+            if cache_dir is not None
+            else None
+        )
+        self._model_digest = weights_hash(model) if self.cache is not None else None
+        self._pool = None
+        self._inline_state: Optional[_WorkerState] = None
+        # Spawn the pool eagerly: forking *before* the parent runs any BLAS
+        # work (the prediction pass) sidesteps the classic
+        # fork-after-threaded-BLAS deadlock with OpenBLAS/MKL thread pools.
+        if not self._inline:
+            self._ensure_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def _inline(self) -> bool:
+        return self.start_method == "inline" or self.num_workers == 1
+
+    def _payload(self) -> bytes:
+        return pickle.dumps(
+            (self.model, self.config, self.cache_dir, self.keep_abstractions)
+        )
+
+    def _ensure_pool(self):
+        if self._inline:
+            if self._inline_state is None:
+                self._inline_state = _build_worker_state(self._payload())
+            return None
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.num_workers,
+                initializer=_init_worker,
+                initargs=(self._payload(),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        A later certify() transparently re-creates the pool, but note that
+        a re-created ``"fork"`` pool no longer enjoys the
+        fork-before-BLAS guarantee of the eager construction-time spawn:
+        by then the parent has usually run prediction passes, so prefer a
+        fresh scheduler (or ``"forkserver"``) if the host's BLAS is known
+        to be fork-unsafe.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def certify(
+        self,
+        xs: np.ndarray,
+        labels: Sequence[int],
+        epsilon: float,
+        clip_min: Optional[float] = 0.0,
+        clip_max: Optional[float] = 1.0,
+    ) -> EngineReport:
+        """Certify every (row of ``xs``, label) query across the worker pool.
+
+        Semantically identical to
+        :meth:`repro.engine.scheduler.BatchCertificationScheduler.certify`
+        (same verdicts, same cache behaviour); only the execution strategy
+        differs.
+        """
+        from repro.engine.craft import prediction_pass
+
+        start = time.perf_counter()
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        labels = np.asarray(labels, dtype=int).reshape(-1)
+        if xs.shape[0] != labels.shape[0]:
+            raise VerificationError("xs and labels must have matching lengths")
+        balls = [
+            LinfBall(center=x, epsilon=epsilon, clip_min=clip_min, clip_max=clip_max)
+            for x in xs
+        ]
+        specs = [
+            ClassificationSpec(target=int(label), num_classes=self.model.output_dim)
+            for label in labels
+        ]
+        results, keys, misses = self._cache_lookup(balls, specs)
+        cache_hits = sum(result is not None for result in results)
+
+        # Same prediction pass as BatchedCraft.certify (one shared copy of
+        # the short-circuit semantics), run over the cache misses only.
+        queued: List[int] = []
+        anchors = None
+        if misses:
+            miss_results, miss_queued, anchors = prediction_pass(
+                self.model, self.config, xs[misses], labels[misses]
+            )
+            for row, index in enumerate(misses):
+                if miss_results[row] is not None:
+                    results[index] = miss_results[row]
+                    if self.cache is not None:
+                        self.cache.store(keys[index], miss_results[row])
+            queued = [misses[row] for row in miss_queued]
+
+        num_shards = self._dispatch(queued, keys, balls, specs, anchors, results)
+        return EngineReport(
+            results=results,
+            cache_hits=cache_hits,
+            num_batches=num_shards,
+            elapsed_seconds=time.perf_counter() - start,
+            num_workers=1 if self._inline else self.num_workers,
+        )
+
+    def certify_regions(
+        self,
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchor_fixpoints: Optional[np.ndarray] = None,
+    ) -> List[VerificationResult]:
+        """Sharded counterpart of :meth:`BatchedCraft.certify_regions`.
+
+        Used by the domain-splitting certifier: one BFS frontier level is
+        one sharded pass.  ``anchor_fixpoints`` rows are sliced per shard.
+        """
+        balls = list(balls)
+        specs = list(specs)
+        if len(balls) != len(specs):
+            raise VerificationError("balls and specs must have matching lengths")
+        results, keys, misses = self._cache_lookup(balls, specs)
+        anchors = (
+            np.asarray(anchor_fixpoints)[misses]
+            if anchor_fixpoints is not None and misses
+            else None
+        )
+        self._dispatch(misses, keys, balls, specs, anchors, results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Core sharded execution
+    # ------------------------------------------------------------------
+
+    def _query_key(self, ball: LinfBall, spec: ClassificationSpec) -> str:
+        return FixpointCache.query_key(
+            self._model_digest,
+            ball.center,
+            ball.epsilon,
+            spec.target,
+            self.config,
+            ball.clip_min,
+            ball.clip_max,
+        )
+
+    def _cache_lookup(
+        self, balls: Sequence[LinfBall], specs: Sequence[ClassificationSpec]
+    ) -> Tuple[List[Optional[VerificationResult]], List[Optional[str]], List[int]]:
+        """Answer what the cache can; return (results, keys, miss indices)."""
+        total = len(balls)
+        results: List[Optional[VerificationResult]] = [None] * total
+        keys: List[Optional[str]] = [None] * total
+        misses: List[int] = []
+        for index in range(total):
+            if self.cache is not None:
+                key = self._query_key(balls[index], specs[index])
+                keys[index] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            misses.append(index)
+        return results, keys, misses
+
+    def _make_shards(
+        self,
+        order: List[int],
+        keys: List[Optional[str]],
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchors: Optional[np.ndarray],
+    ) -> List[_Shard]:
+        """Chunk the queries at the global indices ``order`` into shards.
+
+        ``anchors`` (when given) is aligned with ``order``, not with the
+        global index space.
+        """
+        if not order:
+            return []
+        # At most batch_size queries per shard, but never fewer shards than
+        # workers: a 256-region sweep over 4 workers with batch 256 would
+        # otherwise serialise on a single shard.  numpy's array_split
+        # balancing keeps shard sizes within one query of each other.
+        count = len(order)
+        num_shards = max(math.ceil(count / self.batch_size), min(self.num_workers, count))
+        # Round the shard count up to a worker multiple: 6 shards over 4
+        # workers would leave two workers processing two shards while the
+        # others idle — a 2x makespan for no batching gain.
+        num_shards = min(count, math.ceil(num_shards / self.num_workers) * self.num_workers)
+        boundaries = np.array_split(np.arange(count), num_shards)
+        shards = []
+        for positions in boundaries:
+            chunk = [order[p] for p in positions]
+            shards.append(
+                _Shard(
+                    indices=chunk,
+                    keys=[keys[i] for i in chunk],
+                    balls=[balls[i] for i in chunk],
+                    specs=[specs[i] for i in chunk],
+                    anchors=anchors[positions] if anchors is not None else None,
+                )
+            )
+        return shards
+
+    def _dispatch(
+        self,
+        order: List[int],
+        keys: List[Optional[str]],
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchors: Optional[np.ndarray],
+        results: List[Optional[VerificationResult]],
+    ) -> int:
+        """Shard the queries at ``order``, run them, scatter into ``results``."""
+        shards = self._make_shards(order, keys, balls, specs, anchors)
+        for indices, shard_results in self._execute(shards):
+            for index, result in zip(indices, shard_results):
+                results[index] = result
+        return len(shards)
+
+    def _execute(self, shards: List[_Shard]):
+        """Yield ``(indices, results)`` per shard as workers finish."""
+        if not shards:
+            return
+        self._ensure_pool()
+        if self._inline:
+            for shard in shards:
+                yield _execute_shard(self._inline_state, shard)
+            return
+        iterator = self._pool.imap_unordered(_run_shard, shards)
+        for _ in range(len(shards)):
+            try:
+                yield iterator.next(timeout=self.timeout_seconds)
+            except multiprocessing.TimeoutError:
+                self.close()
+                raise VerificationError(
+                    f"sharded certification timed out: no shard finished within "
+                    f"{self.timeout_seconds}s ({self.num_workers} workers, "
+                    f"{len(shards)} shards) — pool terminated"
+                ) from None
+            except Exception:
+                self.close()
+                raise

@@ -1,0 +1,148 @@
+"""Cache-aware batch sizing for the certification engines.
+
+Batching wins roughly an order of magnitude on small-input models (HCAS,
+input dimension 3) because the sequential loop is interpreter-bound.  On
+wide-input models the picture inverts: every tightening step grows the
+error-term count by roughly ``input_dim + state_dim`` columns (the affine
+transformer casts the Box radii into fresh generator columns and the input
+injection contributes its own), so after ``T`` steps a batch of ``B``
+samples streams ``B * state_dim * k(T)`` doubles through every BLAS call.
+Once that working set spills the last-level cache the batch goes
+DRAM-bound and the speedup collapses (~1x at batch 64 on input-dim-64
+models, per the measurements recorded in ROADMAP.md).
+
+This module estimates the phase-two working set from the model shape and
+the configuration (including the error-growth *bound* that periodic
+phase-two consolidation provides, ``CraftConfig.tighten_consolidate_every``)
+and picks the largest batch size whose working set fits the last-level
+cache.  The estimate is deliberately a smooth upper-bound model — batch
+sizing never changes verdicts, only memory locality, so being a factor off
+costs throughput, not soundness.
+"""
+
+from __future__ import annotations
+
+import glob
+from typing import Optional
+
+from repro.core.config import CraftConfig
+from repro.mondeq.model import MonDEQ
+
+#: Fallback last-level-cache budget when the host does not expose one.
+DEFAULT_LLC_BYTES = 32 * 2**20
+
+#: Bounds on the automatically chosen batch size.  The lower bound keeps
+#: degenerate estimates from serialising the sweep entirely; the upper
+#: bound caps scheduling granularity (beyond 256 the per-batch Python
+#: overhead is already negligible).
+MIN_AUTO_BATCH = 4
+MAX_AUTO_BATCH = 256
+
+_BYTES_PER_FLOAT = 8
+
+#: Live arrays per iteration touching the full generator stack: the state,
+#: the freshly produced state and the step's intermediate (the propagated
+#: element before the ReLU).
+_LIVE_STACKS = 3
+
+
+def detect_llc_bytes(default: int = DEFAULT_LLC_BYTES) -> int:
+    """Size in bytes of the largest CPU cache the host exposes via sysfs.
+
+    Falls back to ``default`` (32 MiB) when sysfs is unavailable (macOS,
+    containers with masked /sys) or unparsable.
+    """
+    best = 0
+    for path in glob.glob("/sys/devices/system/cpu/cpu0/cache/index*/size"):
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                text = handle.read().strip()
+        except OSError:
+            continue
+        try:
+            if text.endswith("K"):
+                size = int(text[:-1]) * 1024
+            elif text.endswith("M"):
+                size = int(text[:-1]) * 1024 * 1024
+            else:
+                size = int(text)
+        except ValueError:
+            continue
+        best = max(best, size)
+    return best if best > 0 else default
+
+
+def state_dim(model: MonDEQ, config: CraftConfig) -> int:
+    """Dimension of the joint solver state (PR carries an auxiliary block)."""
+    return (2 if config.solver1 == "pr" else 1) * model.latent_dim
+
+
+def error_growth_per_step(model: MonDEQ, config: CraftConfig) -> int:
+    """Estimated generator columns added per tightening step.
+
+    Each step's affine transformer casts the Box radii of the previous
+    state into one fresh column per state coordinate, and the input
+    injection carries one column per input coordinate (plus the clipping
+    box, also cast per step).  The model is therefore
+    ``state_dim + input_dim`` columns per step — the growth rate recorded
+    in ROADMAP.md for the wide-input regime.
+    """
+    return state_dim(model, config) + model.input_dim
+
+
+def max_error_terms(model: MonDEQ, config: CraftConfig) -> int:
+    """Upper-bound error-term count reached during the tightening phase.
+
+    Phase one hands phase two a consolidated state (``state_dim`` square
+    generators) plus the input contribution; from there the count grows by
+    :func:`error_growth_per_step` per step until either the phase-two
+    budget runs out or a periodic consolidation
+    (``tighten_consolidate_every``) resets it to ``state_dim``.
+    """
+    horizon = config.tighten_max_iterations
+    if config.tighten_consolidate_every > 0:
+        horizon = min(horizon, config.tighten_consolidate_every)
+    base = state_dim(model, config) + model.input_dim
+    return base + horizon * error_growth_per_step(model, config)
+
+
+def phase2_working_set_bytes(
+    model: MonDEQ, config: CraftConfig, batch_size: int
+) -> int:
+    """Estimated bytes a phase-two iteration streams for ``batch_size`` rows.
+
+    The generator stacks ``(B, state_dim, k)`` dominate; centers, Box radii
+    and concretised bounds are ``O(B * state_dim)`` and folded into the
+    stack constant.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    n = state_dim(model, config)
+    k = max_error_terms(model, config)
+    return batch_size * _LIVE_STACKS * n * k * _BYTES_PER_FLOAT
+
+
+def auto_batch_size(
+    model: MonDEQ,
+    config: Optional[CraftConfig] = None,
+    budget_bytes: Optional[int] = None,
+) -> int:
+    """Largest batch whose phase-two working set fits the LLC budget.
+
+    Precedence: an explicit ``config.engine_batch_size`` wins outright;
+    otherwise ``budget_bytes`` (or ``config.cache_budget_bytes``, or the
+    detected LLC size) divided by the per-sample working set, clamped to
+    ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``.
+    """
+    config = config if config is not None else CraftConfig()
+    if config.engine_batch_size is not None:
+        return config.engine_batch_size
+    if budget_bytes is None:
+        budget_bytes = (
+            config.cache_budget_bytes
+            if config.cache_budget_bytes is not None
+            else detect_llc_bytes()
+        )
+    per_sample = phase2_working_set_bytes(model, config, 1)
+    fitting = budget_bytes // max(per_sample, 1)
+    return int(min(MAX_AUTO_BATCH, max(MIN_AUTO_BATCH, fitting)))

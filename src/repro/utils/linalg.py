@@ -44,10 +44,16 @@ def pca_basis(error_matrix: np.ndarray, jitter: float = 1e-12) -> np.ndarray:
     p = matrix.shape[0]
     if matrix.size == 0 or not np.any(matrix):
         return np.eye(p)
+    # With k >= p the economy SVD already yields all p left singular
+    # vectors; the full decomposition would additionally build the (k, k)
+    # right factor, which is quadratic in the error-term count — ruinous in
+    # the tightening phase, where k reaches thousands.  (The batched
+    # counterpart applies the identical rule, keeping engine parity.)
+    full = matrix.shape[1] < p
     try:
-        u, _, _ = np.linalg.svd(matrix, full_matrices=True)
+        u, _, _ = np.linalg.svd(matrix, full_matrices=full)
     except np.linalg.LinAlgError:
-        u, _, _ = np.linalg.svd(matrix + jitter * np.eye(p, matrix.shape[1]), full_matrices=True)
+        u, _, _ = np.linalg.svd(matrix + jitter * np.eye(p, matrix.shape[1]), full_matrices=full)
     return u
 
 

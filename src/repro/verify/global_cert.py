@@ -11,9 +11,11 @@ relevant HCAS input region.
 By default the splitting loop is a breadth-first frontier whose levels are
 certified by the batched engine (:mod:`repro.engine`) — every cell of a
 depth level shares the model weights, so a whole level is one vectorised
-pass.  ``use_engine=False`` restores the sequential depth-first recursion,
-kept as the reference implementation; both produce the same cell
-decomposition (up to ordering of the cell list).
+pass.  ``engine="sharded"`` additionally fans each level out over a pool
+of worker processes (:class:`~repro.engine.sharded.ShardedScheduler`);
+``engine="sequential"`` (or the legacy ``use_engine=False``) restores the
+depth-first recursion, kept as the reference implementation.  All engines
+produce the same cell decomposition (up to ordering of the cell list).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ import numpy as np
 from repro.core.config import CraftConfig
 from repro.core.craft import CraftVerifier
 from repro.domains.interval import Interval
+from repro.exceptions import ConfigurationError
 from repro.mondeq.model import MonDEQ
 from repro.verify.robustness import build_fixpoint_problem
 from repro.verify.specs import ClassificationSpec, LinfBall
@@ -73,7 +76,22 @@ class GlobalCertificationResult:
 
 
 class DomainSplittingCertifier:
-    """Exhaustively certify predictions over a box-shaped input region."""
+    """Exhaustively certify predictions over a box-shaped input region.
+
+    ``engine`` selects how the BFS frontier levels are certified:
+
+    * ``"batched"`` — one vectorised :class:`BatchedCraft` pass per level
+      (the default for the CH-Zonotope domain).
+    * ``"sharded"`` — each level is fanned out over ``num_workers``
+      processes through :class:`~repro.engine.sharded.ShardedScheduler`;
+      the worker pool persists across levels and an optional ``cache_dir``
+      lets re-runs (e.g. refined HCAS grids) reuse cell verdicts.
+    * ``"sequential"`` — the reference depth-first recursion.
+
+    ``engine=None`` derives the choice from the legacy ``use_engine`` flag.
+    All engines produce the same cell decomposition (up to ordering of the
+    cell list).
+    """
 
     def __init__(
         self,
@@ -82,24 +100,61 @@ class DomainSplittingCertifier:
         max_depth: int = 4,
         min_cell_width: float = 1e-3,
         use_engine: bool = True,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        timeout_seconds: Optional[float] = None,
     ):
         self.model = model
         self.config = config if config is not None else CraftConfig()
         self.max_depth = max_depth
         self.min_cell_width = min_cell_width
         self._verifier = CraftVerifier(self.config)
+        if engine is None:
+            engine = "batched" if use_engine else "sequential"
+        if engine not in ("sequential", "batched", "sharded"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose 'sequential', 'batched' or 'sharded'"
+            )
+        if self.config.domain != "chzonotope":
+            engine = "sequential"
+        self.engine = engine
+        self._num_workers = num_workers
+        self._cache_dir = cache_dir
         self._engine = None
-        if use_engine and self.config.domain == "chzonotope":
+        if engine == "batched":
             from repro.engine.craft import BatchedCraft
 
             self._engine = BatchedCraft(model, self.config)
+        elif engine == "sharded":
+            from repro.engine.sharded import ShardedScheduler
+
+            # The frontier loop only reads the certified flag, so the
+            # abstraction elements never need to cross the pool pipe.
+            extra = {} if timeout_seconds is None else {"timeout_seconds": timeout_seconds}
+            self._engine = ShardedScheduler(
+                model, self.config, num_workers=num_workers, cache_dir=cache_dir,
+                keep_abstractions=False, **extra,
+            )
+
+    def close(self) -> None:
+        """Release the sharded worker pool (no-op for other engines)."""
+        if self.engine == "sharded" and self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "DomainSplittingCertifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def certify_region(self, region: Interval) -> GlobalCertificationResult:
         """Certify ``region``; returns the full cell decomposition.
 
-        With the engine enabled (default) the decomposition proceeds
+        With an engine enabled (default) the decomposition proceeds
         breadth-first, certifying every cell of a depth level in one
-        batched pass; otherwise the reference depth-first recursion runs.
+        batched (possibly sharded) pass; otherwise the reference
+        depth-first recursion runs.
         """
         result = GlobalCertificationResult()
         if self._engine is None:

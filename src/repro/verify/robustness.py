@@ -168,10 +168,13 @@ def certify_local_robustness(
     epsilon: float,
     config: Optional[CraftConfig] = None,
     engine: str = "batched",
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
     cache_dir: Optional[str] = None,
     clip_min: Optional[float] = 0.0,
     clip_max: Optional[float] = 1.0,
+    num_workers: Optional[int] = None,
+    timeout_seconds: Optional[float] = None,
+    keep_abstractions: bool = True,
 ) -> List[VerificationResult]:
     """Certify l-infinity robustness for every (row of ``xs``, label) query.
 
@@ -181,23 +184,48 @@ def certify_local_robustness(
       engine (:mod:`repro.engine`): the whole sweep shares one
       :class:`~repro.engine.scheduler.BatchCertificationScheduler`, which
       certifies up to ``batch_size`` regions per pass and optionally
-      persists verdicts to ``cache_dir``.  Only the CH-Zonotope domain is
-      vectorised; other domains silently fall back to the sequential path.
+      persists verdicts to ``cache_dir``.  ``batch_size=None`` sizes
+      batches from the phase-two working-set estimate so one batch fits
+      the last-level cache (:mod:`repro.engine.working_set`).  Only the
+      CH-Zonotope domain is vectorised; other domains silently fall back
+      to the sequential path.
+    * ``"sharded"`` additionally fans the batches out to ``num_workers``
+      worker processes (:class:`~repro.engine.sharded.ShardedScheduler`) —
+      the scale-up path for large sweeps; weights are shipped to each
+      worker once and the on-disk cache is shared across workers.
+      ``timeout_seconds`` bounds every wait on the pool (default 600 s) so
+      a hung worker fails the sweep fast; raise it for genuinely slow
+      models.  ``keep_abstractions=False`` makes workers strip the
+      abstraction elements before shipping results back — verdict-only
+      consumers should set it to avoid serialising the generator stacks.
     * ``"sequential"`` maps :func:`certify_sample` over the queries — the
       reference implementation the engine's parity tests compare against.
 
-    Both paths return per-query results in input order with identical
+    All paths return per-query results in input order with identical
     verdicts (the engine's parity contract).
     """
     config = config if config is not None else CraftConfig()
-    if engine not in ("batched", "sequential"):
-        raise VerificationError(f"unknown engine {engine!r}; choose 'batched' or 'sequential'")
+    if engine not in ("batched", "sequential", "sharded"):
+        raise VerificationError(
+            f"unknown engine {engine!r}; choose 'batched', 'sharded' or 'sequential'"
+        )
     xs = np.atleast_2d(np.asarray(xs, dtype=float))
     labels = np.asarray(labels, dtype=int).reshape(-1)
     if xs.shape[0] != labels.shape[0]:
         raise VerificationError(
             f"xs and labels must have matching lengths, got {xs.shape[0]} vs {labels.shape[0]}"
         )
+    if engine == "sharded" and config.domain == "chzonotope":
+        from repro.engine.sharded import ShardedScheduler
+
+        extra = {} if timeout_seconds is None else {"timeout_seconds": timeout_seconds}
+        with ShardedScheduler(
+            model, config, num_workers=num_workers, batch_size=batch_size,
+            cache_dir=cache_dir, keep_abstractions=keep_abstractions, **extra,
+        ) as scheduler:
+            return scheduler.certify(
+                xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
+            ).results
     if engine == "batched" and config.domain == "chzonotope":
         from repro.engine.scheduler import BatchCertificationScheduler
 
@@ -296,14 +324,19 @@ class RobustnessVerifier:
         run_attack: bool = True,
         seed: SeedLike = 0,
         engine: str = "batched",
+        num_workers: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
     ) -> RobustnessReport:
         """Evaluate the first ``max_samples`` samples (paper: first 100).
 
         For each correctly classified sample the PGD attack provides the
         empirical-robustness upper bound, and Craft attempts certification;
         misclassified samples only count towards natural accuracy.  The
-        certification sweep routes through the batched engine by default
-        (``engine="sequential"`` restores the per-sample reference loop).
+        certification sweep routes through the batched engine by default;
+        ``engine="sharded"`` fans it out over ``num_workers`` processes
+        (:class:`~repro.engine.sharded.ShardedScheduler`) and
+        ``engine="sequential"`` restores the per-sample reference loop.
+        All engines produce identical verdicts (the parity contract).
         """
         rng = as_generator(seed)
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
@@ -312,8 +345,12 @@ class RobustnessVerifier:
             xs = xs[:max_samples]
             labels = labels[:max_samples]
 
+        # The report only reads scalar verdict fields, so sharded workers
+        # need not serialise the abstraction elements back.
         results = certify_local_robustness(
-            self.model, xs, labels, epsilon, self.config, engine=engine
+            self.model, xs, labels, epsilon, self.config, engine=engine,
+            num_workers=num_workers, timeout_seconds=timeout_seconds,
+            keep_abstractions=False,
         )
         # One vectorised fixpoint pass recovers every prediction (same
         # pr/tol defaults as model.predict) instead of a sequential solve

@@ -1,0 +1,163 @@
+"""Regression tests for fixpoint-cache concurrency and version stamping.
+
+Two shard workers certifying *overlapping* region sets write the same
+cache keys concurrently.  The cache design relies on atomic per-entry
+publication (writer-unique temporary file + ``os.replace``) instead of
+file locking; these tests pin that no interleaving corrupts an entry, and
+that the version stamp inside each entry rejects reads by a mismatched
+configuration — the invariant that protects the exact-center-bytes keying
+before any quantised keying mode lands (ROADMAP).
+
+All multiprocessing here is deterministically seeded through
+``repro.utils.rng`` and guarded by join timeouts so a hung worker fails
+the test fast instead of stalling CI.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import CraftConfig
+from repro.engine import BatchCertificationScheduler, FixpointCache, config_fingerprint
+from repro.engine.scheduler import weights_hash
+from repro.utils.rng import as_generator
+
+JOIN_TIMEOUT_SECONDS = 300.0
+
+
+def _certify_overlapping(model, config, xs, ys, cache_dir, barrier):
+    """Worker body: wait on the barrier so both processes race, then sweep."""
+    scheduler = BatchCertificationScheduler(
+        model, config, batch_size=4, cache_dir=cache_dir
+    )
+    barrier.wait(timeout=JOIN_TIMEOUT_SECONDS)
+    scheduler.certify(xs, ys, 0.05)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CraftConfig(slope_optimization="none")
+
+
+class TestConcurrentCacheWrites:
+    def test_overlapping_workers_do_not_corrupt_the_cache(
+        self, trained_mondeq, toy_data, config, tmp_path
+    ):
+        xs, ys = toy_data
+        rng = as_generator(1234)
+        pool = rng.permutation(np.arange(120, 140))
+        # Two overlapping windows: 8 shared queries, 4 unique per worker.
+        first = np.sort(pool[:12])
+        second = np.sort(pool[4:16])
+        cache_dir = str(tmp_path / "shared-cache")
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_certify_overlapping,
+                args=(trained_mondeq, config, xs[sel], ys[sel].astype(int), cache_dir, barrier),
+            )
+            for sel in (first, second)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=JOIN_TIMEOUT_SECONDS)
+            assert worker.exitcode == 0, "cache-concurrency worker failed or hung"
+
+        # Every entry must be complete, parseable JSON (atomic publication
+        # guarantees no torn writes), with no leaked scratch files.
+        entries = os.listdir(cache_dir)
+        assert not [name for name in entries if name.endswith(".tmp")]
+        union = np.union1d(first, second)
+        assert len(entries) == len(union)
+        for name in entries:
+            with open(os.path.join(cache_dir, name), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["signature"] == config_fingerprint(config)
+
+        # A fresh scheduler must answer the whole union from the cache with
+        # verdicts identical to an uncached single-process run.
+        warm = BatchCertificationScheduler(
+            trained_mondeq, config, batch_size=8, cache_dir=cache_dir
+        ).certify(xs[union], ys[union].astype(int), 0.05)
+        assert warm.cache_hits == len(union)
+        clean = BatchCertificationScheduler(trained_mondeq, config, batch_size=8).certify(
+            xs[union], ys[union].astype(int), 0.05
+        )
+        for cached, fresh in zip(warm.results, clean.results):
+            assert cached.outcome == fresh.outcome
+            assert cached.certified == fresh.certified
+            assert cached.contained == fresh.contained
+            if np.isfinite(fresh.margin):
+                assert cached.margin == pytest.approx(fresh.margin, abs=1e-12)
+
+
+class TestScratchFileHygiene:
+    def test_stale_scratch_swept_fresh_scratch_kept(self, tmp_path):
+        stale = tmp_path / "deadbeef.json.123.1.tmp"
+        fresh = tmp_path / "cafef00d.json.456.1.tmp"
+        stale.write_text("{}")
+        fresh.write_text("{}")
+        old = time.time() - 2 * FixpointCache.STALE_TMP_SECONDS
+        os.utime(stale, (old, old))
+
+        FixpointCache(str(tmp_path))
+        assert not stale.exists()  # orphan from a killed worker: swept
+        assert fresh.exists()  # possibly a live writer's scratch: kept
+
+
+class TestVersionStamp:
+    def test_mismatched_config_entries_are_rejected(
+        self, trained_mondeq, toy_data, config, tmp_path
+    ):
+        """Entries written under config A must not be served to config B,
+        even when addressed by the *same* key (the quantised-keying
+        scenario: keys may stop pinning the exact config)."""
+        xs, ys = toy_data
+        writer = BatchCertificationScheduler(
+            trained_mondeq, config, batch_size=4, cache_dir=str(tmp_path)
+        )
+        writer.certify(xs[120:124], ys[120:124].astype(int), 0.05)
+        keys = [name[: -len(".json")] for name in os.listdir(tmp_path)]
+        assert keys
+
+        matching = FixpointCache(str(tmp_path), signature=config_fingerprint(config))
+        other = config.with_updates(tighten_consolidate_every=7)
+        mismatched = FixpointCache(str(tmp_path), signature=config_fingerprint(other))
+        for key in keys:
+            assert matching.load(key) is not None
+            assert mismatched.load(key) is None
+
+    def test_fingerprint_tracks_verdict_relevant_fields(self, config):
+        assert config_fingerprint(config) == config_fingerprint(
+            config.with_updates(verbose=True)
+        )
+        assert config_fingerprint(config) == config_fingerprint(
+            # Batch sizing must never invalidate cached verdicts.
+            config.with_updates(engine_batch_size=8, cache_budget_bytes=1 << 20)
+        )
+        for overrides in (
+            {"alpha1": 0.2},
+            {"tighten_consolidate_every": 3},
+            {"use_box_component": False},
+        ):
+            assert config_fingerprint(config) != config_fingerprint(
+                config.with_updates(**overrides)
+            )
+
+    def test_unstamped_cache_still_reads_entries(self, trained_mondeq, toy_data, config, tmp_path):
+        """A signature-less FixpointCache (legacy construction) keeps
+        working — the stamp check only arms when a signature is given."""
+        xs, ys = toy_data
+        BatchCertificationScheduler(
+            trained_mondeq, config, batch_size=4, cache_dir=str(tmp_path)
+        ).certify(xs[120:122], ys[120:122].astype(int), 0.05)
+        legacy = FixpointCache(str(tmp_path))
+        keys = [name[: -len(".json")] for name in os.listdir(tmp_path)]
+        assert all(legacy.load(key) is not None for key in keys)

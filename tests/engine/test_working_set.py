@@ -1,0 +1,170 @@
+"""Cache-aware batch sizing and phase-two consolidation coverage.
+
+Unit-tests the working-set estimator against known model shapes — the
+small-input HCAS regime where batching wins and the input-dim-64 FC regime
+where a 64-wide stack spills the last-level cache — and pins that periodic
+phase-two consolidation (``tighten_consolidate_every``) keeps the
+error-term count bounded across ≥50 tightening steps while the abstraction
+stays sound (sampled concrete fixpoints remain inside it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CraftConfig
+from repro.engine.working_set import (
+    DEFAULT_LLC_BYTES,
+    MAX_AUTO_BATCH,
+    MIN_AUTO_BATCH,
+    auto_batch_size,
+    detect_llc_bytes,
+    error_growth_per_step,
+    max_error_terms,
+    phase2_working_set_bytes,
+    state_dim,
+)
+from repro.mondeq.model import MonDEQ
+from repro.mondeq.solvers import solve_fixpoint
+from repro.verify.robustness import fixpoint_set_abstraction
+
+# Structural stand-ins for the two regimes of ROADMAP's measurements (at
+# the smoke scale those measurements used): the HCAS FCx100 monDEQ (3
+# inputs, latent 6) and an MNIST-like FCx40 (8x8 images, latent 10).  The
+# wide *input* is what dominates the error-term growth and flips the
+# batching economics.
+HCAS_LIKE = dict(input_dim=3, latent_dim=6, output_dim=5)
+WIDE_INPUT = dict(input_dim=64, latent_dim=10, output_dim=5)
+
+
+def _model(**shape):
+    return MonDEQ.random(monotonicity=8.0, seed=1, **shape)
+
+
+class TestWorkingSetEstimator:
+    def test_state_dim_tracks_solver_layout(self):
+        model = _model(**HCAS_LIKE)
+        assert state_dim(model, CraftConfig()) == 2 * 6  # PR carries aux block
+        assert state_dim(model, CraftConfig(solver1="fb", alpha1=0.04)) == 6
+
+    def test_growth_rate_matches_roadmap_model(self):
+        """Error terms grow by ~(input_dim + state_dim) per tightening step."""
+        config = CraftConfig()
+        assert error_growth_per_step(_model(**HCAS_LIKE), config) == 12 + 3
+        assert error_growth_per_step(_model(**WIDE_INPUT), config) == 20 + 64
+
+    def test_wide_input_model_has_much_larger_working_set(self):
+        config = CraftConfig()
+        hcas = phase2_working_set_bytes(_model(**HCAS_LIKE), config, batch_size=64)
+        wide = phase2_working_set_bytes(_model(**WIDE_INPUT), config, batch_size=64)
+        # Per ROADMAP, the input-dim-64 net goes DRAM-bound at batch 64
+        # while HCAS does not: the estimator must reproduce that ordering
+        # (per-step growth 84 vs 51 over a 150-step horizon, but the wide
+        # model's k is dominated by input_dim).
+        assert wide > hcas
+        assert wide > DEFAULT_LLC_BYTES  # batch 64 spills a 32 MiB LLC
+
+    def test_consolidation_bounds_the_estimate(self):
+        model = _model(**WIDE_INPUT)
+        free = CraftConfig()
+        bounded = CraftConfig(tighten_consolidate_every=5)
+        assert max_error_terms(model, bounded) < max_error_terms(model, free)
+        assert phase2_working_set_bytes(model, bounded, 64) < phase2_working_set_bytes(
+            model, free, 64
+        )
+
+    def test_auto_batch_prefers_smaller_batches_for_wide_inputs(self):
+        config = CraftConfig()
+        budget = 32 * 2**20
+        hcas = auto_batch_size(_model(**HCAS_LIKE), config, budget_bytes=budget)
+        wide = auto_batch_size(_model(**WIDE_INPUT), config, budget_bytes=budget)
+        assert hcas > wide
+        # The wide-input model must be pushed well below the fixed batch 64
+        # that ROADMAP measured collapsing to ~1x.
+        assert wide < 32
+
+    def test_auto_batch_respects_budget_monotonically(self):
+        model = _model(**WIDE_INPUT)
+        config = CraftConfig()
+        sizes = [
+            auto_batch_size(model, config, budget_bytes=budget)
+            for budget in (2**20, 2**24, 2**28, 2**32)
+        ]
+        assert sizes == sorted(sizes)
+        assert all(MIN_AUTO_BATCH <= size <= MAX_AUTO_BATCH for size in sizes)
+
+    def test_explicit_overrides_win(self):
+        model = _model(**WIDE_INPUT)
+        assert auto_batch_size(model, CraftConfig(engine_batch_size=7)) == 7
+        pinned = auto_batch_size(model, CraftConfig(cache_budget_bytes=2**20))
+        assert pinned == auto_batch_size(model, CraftConfig(), budget_bytes=2**20)
+
+    def test_llc_detection_has_a_floor(self, monkeypatch):
+        assert detect_llc_bytes() > 0
+        # Without sysfs (macOS, masked /sys) the default must come through.
+        import repro.engine.working_set as ws
+
+        monkeypatch.setattr(ws.glob, "glob", lambda pattern: [])
+        assert detect_llc_bytes(default=123) == 123
+
+    def test_working_set_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            phase2_working_set_bytes(_model(**HCAS_LIKE), CraftConfig(), 0)
+
+
+class TestPhase2Consolidation:
+    @pytest.fixture(scope="class")
+    def sample(self, trained_mondeq, toy_data):
+        xs, ys = toy_data
+        for x, y in zip(xs[120:], ys[120:]):
+            if trained_mondeq.predict(x) == int(y):
+                return x
+        pytest.skip("no correctly classified sample")
+
+    def test_error_terms_bounded_across_50_steps(self, trained_mondeq, sample):
+        """≥50 tightening steps: unbounded growth without consolidation,
+        a cadence-sized bound with it."""
+        steps = 55
+        cadence = 5
+        free = CraftConfig(slope_optimization="none")
+        bounded = free.with_updates(tighten_consolidate_every=cadence)
+
+        free_abs, _ = fixpoint_set_abstraction(
+            trained_mondeq, sample, 0.05, free, tighten_iterations=steps
+        )
+        bounded_abs, _ = fixpoint_set_abstraction(
+            trained_mondeq, sample, 0.05, bounded, tighten_iterations=steps
+        )
+        assert free_abs.contained and bounded_abs.contained
+
+        model_growth = error_growth_per_step(trained_mondeq, bounded)
+        n = state_dim(trained_mondeq, bounded)
+        # Between consolidations at most `cadence` steps accumulate fresh
+        # columns on top of the n square consolidated generators.
+        bound = n + (cadence + 1) * model_growth
+        assert bounded_abs.element.num_generators <= bound
+        assert free_abs.element.num_generators > bound
+        assert free_abs.element.num_generators > 2 * bounded_abs.element.num_generators
+
+    def test_consolidated_abstraction_stays_sound(self, trained_mondeq, sample):
+        """Concrete fixpoints of perturbed inputs stay inside the
+        consolidated abstraction (the soundness property the suite's
+        domain tests pin, checked end-to-end with consolidation on)."""
+        config = CraftConfig(slope_optimization="none", tighten_consolidate_every=5)
+        abstraction, extract_z = fixpoint_set_abstraction(
+            trained_mondeq, sample, 0.05, config, tighten_iterations=52
+        )
+        assert abstraction.contained
+        z_element = extract_z(abstraction.element)
+        lower, upper = z_element.concretize_bounds()
+
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            delta = rng.uniform(-0.05, 0.05, size=sample.shape)
+            x = np.clip(sample + delta, 0.0, 1.0)
+            z = solve_fixpoint(trained_mondeq, x, method="pr", tol=1e-11).z
+            assert np.all(z >= lower - 1e-7)
+            assert np.all(z <= upper + 1e-7)
+
+    def test_consolidation_cadence_validation(self):
+        with pytest.raises(Exception):
+            CraftConfig(tighten_consolidate_every=-1)

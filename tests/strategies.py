@@ -54,3 +54,85 @@ def unit_floats():
 def sample_points(element, count=24, seed=0):
     """Deterministic concretisation samples of an abstract element."""
     return element.sample(count, np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# Differential-fuzzing strategies: whole models, input regions and
+# verifier configurations (tests/engine/test_differential.py).
+# ----------------------------------------------------------------------
+
+
+def mondeq_models(max_input_dim=5, max_latent_dim=8, max_output_dim=4):
+    """Random monotone DEQs with small, varied shapes.
+
+    Strong monotonicity keeps the fixpoint iterations contracting quickly,
+    so a fuzzing example costs milliseconds rather than the full phase-one
+    budget.
+    """
+    from repro.mondeq.model import MonDEQ
+
+    return st.builds(
+        lambda input_dim, latent_dim, output_dim, monotonicity, seed: MonDEQ.random(
+            input_dim=input_dim,
+            latent_dim=latent_dim,
+            output_dim=output_dim,
+            monotonicity=monotonicity,
+            seed=seed,
+        ),
+        input_dim=st.integers(2, max_input_dim),
+        latent_dim=st.integers(3, max_latent_dim),
+        output_dim=st.integers(2, max_output_dim),
+        monotonicity=st.floats(6.0, 14.0, **FINITE),
+        seed=st.integers(0, 2**16),
+    )
+
+
+def input_regions(input_dim, count=4, bound=1.5):
+    """``count`` region centres for a model of the given input dimension."""
+    return arrays(
+        np.float64, (count, input_dim), elements=st.floats(-bound, bound, **FINITE)
+    )
+
+
+def epsilons():
+    """Perturbation radii spanning trivially-certifiable to hopeless."""
+    return st.sampled_from([1e-4, 0.01, 0.05, 0.15, 0.3])
+
+
+def craft_configs():
+    """Verifier configurations exercising the engines' distinct code paths.
+
+    Budgets are kept small (fuzzing wants many examples, not deep runs) and
+    the invalid fb-then-pr solver combination is never generated.  The
+    phase-two consolidation cadence is drawn too, so the differential suite
+    pins sequential/batched/sharded agreement with consolidation on.
+    """
+    from repro.core.config import ContractionSettings, CraftConfig
+
+    def build(solvers, consolidate_every, same_iteration, use_box, slope_mode):
+        solver1, solver2 = solvers
+        return CraftConfig(
+            solver1=solver1,
+            alpha1=0.1 if solver1 == "pr" else 0.04,
+            solver2=solver2,
+            alpha2_grid=(0.05, 0.15, 0.5),
+            contraction=ContractionSettings(
+                max_iterations=60, consolidate_every=3, history_size=4
+            ),
+            slope_optimization=slope_mode,
+            slope_candidates_reduced=(-0.1, 0.1),
+            same_iteration_containment=same_iteration,
+            use_box_component=use_box,
+            tighten_max_iterations=12,
+            tighten_patience=5,
+            tighten_consolidate_every=consolidate_every,
+        )
+
+    return st.builds(
+        build,
+        solvers=st.sampled_from([("pr", "fb"), ("pr", "pr"), ("fb", "fb")]),
+        consolidate_every=st.sampled_from([0, 3, 5]),
+        same_iteration=st.booleans(),
+        use_box=st.booleans(),
+        slope_mode=st.sampled_from(["none", "none", "reduced"]),
+    )
