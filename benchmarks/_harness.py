@@ -1,6 +1,33 @@
 """Helpers shared by the benchmark modules."""
 
+import json
+import os
+import time
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under the benchmark timer."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def append_trajectory(benchmark_name, payload):
+    """Append one run's measurements to ``BENCH_<benchmark_name>.json``.
+
+    The file (in ``$BENCH_OUTPUT_DIR`` or the working directory) holds the
+    whole run history — CI uploads it as an artifact so the performance
+    trajectory accumulates run over run.  A corrupt or missing history is
+    restarted rather than failing the benchmark.
+    """
+    path = os.path.join(
+        os.environ.get("BENCH_OUTPUT_DIR", "."), f"BENCH_{benchmark_name}.json"
+    )
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                history = json.load(handle).get("runs", [])
+        except (OSError, json.JSONDecodeError):
+            history = []
+    history.append({"created_unix": time.time(), **payload})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"benchmark": benchmark_name, "runs": history}, handle, indent=2)

@@ -23,13 +23,11 @@ The row dictionaries are appended to ``BENCH_sharded_engine.json``
 artifact so the performance trajectory accumulates run over run.
 """
 
-import json
-import os
 import time
 
 import numpy as np
 
-from _harness import run_once
+from _harness import append_trajectory, run_once
 
 from repro.core.config import CraftConfig
 from repro.engine import (
@@ -145,27 +143,13 @@ def _batch_sizing_row():
     }
 
 
-def _persist(rows):
-    path = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."), "BENCH_sharded_engine.json")
-    history = []
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                history = json.load(handle).get("runs", [])
-        except (OSError, json.JSONDecodeError):
-            history = []
-    history.append({"created_unix": time.time(), "rows": rows})
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"benchmark": "sharded_engine", "runs": history}, handle, indent=2)
-
-
 def test_sharded_engine_throughput(benchmark, record_rows):
     def experiment():
         return [_sharded_row(), _batch_sizing_row()]
 
     rows = run_once(benchmark, experiment)
     record_rows("Sharded scheduler + cache-aware batch sizing (small/smoke scale)", rows)
-    _persist(rows)
+    append_trajectory("sharded_engine", {"rows": rows})
 
     sharded, sizing = rows
     # Verdict parity is unconditional: sharding must never change a verdict.

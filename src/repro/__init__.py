@@ -26,10 +26,12 @@ substrates they need:
     global certification via domain splitting, and baseline verifiers.
 
 ``repro.engine``
-    The batched certification engine: stacks of CH-Zonotopes advanced by
-    shared BLAS calls, a batched Craft driver with per-sample early exit,
-    schedulers (single-process batched and multi-process sharded) with a
-    shared on-disk fixpoint cache, and cache-aware batch sizing.
+    The batched certification engine: domain-generic element stacks
+    (CH-Zonotope, Box and plain Zonotope) advanced by shared BLAS calls, a
+    batched Craft driver with per-sample early exit dispatching on
+    ``CraftConfig.domain``, schedulers (single-process batched and
+    multi-process sharded) with a shared on-disk fixpoint cache, and
+    cache-aware batch sizing.
 
 ``repro.datasets``
     Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
@@ -47,19 +49,23 @@ from repro.domains.interval import Interval
 from repro.domains.zonotope import Zonotope
 from repro.engine import (
     BatchCertificationScheduler,
+    BatchedBox,
     BatchedCHZonotope,
     BatchedCraft,
+    BatchedZonotope,
     ShardedScheduler,
 )
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchCertificationScheduler",
+    "BatchedBox",
     "BatchedCHZonotope",
     "BatchedCraft",
+    "BatchedZonotope",
     "CHZonotope",
     "ClassificationSpec",
     "CraftConfig",

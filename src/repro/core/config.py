@@ -72,8 +72,14 @@ class CraftConfig:
     ----------
     domain:
         Abstract domain to use: ``"chzonotope"`` (default), ``"box"``
-        (Table 4 "No Zono component") or ``"zonotope"`` (CH-Zonotope without
-        the Box component, Table 4 "No Box component").
+        (Table 4 "No Zono component") or ``"zonotope"`` (the plain-Zonotope
+        pipeline: fresh ReLU error terms become generator columns instead
+        of Box radii — Table 4 "No Box component").  Every domain runs
+        through every engine (``sequential`` / ``batched`` / ``sharded``):
+        the batched stack class is resolved by
+        :func:`repro.engine.batched_domains.batched_domain_for`, and the
+        sequential operations by
+        :func:`repro.core.contraction.domain_ops_for`.
     solver1, alpha1:
         Operator-splitting method and damping parameter used in the
         containment-finding phase (default Peaceman–Rachford, alpha = 0.1).

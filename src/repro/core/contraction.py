@@ -90,8 +90,15 @@ def _interval_ops() -> DomainOps:
 
 def _zonotope_ops() -> DomainOps:
     """Plain-Zonotope analyses reuse the CH-Zonotope machinery with the Box
-    component disabled: consolidation produces a proper CH-Zonotope (a
-    parallelotope) and the Theorem 4.2 check applies unchanged."""
+    component disabled: consolidation lifts into CH-Zonotope space, applies
+    Theorem 4.1, and projects the proper result (a parallelotope, whose Box
+    component is zero by construction) back to a plain :class:`Zonotope`.
+    Keeping the working element a ``Zonotope`` is what gives the domain its
+    "no Box component" semantics — the Zonotope ReLU transformer writes
+    fresh error terms into generator columns — and keeps every transformer
+    in the pipeline type-stable (a lifted state could not be Minkowski-
+    summed with the plain-Zonotope input injection).  The Theorem 4.2
+    containment check applies unchanged through the same lift."""
 
     def lift(element) -> CHZonotope:
         if isinstance(element, CHZonotope):
@@ -101,7 +108,8 @@ def _zonotope_ops() -> DomainOps:
         raise DomainError(f"cannot lift {type(element).__name__} to CHZonotope")
 
     def consolidate(element, basis, w_mul, w_add):
-        return lift(element).consolidate(basis=basis, w_mul=w_mul, w_add=w_add)
+        consolidated = lift(element).consolidate(basis=basis, w_mul=w_mul, w_add=w_add)
+        return consolidated.to_zonotope()
 
     def contains(outer, inner):
         return lift(outer).contains(lift(inner))

@@ -8,6 +8,21 @@ instead advances all regions of a batch through shared BLAS calls and keeps
 the sequential path as the reference implementation the parity tests
 compare against.
 
+Batched domains
+---------------
+The engine is domain-generic: the driver programs against the
+:class:`~repro.engine.batched_domains.BatchedDomain` protocol (stacked
+affine/ReLU/Minkowski transformers plus the containment/consolidation
+hooks) and dispatches on ``CraftConfig.domain`` through
+:func:`~repro.engine.batched_domains.batched_domain_for`.  Three stacks
+exist — ``chzonotope`` (:class:`BatchedCHZonotope`), ``zonotope``
+(:class:`~repro.engine.batched_domains.BatchedZonotope`, the Table 4 "No
+Box component" row) and ``box``
+(:class:`~repro.engine.batched_domains.BatchedBox`, the "No Zono
+component" row) — so ablation sweeps batch for every domain.  Unknown
+domain names raise ``ConfigurationError``; there is no silent sequential
+fallback.
+
 Batch layout
 ------------
 A batch of ``B`` CH-Zonotopes of dimension ``n`` with a uniform error-term
@@ -20,10 +35,12 @@ count ``k`` is stored as three arrays
 
 ``k`` is made uniform by right-padding generator matrices with zero
 columns; a zero column never changes the concretised set, so padding is a
-representation detail only.  All transformers (affine, ReLU, Minkowski sum,
-consolidation, Theorem 4.2 containment) are einsum/broadcast expressions
-whose sample ``i`` equals the sequential transformer applied to sample
-``i`` — the parity contract the engine tests enforce.
+representation detail only.  ``BatchedZonotope`` shares the layout with an
+identically-zero Box component; ``BatchedBox`` stores two ``(B, n)`` bound
+arrays.  All transformers (affine, ReLU, Minkowski sum, consolidation,
+Theorem 4.2 containment) are einsum/broadcast expressions whose sample
+``i`` equals the sequential transformer applied to sample ``i`` — the
+parity contract the engine tests enforce.
 
 Active-mask semantics
 ---------------------
@@ -72,6 +89,12 @@ to the host's last-level cache.
 """
 
 from repro.engine.batched_chzonotope import BatchedCHZonotope
+from repro.engine.batched_domains import (
+    BatchedBox,
+    BatchedDomain,
+    BatchedZonotope,
+    batched_domain_for,
+)
 from repro.engine.craft import BatchedCraft
 from repro.engine.results import EngineReport
 from repro.engine.scheduler import (
@@ -85,12 +108,16 @@ from repro.engine.working_set import auto_batch_size, phase2_working_set_bytes
 
 __all__ = [
     "BatchCertificationScheduler",
+    "BatchedBox",
     "BatchedCHZonotope",
     "BatchedCraft",
+    "BatchedDomain",
+    "BatchedZonotope",
     "EngineReport",
     "FixpointCache",
     "ShardedScheduler",
     "auto_batch_size",
+    "batched_domain_for",
     "config_fingerprint",
     "phase2_working_set_bytes",
     "weights_hash",

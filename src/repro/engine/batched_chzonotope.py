@@ -105,7 +105,7 @@ class BatchedCHZonotope:
     def select(self, indices) -> "BatchedCHZonotope":
         """Gather a sub-batch (used for per-sample early exit)."""
         indices = np.asarray(indices)
-        selected = BatchedCHZonotope(
+        selected = type(self)(
             self._center[indices], self._generators[indices], self._box[indices]
         )
         if self._inverse_cache is not None:
@@ -209,7 +209,7 @@ class BatchedCHZonotope:
                 )
             center = center + bias[None, :]
         generators = np.concatenate([generators, box_columns], axis=2)
-        return BatchedCHZonotope(center, generators, None)
+        return type(self)(center, generators, None)
 
     def relu(
         self,
@@ -224,18 +224,18 @@ class BatchedCHZonotope:
         generators = relaxation.slopes[:, :, None] * self._generators
         box = relaxation.slopes * self._box
         if box_new_errors:
-            return BatchedCHZonotope(center, generators, box + relaxation.new_errors)
+            return type(self)(center, generators, box + relaxation.new_errors)
         new_axes = np.nonzero(np.any(relaxation.new_errors > 0, axis=0))[0]
         if new_axes.size:
             fresh = np.zeros((self.batch_size, self.dim, new_axes.size))
             fresh[:, new_axes, np.arange(new_axes.size)] = relaxation.new_errors[:, new_axes]
             generators = np.concatenate([generators, fresh], axis=2)
-        return BatchedCHZonotope(center, generators, box)
+        return type(self)(center, generators, box)
 
     def sum(self, other: "BatchedCHZonotope") -> "BatchedCHZonotope":
         """Minkowski sum: generator columns concatenate, Box radii add."""
         other = self._coerce(other)
-        return BatchedCHZonotope(
+        return type(self)(
             self._center + other._center,
             np.concatenate([self._generators, other._generators], axis=2),
             self._box + other._box,
@@ -243,13 +243,13 @@ class BatchedCHZonotope:
 
     def scale(self, factor: float) -> "BatchedCHZonotope":
         factor = float(factor)
-        return BatchedCHZonotope(
+        return type(self)(
             factor * self._center, factor * self._generators, abs(factor) * self._box
         )
 
     def translate(self, offset: np.ndarray) -> "BatchedCHZonotope":
         offset = np.asarray(offset, dtype=float)
-        return BatchedCHZonotope(self._center + offset, self._generators, self._box)
+        return type(self)(self._center + offset, self._generators, self._box)
 
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Sample ``count`` points per element, shape ``(B, count, n)``."""
@@ -291,7 +291,7 @@ class BatchedCHZonotope:
         floor = max(w_add, 1e-12)
         coefficients = np.maximum(coefficients, floor)
         new_generators = basis * coefficients[:, None, :]
-        return BatchedCHZonotope(self._center, new_generators, self._box)
+        return type(self)(self._center, new_generators, self._box)
 
     def pca_basis(self, jitter: float = 1e-12) -> np.ndarray:
         """Per-sample PCA bases, shape ``(B, n, n)`` (identity where no errors)."""
@@ -356,7 +356,7 @@ class BatchedCHZonotope:
         keep = np.abs(self._generators).sum(axis=(0, 1)) > 0
         if np.all(keep):
             return self
-        return BatchedCHZonotope(self._center, self._generators[:, :, keep], self._box)
+        return type(self)(self._center, self._generators[:, :, keep], self._box)
 
     def relu_slopes(self, slope_delta: float) -> np.ndarray:
         """Minimum-area slopes shifted by ``slope_delta`` (slope optimisation)."""

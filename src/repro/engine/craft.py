@@ -7,7 +7,10 @@ cadence, expansion schedule, containment history, tightening line search,
 patience and abort heuristics — replicate the sequential
 :class:`~repro.core.craft.CraftVerifier` exactly; what changes is that
 every abstract-transformer application advances the whole batch through
-shared BLAS calls on a :class:`~repro.engine.batched_chzonotope.BatchedCHZonotope`.
+shared BLAS calls on a batched domain stack
+(:mod:`repro.engine.batched_domains`): the CH-Zonotope, plain-Zonotope and
+Box domains all run through this one driver, dispatched on
+``CraftConfig.domain``.
 
 Per-sample **early exit** works by shrinking the active stack: a sample
 that proves containment (phase one), certifies its postcondition, diverges
@@ -33,9 +36,9 @@ from repro.core.results import (
     VerificationOutcome,
     VerificationResult,
 )
-from repro.domains.chzonotope import CHZonotope
-from repro.engine.batched_chzonotope import BatchedCHZonotope
-from repro.exceptions import ConfigurationError, VerificationError
+from repro.domains.base import AbstractElement
+from repro.engine.batched_domains import BatchedDomain, batched_domain_for
+from repro.exceptions import VerificationError
 from repro.mondeq.abstract_solvers import layout_for, make_batched_abstract_step
 from repro.mondeq.model import MonDEQ
 from repro.mondeq.solvers import default_alpha, solve_fixpoint_batch
@@ -44,12 +47,16 @@ from repro.verify.specs import ClassificationSpec, LinfBall
 
 @dataclass
 class _ContainmentRecord:
-    """Per-sample outcome of the batched containment phase."""
+    """Per-sample outcome of the batched containment phase.
+
+    ``state`` and ``reference`` are sequential elements of the configured
+    domain (CHZonotope, Zonotope or Interval).
+    """
 
     contained: bool
     diverged: bool
-    state: CHZonotope
-    reference: Optional[CHZonotope]
+    state: AbstractElement
+    reference: Optional[AbstractElement]
     iterations: int
     consolidations: int
     width_trace: List[float] = field(default_factory=list)
@@ -76,7 +83,7 @@ class _TighteningRecord:
     width_trace: List[float] = field(default_factory=list)
 
 
-def _materialise(reference) -> Optional[CHZonotope]:
+def _materialise(reference) -> Optional[AbstractElement]:
     if reference is None:
         return None
     stack, row = reference
@@ -150,10 +157,10 @@ class _TighteningStacks:
     gathering rows per run keeps the per-run setup cost flat.
     """
 
-    inputs: BatchedCHZonotope
-    states: BatchedCHZonotope
-    previous: BatchedCHZonotope
-    initial_states: List[CHZonotope]
+    inputs: "BatchedDomain"
+    states: "BatchedDomain"
+    previous: "BatchedDomain"
+    initial_states: List[AbstractElement]
     differences: np.ndarray
 
 
@@ -163,11 +170,10 @@ class BatchedCraft:
     def __init__(self, model: MonDEQ, config: Optional[CraftConfig] = None):
         self._model = model
         self._config = config if config is not None else CraftConfig()
-        if self._config.domain != "chzonotope":
-            raise ConfigurationError(
-                "the batched engine supports the CH-Zonotope domain only; use the "
-                f"sequential CraftVerifier for domain {self._config.domain!r}"
-            )
+        # Dispatch on the configured abstract domain: every domain in
+        # repro.domains has a batched stack implementation (an unknown name
+        # raises ConfigurationError — never a silent sequential fallback).
+        self._domain_cls = batched_domain_for(self._config.domain)
         if self._config.solver1 == "fb" and self._config.solver2 == "pr":
             raise VerificationError(
                 "tightening with PR after an FB containment phase is not supported: "
@@ -250,8 +256,8 @@ class BatchedCraft:
         config = self._config
         batch = len(balls)
 
-        input_elements = BatchedCHZonotope.from_elements(
-            [ball.to_chzonotope() for ball in balls]
+        input_elements = self._domain_cls.from_elements(
+            [ball.to_element(config.domain) for ball in balls]
         )
         if anchor_fixpoints is None:
             centers = np.stack([ball.center for ball in balls])
@@ -264,7 +270,7 @@ class BatchedCraft:
                 max_iterations=config.concrete_max_iterations,
             ).z
         blocks = 2 if self._layout.has_aux else 1
-        initial = BatchedCHZonotope.from_points(np.tile(anchor_fixpoints, (1, blocks)))
+        initial = self._domain_cls.from_points(np.tile(anchor_fixpoints, (1, blocks)))
         contraction_step = make_batched_abstract_step(
             self._model,
             self._layout,
@@ -292,7 +298,7 @@ class BatchedCraft:
     # Phase one: batched containment search
     # ------------------------------------------------------------------
 
-    def _containment_phase(self, step, initial: BatchedCHZonotope) -> List[_ContainmentRecord]:
+    def _containment_phase(self, step, initial: "BatchedDomain") -> List[_ContainmentRecord]:
         settings = self._config.contraction
         expansion = ExpansionSchedule.from_config(self._config)
         batch = initial.batch_size
@@ -391,7 +397,7 @@ class BatchedCraft:
 
     def _tighten_and_certify(
         self,
-        input_elements: BatchedCHZonotope,
+        input_elements: "BatchedDomain",
         specs: Sequence[ClassificationSpec],
         containment: List[_ContainmentRecord],
         contained_samples: List[int],
@@ -405,10 +411,10 @@ class BatchedCraft:
         # runs only gather rows instead of re-stacking elements.
         stacks = _TighteningStacks(
             inputs=input_elements.select(np.asarray(contained_samples)),
-            states=BatchedCHZonotope.from_elements(
+            states=self._domain_cls.from_elements(
                 [containment[s].state for s in contained_samples]
             ),
-            previous=BatchedCHZonotope.from_elements(
+            previous=self._domain_cls.from_elements(
                 [
                     containment[s].reference
                     if containment[s].reference is not None

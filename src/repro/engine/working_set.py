@@ -98,7 +98,13 @@ def max_error_terms(model: MonDEQ, config: CraftConfig) -> int:
     :func:`error_growth_per_step` per step until either the phase-two
     budget runs out or a periodic consolidation
     (``tighten_consolidate_every``) resets it to ``state_dim``.
+
+    The Box domain carries no generator stack at all — its representation
+    is two bound vectors per sample — so its error-term count is the
+    constant 1 (the per-sample bound pair folded into the stack constant).
     """
+    if config.domain == "box":
+        return 1
     horizon = config.tighten_max_iterations
     if config.tighten_consolidate_every > 0:
         horizon = min(horizon, config.tighten_consolidate_every)
@@ -111,9 +117,12 @@ def phase2_working_set_bytes(
 ) -> int:
     """Estimated bytes a phase-two iteration streams for ``batch_size`` rows.
 
-    The generator stacks ``(B, state_dim, k)`` dominate; centers, Box radii
-    and concretised bounds are ``O(B * state_dim)`` and folded into the
-    stack constant.
+    For the zonotope-family domains the generator stacks
+    ``(B, state_dim, k)`` dominate; centers, Box radii and concretised
+    bounds are ``O(B * state_dim)`` and folded into the stack constant.
+    For the Box domain the whole representation *is* the ``O(B *
+    state_dim)`` term, so the estimate reduces to the bound arrays and the
+    automatic batch size clamps to ``MAX_AUTO_BATCH``.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")

@@ -80,17 +80,22 @@ class DomainSplittingCertifier:
 
     ``engine`` selects how the BFS frontier levels are certified:
 
-    * ``"batched"`` — one vectorised :class:`BatchedCraft` pass per level
-      (the default for the CH-Zonotope domain).
+    * ``"batched"`` (default) — one vectorised :class:`BatchedCraft` pass
+      per level.
     * ``"sharded"`` — each level is fanned out over ``num_workers``
       processes through :class:`~repro.engine.sharded.ShardedScheduler`;
       the worker pool persists across levels and an optional ``cache_dir``
       lets re-runs (e.g. refined HCAS grids) reuse cell verdicts.
+      ``timeout_seconds`` bounds every wait on the pool (default 600 s).
     * ``"sequential"`` — the reference depth-first recursion.
 
     ``engine=None`` derives the choice from the legacy ``use_engine`` flag.
-    All engines produce the same cell decomposition (up to ordering of the
-    cell list).
+    Every ``config.domain`` (``"chzonotope"``, ``"box"``, ``"zonotope"``)
+    runs through every engine — the batched stack is resolved by
+    :func:`repro.engine.batched_domains.batched_domain_for`, which raises
+    :class:`~repro.exceptions.ConfigurationError` for unknown names rather
+    than silently downgrading to the sequential recursion.  All engines
+    produce the same cell decomposition (up to ordering of the cell list).
     """
 
     def __init__(
@@ -116,8 +121,6 @@ class DomainSplittingCertifier:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; choose 'sequential', 'batched' or 'sharded'"
             )
-        if self.config.domain != "chzonotope":
-            engine = "sequential"
         self.engine = engine
         self._num_workers = num_workers
         self._cache_dir = cache_dir

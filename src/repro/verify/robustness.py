@@ -13,11 +13,15 @@ count (``#Cont.``), certified count (``#Cert.``) and mean runtime.
 Sweeps over many regions route through the batched certification engine
 (:mod:`repro.engine`) by default — see :func:`certify_local_robustness`;
 the per-sample :func:`certify_sample` loop is kept as the reference
-implementation the engine's parity tests compare against.
+implementation the engine's parity tests compare against.  Every abstract
+domain (CH-Zonotope, Box, plain Zonotope) runs through every engine — the
+batched element stack is resolved per ``CraftConfig.domain`` by
+:func:`repro.engine.batched_domains.batched_domain_for`.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -44,6 +48,22 @@ from repro.utils.rng import SeedLike, as_generator
 from repro.verify.specs import ClassificationSpec, LinfBall
 
 _DOMAIN_CLASSES = {"chzonotope": CHZonotope, "box": Interval, "zonotope": Zonotope}
+
+_logger = logging.getLogger(__name__)
+
+#: (engine, domain) pairs whose dispatch decision has already been logged —
+#: sweeps run thousands of queries, so the choice is announced once per
+#: process instead of once per call.
+_LOGGED_ENGINE_CHOICES: set = set()
+
+
+def _log_engine_choice(engine: str, domain: str) -> None:
+    key = (engine, domain)
+    if key not in _LOGGED_ENGINE_CHOICES:
+        _LOGGED_ENGINE_CHOICES.add(key)
+        _logger.info(
+            "certification sweep dispatching to engine=%r for domain=%r", engine, domain
+        )
 
 
 def build_fixpoint_problem(
@@ -178,31 +198,63 @@ def certify_local_robustness(
 ) -> List[VerificationResult]:
     """Certify l-infinity robustness for every (row of ``xs``, label) query.
 
-    ``engine`` selects the execution strategy:
+    Parameters
+    ----------
+    model:
+        The monDEQ whose predictions are being certified.
+    xs, labels, epsilon:
+        Query centres (one row per query), their expected classes, and the
+        shared l-infinity perturbation radius.
+    config:
+        The :class:`~repro.core.config.CraftConfig` controlling domain,
+        solvers and budgets.  Every ``config.domain`` — ``"chzonotope"``,
+        ``"box"`` and ``"zonotope"`` — runs through every engine; the
+        batched stack class is resolved by
+        :func:`repro.engine.batched_domains.batched_domain_for`, and an
+        unknown domain name raises
+        :class:`~repro.exceptions.ConfigurationError` (never a silent
+        sequential fallback).  The chosen (engine, domain) dispatch is
+        logged once per process on the ``repro.verify.robustness`` logger.
+    engine:
+        Execution strategy:
 
-    * ``"batched"`` (default) routes through the vectorised certification
-      engine (:mod:`repro.engine`): the whole sweep shares one
-      :class:`~repro.engine.scheduler.BatchCertificationScheduler`, which
-      certifies up to ``batch_size`` regions per pass and optionally
-      persists verdicts to ``cache_dir``.  ``batch_size=None`` sizes
-      batches from the phase-two working-set estimate so one batch fits
-      the last-level cache (:mod:`repro.engine.working_set`).  Only the
-      CH-Zonotope domain is vectorised; other domains silently fall back
-      to the sequential path.
-    * ``"sharded"`` additionally fans the batches out to ``num_workers``
-      worker processes (:class:`~repro.engine.sharded.ShardedScheduler`) —
-      the scale-up path for large sweeps; weights are shipped to each
-      worker once and the on-disk cache is shared across workers.
-      ``timeout_seconds`` bounds every wait on the pool (default 600 s) so
-      a hung worker fails the sweep fast; raise it for genuinely slow
-      models.  ``keep_abstractions=False`` makes workers strip the
-      abstraction elements before shipping results back — verdict-only
-      consumers should set it to avoid serialising the generator stacks.
-    * ``"sequential"`` maps :func:`certify_sample` over the queries — the
-      reference implementation the engine's parity tests compare against.
+        * ``"batched"`` (default) routes through the vectorised
+          certification engine (:mod:`repro.engine`): the whole sweep
+          shares one
+          :class:`~repro.engine.scheduler.BatchCertificationScheduler`,
+          which certifies up to ``batch_size`` regions per pass and
+          optionally persists verdicts to ``cache_dir``.
+        * ``"sharded"`` additionally fans the batches out to
+          ``num_workers`` worker processes
+          (:class:`~repro.engine.sharded.ShardedScheduler`) — the scale-up
+          path for large sweeps; weights are shipped to each worker once
+          and the on-disk cache is shared across workers.
+        * ``"sequential"`` maps :func:`certify_sample` over the queries —
+          the reference implementation the engine's parity tests compare
+          against.
+    batch_size:
+        Regions per batched pass.  ``None`` (default) sizes batches from
+        the phase-two working-set estimate so one batch fits the
+        last-level cache (:func:`repro.engine.working_set.auto_batch_size`);
+        an explicit ``config.engine_batch_size`` takes precedence either
+        way.  Batch sizing never changes verdicts, only memory locality.
+    cache_dir:
+        Optional on-disk fixpoint-cache directory; re-running a sweep with
+        unchanged weights/config answers repeated queries from the cache.
+    num_workers, timeout_seconds, keep_abstractions:
+        Sharded-engine knobs: worker-pool size (default: available CPUs),
+        the bound on every wait for a shard result (default 600 s — a hung
+        worker fails the sweep fast), and whether workers ship the
+        abstraction elements back (``False`` strips them before they cross
+        the pool pipe; verdict-only consumers should strip).
 
-    All paths return per-query results in input order with identical
-    verdicts (the engine's parity contract).
+    Returns
+    -------
+    list of VerificationResult
+        Per-query results in input order.  All engines return identical
+        verdicts and margins/bounds within 1e-9 (the engine parity
+        contract, enforced by ``tests/engine/test_parity.py`` and the
+        differential fuzzing suite).
     """
     config = config if config is not None else CraftConfig()
     if engine not in ("batched", "sequential", "sharded"):
@@ -215,7 +267,8 @@ def certify_local_robustness(
         raise VerificationError(
             f"xs and labels must have matching lengths, got {xs.shape[0]} vs {labels.shape[0]}"
         )
-    if engine == "sharded" and config.domain == "chzonotope":
+    _log_engine_choice(engine, config.domain)
+    if engine == "sharded":
         from repro.engine.sharded import ShardedScheduler
 
         extra = {} if timeout_seconds is None else {"timeout_seconds": timeout_seconds}
@@ -226,7 +279,7 @@ def certify_local_robustness(
             return scheduler.certify(
                 xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
             ).results
-    if engine == "batched" and config.domain == "chzonotope":
+    if engine == "batched":
         from repro.engine.scheduler import BatchCertificationScheduler
 
         scheduler = BatchCertificationScheduler(
@@ -331,12 +384,33 @@ class RobustnessVerifier:
 
         For each correctly classified sample the PGD attack provides the
         empirical-robustness upper bound, and Craft attempts certification;
-        misclassified samples only count towards natural accuracy.  The
-        certification sweep routes through the batched engine by default;
-        ``engine="sharded"`` fans it out over ``num_workers`` processes
-        (:class:`~repro.engine.sharded.ShardedScheduler`) and
-        ``engine="sequential"`` restores the per-sample reference loop.
-        All engines produce identical verdicts (the parity contract).
+        misclassified samples only count towards natural accuracy.
+
+        Parameters
+        ----------
+        xs, labels, epsilon:
+            Evaluation inputs, their reference labels, and the shared
+            perturbation radius.
+        max_samples:
+            Truncate the evaluation to the first ``max_samples`` rows
+            (``None`` evaluates everything; the paper uses 100).
+        run_attack, seed:
+            Whether to run the PGD upper-bound attack on correctly
+            classified samples, and the attack's RNG seed.
+        engine:
+            ``"batched"`` (default) runs the sweep through the vectorised
+            certification engine, ``"sharded"`` fans it out over
+            ``num_workers`` processes
+            (:class:`~repro.engine.sharded.ShardedScheduler`), and
+            ``"sequential"`` restores the per-sample reference loop.
+            Every ``config.domain`` (CH-Zonotope, Box, Zonotope) is
+            supported by every engine, and all engines produce identical
+            verdicts (the parity contract).  Batch sizes follow
+            ``config.engine_batch_size`` / the cache-aware automatic
+            estimate, exactly as in :func:`certify_local_robustness`.
+        num_workers, timeout_seconds:
+            Sharded-engine pool size and the per-shard wait bound
+            (default 600 s).
         """
         rng = as_generator(seed)
         xs = np.atleast_2d(np.asarray(xs, dtype=float))

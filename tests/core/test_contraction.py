@@ -43,12 +43,29 @@ class TestDomainOps:
         assert expanded.width[0] == pytest.approx(2.0 * 1.1 + 0.1)
         assert ops.contains(expanded, box)
 
-    def test_zonotope_ops_lift(self):
+    def test_zonotope_ops_consolidate_stays_plain(self):
+        """Zonotope consolidation lifts through CH-Zonotope space but hands
+        back a plain (type-stable) Zonotope, so the pipeline's transformers
+        keep plain-zonotope semantics (fresh ReLU errors become generator
+        columns, and Minkowski sums with Zonotope injections stay legal)."""
         ops = domain_ops_for("zonotope")
-        z = Zonotope(np.zeros(2), np.eye(2))
+        z = Zonotope(np.zeros(2), np.array([[1.0, 0.5], [0.0, 1.0]]))
         proper = ops.consolidate(z, None, 0.0, 0.0)
-        assert isinstance(proper, CHZonotope)
+        assert isinstance(proper, Zonotope)
+        assert not isinstance(proper, CHZonotope)
+        # The consolidated element is a proper parallelotope containing z.
+        assert proper.num_generators == proper.dim
         assert ops.contains(proper, z)
+
+    def test_zonotope_pipeline_step_after_consolidation(self):
+        """Regression: a consolidated zonotope state must still compose
+        with a plain-Zonotope input injection (affine + Minkowski sum) —
+        the exact shape of one abstract solver step."""
+        ops = domain_ops_for("zonotope")
+        state = ops.consolidate(Zonotope(np.zeros(2), np.eye(2)), None, 0.0, 0.0)
+        injection = Zonotope(np.ones(2), 0.1 * np.eye(2))
+        stepped = state.affine(0.5 * np.eye(2)).sum(injection).relu()
+        assert isinstance(stepped, Zonotope)
 
 
 class TestEngine:

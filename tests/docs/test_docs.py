@@ -1,0 +1,116 @@
+"""Documentation consistency checks (README.md + docs/).
+
+These run in tier 1 *and* as the CI docs job, so the documentation cannot
+drift from the tree:
+
+* every relative markdown link in README.md and docs/*.md resolves to an
+  existing file (anchors are checked to point at real files too);
+* every fenced ``python`` code block parses (``compile``), and blocks
+  containing doctest prompts execute under ``doctest``;
+* the paper-to-code cross-reference table only names benchmark scripts
+  that exist, and every benchmark script is cross-referenced;
+* the docs pages and the README link to each other (the docs form one
+  connected subsystem, not orphan files).
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_BENCH_REF = re.compile(r"benchmarks/(bench_\w+\.py)")
+
+
+def _doc_ids():
+    return [path.relative_to(REPO_ROOT).as_posix() for path in DOC_FILES]
+
+
+@pytest.fixture(params=DOC_FILES, ids=_doc_ids())
+def doc(request):
+    path = request.param
+    assert path.exists(), f"missing documentation file {path}"
+    return path
+
+
+class TestDocTree:
+    def test_expected_files_exist(self):
+        for name in ("README.md", "docs/architecture.md", "docs/engines.md",
+                     "docs/certification.md"):
+            assert (REPO_ROOT / name).exists(), f"{name} is missing"
+
+    def test_relative_links_resolve(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            assert resolved.exists(), f"{doc.name}: broken link {target!r}"
+
+    def test_python_blocks_compile(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        for index, block in enumerate(_FENCE.findall(text)):
+            if ">>>" in block:
+                # Doctest-style blocks must actually run.
+                parser = doctest.DocTestParser()
+                test = parser.get_doctest(block, {}, f"{doc.name}[{index}]", doc.name, 0)
+                runner = doctest.DocTestRunner(verbose=False)
+                runner.run(test)
+                assert runner.failures == 0, f"{doc.name}: doctest block {index} failed"
+            else:
+                try:
+                    compile(block, f"{doc.name}[block {index}]", "exec")
+                except SyntaxError as exc:  # pragma: no cover - failure path
+                    pytest.fail(f"{doc.name}: python block {index} does not parse: {exc}")
+
+    def test_docs_are_cross_linked(self):
+        """README links every docs page; every docs page links back."""
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for name in ("docs/architecture.md", "docs/engines.md", "docs/certification.md"):
+            assert name in readme, f"README.md does not link {name}"
+        for name in ("architecture.md", "engines.md", "certification.md"):
+            text = (REPO_ROOT / "docs" / name).read_text(encoding="utf-8")
+            assert "../README.md" in text, f"docs/{name} does not link the README"
+            others = {"architecture.md", "engines.md", "certification.md"} - {name}
+            for other in others:
+                assert other in text, f"docs/{name} does not link {other}"
+
+
+class TestCrossReferenceTable:
+    def test_benchmark_references_exist_and_are_complete(self):
+        text = (REPO_ROOT / "docs" / "certification.md").read_text(encoding="utf-8")
+        referenced = set(_BENCH_REF.findall(text))
+        existing = {path.name for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        missing = referenced - existing
+        assert not missing, f"cross-reference table names absent benchmarks: {missing}"
+        unreferenced = existing - referenced
+        assert not unreferenced, (
+            f"benchmarks missing from the paper-to-code table: {unreferenced}"
+        )
+
+    def test_documented_config_knobs_exist(self):
+        """Every CraftConfig field named in the docs is a real field."""
+        from dataclasses import fields
+
+        from repro.core.config import CraftConfig
+
+        known = {field.name for field in fields(CraftConfig)}
+        text = (REPO_ROOT / "docs" / "certification.md").read_text(encoding="utf-8")
+        table = text.split("## Key `CraftConfig` knobs", 1)[1].split("##", 1)[0]
+        for cell in re.findall(r"`(\w+)`", table):
+            if cell in ("CraftConfig", "None"):
+                continue
+            assert cell in known or cell in ("ablation", "reference"), (
+                f"docs name unknown CraftConfig knob {cell!r}"
+            )

@@ -60,12 +60,15 @@ def _evaluation_set(toy_data, count=16):
 
 
 class TestBatchedParity:
+    @pytest.mark.parametrize("domain", ["chzonotope", "box", "zonotope"])
     @pytest.mark.parametrize("epsilon", [1e-4, 0.05, 0.5])
-    def test_verdicts_identical_to_sequential_loop(self, trained_mondeq, toy_data, epsilon):
-        """≥16 seeded regions: identical verdicts, bounds within 1e-9."""
+    def test_verdicts_identical_to_sequential_loop(
+        self, trained_mondeq, toy_data, epsilon, domain
+    ):
+        """≥16 seeded regions per domain: identical verdicts, bounds within 1e-9."""
         xs, ys = _evaluation_set(toy_data)
         assert xs.shape[0] >= 16
-        config = CraftConfig(slope_optimization="none")
+        config = CraftConfig(domain=domain, slope_optimization="none")
         sequential = [
             certify_sample(trained_mondeq, x, int(y), epsilon, config)
             for x, y in zip(xs, ys)
@@ -172,19 +175,31 @@ class TestBatchedParity:
         for seq, bat in zip(sequential, batched):
             _assert_result_parity(seq, bat)
 
-    def test_engine_rejects_non_chzonotope_domains(self, trained_mondeq):
-        with pytest.raises(ConfigurationError):
-            BatchedCraft(trained_mondeq, CraftConfig(domain="box"))
+    def test_engine_rejects_unknown_domains(self, trained_mondeq):
+        """An unknown domain fails loudly instead of silently falling back
+        to the sequential loop (CraftConfig itself validates the name, so
+        the evasive construction below simulates a corrupted config)."""
+        config = CraftConfig()
+        object.__setattr__(config, "domain", "octagon")
+        with pytest.raises(ConfigurationError, match="octagon"):
+            BatchedCraft(trained_mondeq, config)
+
+    @pytest.mark.parametrize("domain", ["box", "zonotope"])
+    def test_engine_accepts_all_repo_domains(self, trained_mondeq, domain):
+        BatchedCraft(trained_mondeq, CraftConfig(domain=domain))
 
 
 class TestGlobalCertParity:
-    def test_frontier_matches_recursive_decomposition(self, trained_mondeq, toy_data):
+    @pytest.mark.parametrize("domain", ["chzonotope", "box"])
+    def test_frontier_matches_recursive_decomposition(self, trained_mondeq, toy_data, domain):
         from repro.domains.interval import Interval
         from repro.verify.global_cert import DomainSplittingCertifier
 
         xs, ys = toy_data
         config = CraftConfig(
-            slope_optimization="none", contraction=ContractionSettings(max_iterations=200)
+            domain=domain,
+            slope_optimization="none",
+            contraction=ContractionSettings(max_iterations=200),
         )
         region = Interval.from_center_radius(xs[120], 0.05)
         batched = DomainSplittingCertifier(

@@ -105,13 +105,17 @@ def craft_configs():
     Budgets are kept small (fuzzing wants many examples, not deep runs) and
     the invalid fb-then-pr solver combination is never generated.  The
     phase-two consolidation cadence is drawn too, so the differential suite
-    pins sequential/batched/sharded agreement with consolidation on.
+    pins sequential/batched/sharded agreement with consolidation on, and
+    the abstract domain is drawn from all three batched stacks
+    (CH-Zonotope, Box, plain Zonotope) — the domain-generic engine must
+    agree with the sequential reference for every one of them.
     """
     from repro.core.config import ContractionSettings, CraftConfig
 
-    def build(solvers, consolidate_every, same_iteration, use_box, slope_mode):
+    def build(domain, solvers, consolidate_every, same_iteration, use_box, slope_mode):
         solver1, solver2 = solvers
         return CraftConfig(
+            domain=domain,
             solver1=solver1,
             alpha1=0.1 if solver1 == "pr" else 0.04,
             solver2=solver2,
@@ -130,6 +134,8 @@ def craft_configs():
 
     return st.builds(
         build,
+        # chzonotope drawn twice: it has the most distinct code paths.
+        domain=st.sampled_from(["chzonotope", "chzonotope", "box", "zonotope"]),
         solvers=st.sampled_from([("pr", "fb"), ("pr", "pr"), ("fb", "fb")]),
         consolidate_every=st.sampled_from([0, 3, 5]),
         same_iteration=st.booleans(),
