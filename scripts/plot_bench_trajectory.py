@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Graph the perf trajectories accumulated in ``BENCH_*.json`` files.
+
+Every engine benchmark appends one run per invocation to its
+``BENCH_<name>.json`` history (see ``benchmarks/_harness.append_trajectory``),
+and CI uploads the files as artifacts — so over time each file holds the
+benchmark's wall-clock/speedup trajectory.  This script renders all of
+them together (the ROADMAP "perf trajectory" item):
+
+* with matplotlib installed, one subplot per benchmark is written to
+  ``--out`` (default ``bench_trajectory.png``);
+* without matplotlib (the CI containers ship numpy only), an ASCII
+  sparkline per metric is printed instead, and ``--out`` receives the
+  same text — the trajectory stays inspectable anywhere.
+
+Usage::
+
+    python scripts/plot_bench_trajectory.py [--dir DIR] [--keys speedup,time]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List
+
+#: Metric-name substrings graphed by default; override with --keys.
+DEFAULT_KEYS = ("speedup", "regions_per_second", "certified", "_time", "time")
+
+SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def flatten_numeric(prefix: str, value, out: Dict[str, float]) -> None:
+    """Flatten one run payload into dotted-path -> scalar entries."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            if key == "created_unix":
+                continue
+            flatten_numeric(f"{prefix}.{key}" if prefix else key, item, out)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            flatten_numeric(f"{prefix}[{index}]", item, out)
+
+
+def load_trajectories(directory: str) -> Dict[str, List[Dict[str, float]]]:
+    """``benchmark name -> [flattened run, ...]`` for every history file."""
+    trajectories: Dict[str, List[Dict[str, float]]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+            continue
+        runs = []
+        for run in payload.get("runs", []):
+            flat: Dict[str, float] = {}
+            flatten_numeric("", run, flat)
+            runs.append(flat)
+        if runs:
+            trajectories[payload.get("benchmark", os.path.basename(path))] = runs
+    return trajectories
+
+
+def select_series(
+    runs: List[Dict[str, float]], key_filters
+) -> Dict[str, List[float]]:
+    """Metric series (aligned to run order; missing points carried as nan)."""
+    names = sorted({name for run in runs for name in run})
+    series: Dict[str, List[float]] = {}
+    for name in names:
+        if not any(token in name for token in key_filters):
+            continue
+        series[name] = [run.get(name, float("nan")) for run in runs]
+    return series
+
+
+def sparkline(values: List[float]) -> str:
+    finite = [v for v in values if v == v]
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+    chars = []
+    for value in values:
+        if value != value:  # nan: run missing this metric
+            chars.append("·")
+        else:
+            chars.append(SPARKS[int((value - low) / span * (len(SPARKS) - 1))])
+    return "".join(chars)
+
+
+def render_text(trajectories) -> str:
+    lines = []
+    for name, series in trajectories.items():
+        lines.append(f"== {name} ({len(next(iter(series.values())))} runs) ==")
+        width = max(len(metric) for metric in series)
+        for metric, values in series.items():
+            finite = [v for v in values if v == v]
+            latest = finite[-1] if finite else float("nan")
+            lines.append(
+                f"  {metric:<{width}}  {sparkline(values)}  latest={latest:g}"
+            )
+    return "\n".join(lines)
+
+
+def render_matplotlib(trajectories, out: str) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    count = len(trajectories)
+    fig, axes = plt.subplots(count, 1, figsize=(9, 3 * count), squeeze=False)
+    for axis, (name, series) in zip(axes[:, 0], trajectories.items()):
+        for metric, values in series.items():
+            axis.plot(range(1, len(values) + 1), values, marker="o", label=metric)
+        axis.set_title(name)
+        axis.set_xlabel("run")
+        axis.legend(fontsize="x-small")
+        axis.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    print(f"wrote {out}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=os.environ.get("BENCH_OUTPUT_DIR", "."),
+        help="directory holding the BENCH_*.json histories",
+    )
+    parser.add_argument(
+        "--keys",
+        default=",".join(DEFAULT_KEYS),
+        help="comma-separated metric-name substrings to graph",
+    )
+    parser.add_argument(
+        "--out",
+        default="bench_trajectory.png",
+        help="output image (or .txt fallback without matplotlib)",
+    )
+    args = parser.parse_args(argv)
+    key_filters = tuple(token for token in args.keys.split(",") if token)
+
+    raw = load_trajectories(args.dir)
+    trajectories = {
+        name: series
+        for name, series in (
+            (name, select_series(runs, key_filters)) for name, runs in raw.items()
+        )
+        if series
+    }
+    if not trajectories:
+        print(f"no BENCH_*.json histories with matching metrics in {args.dir!r}")
+        return 1
+
+    try:
+        import matplotlib  # noqa: F401  (availability probe)
+    except ImportError:
+        text = render_text(trajectories)
+        print(text)
+        out = os.path.splitext(args.out)[0] + ".txt"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"(matplotlib unavailable — wrote text rendering to {out})")
+        return 0
+    render_matplotlib(trajectories, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,11 +27,13 @@ substrates they need:
 
 ``repro.engine``
     The batched certification engine: domain-generic element stacks
-    (CH-Zonotope, Box and plain Zonotope) advanced by shared BLAS calls, a
-    batched Craft driver with per-sample early exit dispatching on
-    ``CraftConfig.domain``, schedulers (single-process batched and
-    multi-process sharded) with a shared on-disk fixpoint cache, and
-    cache-aware batch sizing.
+    (CH-Zonotope, Box, plain Zonotope and the order-bounded Parallelotope)
+    advanced by shared BLAS calls, a batched Craft driver with per-sample
+    early exit dispatching on ``CraftConfig.domain``, the per-query
+    escalation waterfall over ``CraftConfig.domains``
+    (``repro.engine.escalation``), schedulers (single-process batched and
+    multi-process sharded, both ladder-aware) with a shared on-disk
+    fixpoint cache, and stage-aware cache-fitting batch sizing.
 
 ``repro.datasets``
     Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
@@ -52,20 +54,24 @@ from repro.engine import (
     BatchedBox,
     BatchedCHZonotope,
     BatchedCraft,
+    BatchedParallelotope,
     BatchedZonotope,
+    EscalationLadder,
     ShardedScheduler,
 )
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchCertificationScheduler",
     "BatchedBox",
     "BatchedCHZonotope",
     "BatchedCraft",
+    "BatchedParallelotope",
     "BatchedZonotope",
+    "EscalationLadder",
     "CHZonotope",
     "ClassificationSpec",
     "CraftConfig",

@@ -14,7 +14,12 @@ from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 
-_VALID_DOMAINS = ("chzonotope", "box", "zonotope")
+#: Canonical precision/cost order of the abstract domains (Table 4 ladder):
+#: escalation ladders must list their stages as a strictly ascending
+#: sub-sequence of this tuple, cheapest first.
+DOMAIN_LADDER = ("box", "zonotope", "parallelotope", "chzonotope")
+
+_VALID_DOMAINS = DOMAIN_LADDER
 _VALID_SOLVERS = ("pr", "fb")
 _VALID_EXPANSIONS = ("const", "exp", "none")
 _VALID_SLOPE_MODES = ("none", "reduced", "reference")
@@ -72,14 +77,31 @@ class CraftConfig:
     ----------
     domain:
         Abstract domain to use: ``"chzonotope"`` (default), ``"box"``
-        (Table 4 "No Zono component") or ``"zonotope"`` (the plain-Zonotope
+        (Table 4 "No Zono component"), ``"zonotope"`` (the plain-Zonotope
         pipeline: fresh ReLU error terms become generator columns instead
-        of Box radii — Table 4 "No Box component").  Every domain runs
-        through every engine (``sequential`` / ``batched`` / ``sharded``):
-        the batched stack class is resolved by
+        of Box radii — Table 4 "No Box component") or ``"parallelotope"``
+        (an order-bounded zonotope pipeline: the state is reduced to its
+        enclosing PCA parallelotope after every ReLU, so the error-term
+        count stays constant).  Every domain runs through every engine
+        (``sequential`` / ``batched`` / ``sharded``): the batched stack
+        class is resolved by
         :func:`repro.engine.batched_domains.batched_domain_for`, and the
         sequential operations by
         :func:`repro.core.contraction.domain_ops_for`.
+
+        ``domain`` is a validated alias of the *last* (most precise) entry
+        of ``domains``: setting one keeps the other consistent, and setting
+        both to conflicting values raises :class:`ConfigurationError`.
+    domains:
+        The **escalation ladder**: a strictly ascending (cheapest-first)
+        sub-sequence of ``("box", "zonotope", "parallelotope",
+        "chzonotope")``.  The default is the singleton ``(domain,)``, which
+        preserves the one-domain-per-sweep behaviour.  With more than one
+        stage the engines run a *waterfall*: every query starts in the
+        first (cheapest) domain, and queries that come back
+        ``UNKNOWN``/``NO_CONTAINMENT``/``DIVERGED`` are re-enqueued into
+        the next stage, while ``VERIFIED``/``MISCLASSIFIED`` verdicts exit
+        early (see :mod:`repro.engine.escalation`).
     solver1, alpha1:
         Operator-splitting method and damping parameter used in the
         containment-finding phase (default Peaceman–Rachford, alpha = 0.1).
@@ -124,7 +146,8 @@ class CraftConfig:
         verdicts — they only trade memory locality against batching.
     """
 
-    domain: str = "chzonotope"
+    domain: Optional[str] = None
+    domains: Optional[Tuple[str, ...]] = None
     solver1: str = "pr"
     alpha1: float = 0.1
     solver2: str = "fb"
@@ -153,10 +176,7 @@ class CraftConfig:
     verbose: bool = False
 
     def __post_init__(self):
-        if self.domain not in _VALID_DOMAINS:
-            raise ConfigurationError(
-                f"domain must be one of {_VALID_DOMAINS}, got {self.domain!r}"
-            )
+        self._normalise_domains()
         if self.solver1 not in _VALID_SOLVERS or self.solver2 not in _VALID_SOLVERS:
             raise ConfigurationError(
                 f"solvers must be one of {_VALID_SOLVERS}, got "
@@ -189,6 +209,80 @@ class CraftConfig:
             raise ConfigurationError("cache_budget_bytes must be positive")
         if not self.alpha2_grid:
             raise ConfigurationError("alpha2_grid must not be empty")
+
+    def _normalise_domains(self) -> None:
+        """Reconcile the ``domain`` alias with the ``domains`` ladder.
+
+        The dataclass is frozen, so the derived fields are written with
+        ``object.__setattr__`` — the same idiom frozen dataclasses use for
+        any ``__post_init__`` normalisation.
+        """
+        domains = self.domains
+        if domains is not None:
+            domains = tuple(domains)
+            if not domains:
+                raise ConfigurationError("domains must name at least one stage")
+            for name in domains:
+                if name not in _VALID_DOMAINS:
+                    raise ConfigurationError(
+                        f"domains entries must be one of {_VALID_DOMAINS}, got {name!r}"
+                    )
+            ranks = [DOMAIN_LADDER.index(name) for name in domains]
+            if any(b <= a for a, b in zip(ranks, ranks[1:])):
+                raise ConfigurationError(
+                    "domains must form a strictly ascending escalation ladder "
+                    f"(cheapest first, order {DOMAIN_LADDER}), got {domains}"
+                )
+            if self.domain is not None and self.domain != domains[-1]:
+                raise ConfigurationError(
+                    f"domain {self.domain!r} conflicts with the escalation ladder "
+                    f"{domains} — the alias must equal the final (most precise) stage"
+                )
+            object.__setattr__(self, "domains", domains)
+            object.__setattr__(self, "domain", domains[-1])
+            return
+        domain = self.domain if self.domain is not None else "chzonotope"
+        if domain not in _VALID_DOMAINS:
+            raise ConfigurationError(
+                f"domain must be one of {_VALID_DOMAINS}, got {domain!r}"
+            )
+        object.__setattr__(self, "domain", domain)
+        object.__setattr__(self, "domains", (domain,))
+
+    # Escalation-ladder views (consumed by the engines and schedulers). ----
+
+    @property
+    def is_ladder(self) -> bool:
+        """Whether this configuration escalates across multiple domains."""
+        return len(self.domains) > 1
+
+    def stage_config(self, stage_domain: str) -> "CraftConfig":
+        """The single-domain configuration of one ladder stage.
+
+        Everything except the domain choice is shared across stages, so a
+        stage config is this config with a singleton ``domains`` tuple —
+        which is also exactly what the engine parity contract compares a
+        ladder stage against.
+        """
+        if stage_domain not in self.domains:
+            raise ConfigurationError(
+                f"{stage_domain!r} is not a stage of the ladder {self.domains}"
+            )
+        return replace(self, domain=stage_domain, domains=(stage_domain,))
+
+    def stage_configs(self) -> Tuple["CraftConfig", ...]:
+        """Per-stage configurations, cheapest first."""
+        return tuple(self.stage_config(name) for name in self.domains)
+
+    @classmethod
+    def escalation(cls, domains: Sequence[str] = ("box", "zonotope", "chzonotope"), **kwargs) -> "CraftConfig":
+        """A waterfall configuration over the given escalation ladder.
+
+        The default ladder is the Table 4 precision/cost ladder the paper
+        motivates: Box certifies the easy queries in a fraction of the
+        time, and only the hard residue pays CH-Zonotope cost.
+        """
+        return cls(domains=tuple(domains), **kwargs)
 
     # Derived phase-two policies (shared by the sequential and batched
     # Craft drivers — the engine's parity contract requires one copy). ----
@@ -232,7 +326,18 @@ class CraftConfig:
     # Convenience constructors for the ablation study (Table 4). ----------
 
     def with_updates(self, **kwargs) -> "CraftConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Updating ``domain`` without ``domains`` (or vice versa) realigns
+        the other field instead of carrying the stale alias over — so
+        ``config.with_updates(domain="box")`` means "a Box config", not "a
+        conflict with the previous ladder".
+        """
+        if "domain" in kwargs and "domains" not in kwargs:
+            kwargs["domains"] = (kwargs["domain"],) if kwargs["domain"] is not None else None
+        elif "domains" in kwargs and "domain" not in kwargs:
+            domains = kwargs["domains"]
+            kwargs["domain"] = tuple(domains)[-1] if domains else None
         return replace(self, **kwargs)
 
     @classmethod
@@ -254,6 +359,11 @@ class CraftConfig:
             "reduced_lambda_optimization": base.with_updates(slope_optimization="reduced"),
             "same_iteration_containment": base.with_updates(same_iteration_containment=True),
             "no_expansion": base.with_updates(expansion="none", w_mul=0.0, w_add=0.0),
+            # The per-query domain waterfall (cheapest domain first, hard
+            # queries escalate) — same final precision as the reference.
+            "escalation_ladder": base.with_updates(
+                domains=("box", "zonotope", "chzonotope")
+            ),
         }
         if name not in ablations:
             raise ConfigurationError(

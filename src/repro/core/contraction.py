@@ -120,15 +120,35 @@ def _zonotope_ops() -> DomainOps:
     return DomainOps(consolidate=consolidate, contains=contains, compute_basis=compute_basis)
 
 
+def _parallelotope_ops() -> DomainOps:
+    """The parallelotope pipeline shares the zonotope ops through the same
+    CH-Zonotope lift, but consolidation projects back into the
+    :class:`~repro.domains.parallelotope.ParallelotopeZonotope` element so
+    the pipeline stays type-stable — the subsequent step's ReLU must keep
+    reducing to the enclosing parallelotope."""
+    from repro.domains.parallelotope import ParallelotopeZonotope
+
+    base = _zonotope_ops()
+
+    def consolidate(element, basis, w_mul, w_add):
+        return ParallelotopeZonotope._wrap(base.consolidate(element, basis, w_mul, w_add))
+
+    return DomainOps(
+        consolidate=consolidate, contains=base.contains, compute_basis=base.compute_basis
+    )
+
+
 def domain_ops_for(domain: str) -> DomainOps:
     """Return the :class:`DomainOps` bundle for a domain name.
 
-    ``domain`` is one of ``"chzonotope"``, ``"box"`` or ``"zonotope"``.
+    ``domain`` is one of ``"chzonotope"``, ``"box"``, ``"zonotope"`` or
+    ``"parallelotope"``.
     """
     factories = {
         "chzonotope": _chzonotope_ops,
         "box": _interval_ops,
         "zonotope": _zonotope_ops,
+        "parallelotope": _parallelotope_ops,
     }
     try:
         return factories[domain]()

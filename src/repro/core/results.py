@@ -123,11 +123,23 @@ class VerificationResult:
     fixpoint_abstraction: Optional[FixpointAbstraction] = None
     output_element: Optional[AbstractElement] = None
     notes: str = ""
+    #: Abstract domain that produced this verdict.  For escalation-ladder
+    #: sweeps this is the *resolving* stage (the domain the query exited
+    #: the waterfall in); for single-domain sweeps it is that domain.
+    stage: Optional[str] = None
+    #: Set by :meth:`repro.engine.scheduler.FixpointCache.load` on replayed
+    #: verdicts (the ``[cached]`` notes suffix is the human-readable echo).
+    cached: bool = False
 
     @property
     def verified(self) -> bool:
         """Alias used throughout the experiment harness."""
         return self.outcome is VerificationOutcome.VERIFIED
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether this result was replayed from the on-disk fixpoint cache."""
+        return self.cached
 
     def summary(self) -> str:
         """One-line human-readable summary used by the example scripts."""

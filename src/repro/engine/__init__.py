@@ -14,14 +14,29 @@ The engine is domain-generic: the driver programs against the
 :class:`~repro.engine.batched_domains.BatchedDomain` protocol (stacked
 affine/ReLU/Minkowski transformers plus the containment/consolidation
 hooks) and dispatches on ``CraftConfig.domain`` through
-:func:`~repro.engine.batched_domains.batched_domain_for`.  Three stacks
+:func:`~repro.engine.batched_domains.batched_domain_for`.  Four stacks
 exist — ``chzonotope`` (:class:`BatchedCHZonotope`), ``zonotope``
 (:class:`~repro.engine.batched_domains.BatchedZonotope`, the Table 4 "No
-Box component" row) and ``box``
+Box component" row), ``parallelotope``
+(:class:`~repro.engine.batched_domains.BatchedParallelotope`, the
+order-bounded rung of the escalation ladder) and ``box``
 (:class:`~repro.engine.batched_domains.BatchedBox`, the "No Zono
 component" row) — so ablation sweeps batch for every domain.  Unknown
 domain names raise ``ConfigurationError``; there is no silent sequential
 fallback.
+
+Escalation waterfall
+--------------------
+``CraftConfig.domains`` turns a sweep into a mixed-domain **waterfall**
+(:mod:`repro.engine.escalation`): every query starts in the cheapest
+configured domain, certified/falsified verdicts exit early, and
+``Unknown``/diverged queries are re-enqueued into the next, more precise
+stage.  The batch scheduler runs the waterfall through one
+:class:`~repro.engine.escalation.EscalationLadder`; the sharded scheduler
+shards per ``(stage, batch)`` and pipelines escalations, so stragglers
+overlap with still-running cheap-stage shards.  Ladders ending in
+``chzonotope`` never flip a certified/falsified verdict relative to the
+pure CH-Zonotope sweep — escalation only adds cheaper certificates.
 
 Batch layout
 ------------
@@ -92,10 +107,12 @@ from repro.engine.batched_chzonotope import BatchedCHZonotope
 from repro.engine.batched_domains import (
     BatchedBox,
     BatchedDomain,
+    BatchedParallelotope,
     BatchedZonotope,
     batched_domain_for,
 )
 from repro.engine.craft import BatchedCraft
+from repro.engine.escalation import EscalationLadder, StageStats, should_escalate
 from repro.engine.results import EngineReport
 from repro.engine.scheduler import (
     BatchCertificationScheduler,
@@ -104,7 +121,11 @@ from repro.engine.scheduler import (
     weights_hash,
 )
 from repro.engine.sharded import ShardedScheduler
-from repro.engine.working_set import auto_batch_size, phase2_working_set_bytes
+from repro.engine.working_set import (
+    auto_batch_size,
+    phase2_working_set_bytes,
+    stage_batch_sizes,
+)
 
 __all__ = [
     "BatchCertificationScheduler",
@@ -112,13 +133,18 @@ __all__ = [
     "BatchedCHZonotope",
     "BatchedCraft",
     "BatchedDomain",
+    "BatchedParallelotope",
     "BatchedZonotope",
     "EngineReport",
+    "EscalationLadder",
     "FixpointCache",
     "ShardedScheduler",
+    "StageStats",
     "auto_batch_size",
     "batched_domain_for",
     "config_fingerprint",
     "phase2_working_set_bytes",
+    "should_escalate",
+    "stage_batch_sizes",
     "weights_hash",
 ]

@@ -429,10 +429,66 @@ class BatchedZonotope(BatchedCHZonotope):
         )
 
 
+class BatchedParallelotope(BatchedZonotope):
+    """A stack of ``B`` order-bounded zonotopes (the parallelotope pipeline).
+
+    The ladder rung between :class:`BatchedZonotope` and
+    :class:`BatchedCHZonotope`: affine and Minkowski-sum transformers are
+    the plain-zonotope ones, and the ReLU transformer immediately reduces
+    its result to the enclosing PCA-aligned parallelotope stack (Amato &
+    Scozzari 2012) via the Theorem 4.1 consolidation with zero expansion —
+    so the error-term count is reset to ``dim`` after every solver step
+    and the phase-two working set stays constant
+    (:func:`repro.engine.working_set.max_error_terms`).
+
+    The reduction is applied *unconditionally* (not only when the padded
+    column count exceeds ``dim``): zero-padded stacks hide the per-sample
+    generator count, and per-sample parity with the sequential
+    :class:`~repro.domains.parallelotope.ParallelotopeZonotope` requires
+    both sides to reduce at exactly the same program points.
+    """
+
+    __slots__ = ()
+
+    def relu(
+        self,
+        slopes: Optional[np.ndarray] = None,
+        box_new_errors: bool = True,
+        pass_through: Optional[np.ndarray] = None,
+    ) -> "BatchedParallelotope":
+        return super().relu(
+            slopes=slopes, box_new_errors=box_new_errors, pass_through=pass_through
+        )._reduce_order()
+
+    def _reduce_order(self) -> "BatchedParallelotope":
+        """Enclosing PCA parallelotope stack (Theorem 4.1, zero expansion).
+
+        Zero-padded columns (batchmates' crossing patterns) never change
+        the PCA basis or the coefficients — ``G Gᵀ`` and the column-wise
+        coefficient sums are blind to zero columns — so the reduction is
+        batch-composition independent *in exact arithmetic*.  In floating
+        point the stacked BLAS calls differ from the sequential ones at
+        the last ulp, and because the PR state layout duplicates the z/u
+        rows the reduced matrices are rank-deficient, whose SVD subspaces
+        amplify that noise; an every-step reduction therefore tracks the
+        sequential pipeline to verdict-level agreement rather than the
+        1e-9 bound parity of the other domains (soundness is unaffected —
+        any PCA enclosure is sound, see the domain property tests).
+        """
+        return self.consolidate(None, 0.0, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BatchedParallelotope(batch={self.batch_size}, dim={self.dim}, "
+            f"k={self.num_generators})"
+        )
+
+
 _BATCHED_DOMAINS = {
     "chzonotope": BatchedCHZonotope,
     "box": BatchedBox,
     "zonotope": BatchedZonotope,
+    "parallelotope": BatchedParallelotope,
 }
 
 

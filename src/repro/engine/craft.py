@@ -38,7 +38,7 @@ from repro.core.results import (
 )
 from repro.domains.base import AbstractElement
 from repro.engine.batched_domains import BatchedDomain, batched_domain_for
-from repro.exceptions import VerificationError
+from repro.exceptions import ConfigurationError, VerificationError
 from repro.mondeq.abstract_solvers import layout_for, make_batched_abstract_step
 from repro.mondeq.model import MonDEQ
 from repro.mondeq.solvers import default_alpha, solve_fixpoint_batch
@@ -170,6 +170,16 @@ class BatchedCraft:
     def __init__(self, model: MonDEQ, config: Optional[CraftConfig] = None):
         self._model = model
         self._config = config if config is not None else CraftConfig()
+        if self._config.is_ladder:
+            # A ladder config handed to the single-domain driver would
+            # silently run only the final stage; the waterfall lives in
+            # repro.engine.escalation.EscalationLadder (and the schedulers
+            # route there automatically).
+            raise ConfigurationError(
+                f"BatchedCraft runs one domain per sweep, got the escalation "
+                f"ladder {self._config.domains}; use EscalationLadder or a "
+                f"scheduler front-end instead"
+            )
         # Dispatch on the configured abstract domain: every domain in
         # repro.domains has a batched stack implementation (an unknown name
         # raises ConfigurationError — never a silent sequential fallback).
@@ -641,6 +651,7 @@ class BatchedCraft:
                     width_trace_phase1=containment.width_trace,
                 ),
                 notes="containment phase did not detect contraction",
+                stage=self._config.domain,
             )
         outcome = (
             VerificationOutcome.VERIFIED
@@ -668,4 +679,5 @@ class BatchedCraft:
             slope_optimized=tightening.slope_delta != 0.0,
             fixpoint_abstraction=abstraction,
             output_element=tightening.output,
+            stage=self._config.domain,
         )

@@ -1,0 +1,256 @@
+"""Per-query domain escalation: the mixed-domain waterfall scheduler.
+
+The paper's Table 4 shows the precision/cost ladder Box → Zonotope →
+CH-Zonotope: the cheap domains certify many queries in a fraction of the
+time, and only the hard residue needs the expensive domain.  Until PR 4
+the engines fixed **one** domain per sweep (``CraftConfig.domain``), so
+every query paid CH-Zonotope cost even when Box would have certified it.
+
+This module moves the domain choice into the scheduler.  An **escalation
+ladder** (``CraftConfig.domains``, cheapest first) is run as a waterfall:
+
+1. every query starts in the first (cheapest) configured domain;
+2. queries whose verdict is *resolved* — ``VERIFIED`` (a sound
+   certificate in any domain is final) or ``MISCLASSIFIED`` (falsified by
+   the concrete network, domain-independent) — exit the waterfall early;
+3. queries that come back ``UNKNOWN``, ``NO_CONTAINMENT`` or ``DIVERGED``
+   are re-enqueued into the next, more precise stage;
+4. the last stage's verdict is final whatever it is.
+
+Because the final stage runs the exact single-domain configuration a pure
+sweep would have used, a ladder ending in ``"chzonotope"`` can never flip
+a certified or falsified verdict relative to the pure CH-Zonotope sweep —
+escalation only ever *adds* certificates from cheaper stages.  That
+no-flip property is the ladder's acceptance contract
+(``tests/engine/test_escalation.py``, ``benchmarks/bench_escalation.py``).
+
+:class:`EscalationLadder` is the single-process waterfall (used by the
+batch scheduler and the domain-splitting certifier);
+:class:`~repro.engine.sharded.ShardedScheduler` runs the same waterfall
+with per-``(stage, batch)`` shards fanned out to worker processes, so
+escalated stragglers never serialize a sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CraftConfig
+from repro.core.results import VerificationOutcome, VerificationResult
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.mondeq.model import MonDEQ
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+
+def stage_histogram(results) -> Dict[str, int]:
+    """Resolving-stage counts of a result list, cheapest domain first.
+
+    The single shared copy of the histogram every report surface uses
+    (:class:`~repro.engine.results.EngineReport`,
+    ``RobustnessReport.stage_counts``, the Table 4 ablation rows) — the
+    counting rule must not drift between them.  ``None`` stages
+    (misclassified queries, which never enter the waterfall) are skipped.
+    """
+    from repro.core.config import DOMAIN_LADDER
+
+    counts: Dict[str, int] = {}
+    for result in results:
+        if result is not None and result.stage is not None:
+            counts[result.stage] = counts.get(result.stage, 0) + 1
+    return {name: counts[name] for name in DOMAIN_LADDER if name in counts}
+
+
+def should_escalate(result: VerificationResult) -> bool:
+    """Whether a stage verdict re-enqueues the query into the next stage.
+
+    Certified verdicts are sound in every domain and falsified verdicts
+    (``MISCLASSIFIED``) are decided by the concrete network, so both are
+    final; everything else — ``UNKNOWN``, ``NO_CONTAINMENT``,
+    ``DIVERGED`` — may be an artefact of the cheap abstraction and climbs
+    the ladder.
+    """
+    return not result.certified and result.outcome is not VerificationOutcome.MISCLASSIFIED
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting of one waterfall sweep.
+
+    ``elapsed_seconds`` is per-stage wall-clock in the single-process
+    :class:`EscalationLadder`; the sharded scheduler instead sums the
+    *worker-side* shard times of the stage (its shards run concurrently
+    and interleave with other stages, so a stage has no well-defined
+    wall-clock there) — compare the field across engines as work done,
+    not as latency.
+    """
+
+    domain: str
+    batch_size: int = 0
+    attempted: int = 0
+    resolved: int = 0
+    certified: int = 0
+    escalated: int = 0
+    batches: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_row(self) -> Dict:
+        return {
+            "domain": self.domain,
+            "batch_size": self.batch_size,
+            "attempted": self.attempted,
+            "resolved": self.resolved,
+            "certified": self.certified,
+            "escalated": self.escalated,
+            "batches": self.batches,
+            "time": round(self.elapsed_seconds, 3),
+        }
+
+
+class EscalationLadder:
+    """Single-process waterfall over the stages of ``config.domains``.
+
+    Each stage owns a :class:`~repro.engine.craft.BatchedCraft` built from
+    the stage's single-domain configuration
+    (:meth:`CraftConfig.stage_config`) and a stage-aware batch size
+    (:func:`repro.engine.working_set.auto_batch_size` with the stage's
+    domain layout — Box stages batch wide, CH-Zonotope stages keep the
+    LLC fit).  A singleton ladder degrades to exactly the pre-escalation
+    batched sweep.
+
+    ``stage_stats`` holds the per-stage accounting of the most recent
+    :meth:`certify_regions` call (the schedulers surface it through
+    :class:`~repro.engine.results.EngineReport`).
+    """
+
+    def __init__(
+        self,
+        model: MonDEQ,
+        config: Optional[CraftConfig] = None,
+        batch_size: Optional[int] = None,
+    ):
+        from repro.engine.craft import BatchedCraft
+        from repro.engine.working_set import auto_batch_size
+
+        self.model = model
+        self.config = config if config is not None else CraftConfig()
+        self._stage_configs = self.config.stage_configs()
+        self._crafts = [
+            BatchedCraft(model, stage_config) for stage_config in self._stage_configs
+        ]
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be positive")
+        self.batch_sizes: Dict[str, int] = {
+            stage_config.domain: (
+                batch_size
+                if batch_size is not None
+                else auto_batch_size(model, stage_config, domain=stage_config.domain)
+            )
+            for stage_config in self._stage_configs
+        }
+        self.stage_stats: List[StageStats] = []
+        self.num_batches: int = 0
+
+    @property
+    def domains(self) -> Sequence[str]:
+        return self.config.domains
+
+    # ------------------------------------------------------------------
+    # Entry points (signature-compatible with BatchedCraft)
+    # ------------------------------------------------------------------
+
+    def certify(
+        self,
+        xs: np.ndarray,
+        labels: np.ndarray,
+        epsilon: float,
+        clip_min: Optional[float] = 0.0,
+        clip_max: Optional[float] = 1.0,
+    ) -> List[VerificationResult]:
+        """Waterfall counterpart of :meth:`BatchedCraft.certify`.
+
+        One shared prediction pass short-circuits misclassified queries
+        (the solver parameters are ladder-invariant, so its anchors are
+        valid for every stage); correctly classified queries then climb
+        the ladder.
+        """
+        from repro.engine.craft import prediction_pass
+
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        labels = np.asarray(labels, dtype=int).reshape(-1)
+        if xs.shape[0] != labels.shape[0]:
+            raise VerificationError("xs and labels must have matching lengths")
+        results, queued, anchors = prediction_pass(self.model, self.config, xs, labels)
+        if queued:
+            balls = [
+                LinfBall(center=xs[i], epsilon=epsilon, clip_min=clip_min, clip_max=clip_max)
+                for i in queued
+            ]
+            specs = [
+                ClassificationSpec(target=int(labels[i]), num_classes=self.model.output_dim)
+                for i in queued
+            ]
+            for index, result in zip(queued, self.certify_regions(balls, specs, anchors)):
+                results[index] = result
+        return results
+
+    def certify_regions(
+        self,
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchor_fixpoints: Optional[np.ndarray] = None,
+    ) -> List[VerificationResult]:
+        """Run the waterfall for every (precondition, postcondition) pair.
+
+        Each stage certifies the still-pending queries in stage-sized
+        batches; resolved verdicts exit, the rest re-enqueue into the next
+        stage.  ``anchor_fixpoints`` rows are valid for every stage (the
+        solver parameters are shared), so escalated queries reuse them.
+        """
+        balls = list(balls)
+        specs = list(specs)
+        if len(balls) != len(specs):
+            raise VerificationError("balls and specs must have matching lengths")
+        total = len(balls)
+        results: List[Optional[VerificationResult]] = [None] * total
+        anchors = (
+            np.asarray(anchor_fixpoints) if anchor_fixpoints is not None else None
+        )
+        pending = list(range(total))
+        self.stage_stats = [
+            StageStats(domain=cfg.domain, batch_size=self.batch_sizes[cfg.domain])
+            for cfg in self._stage_configs
+        ]
+        self.num_batches = 0
+        last = len(self._crafts) - 1
+        for stage_index, craft in enumerate(self._crafts):
+            if not pending:
+                break
+            stats = self.stage_stats[stage_index]
+            stats.attempted = len(pending)
+            stage_start = time.perf_counter()
+            escalated: List[int] = []
+            batch = stats.batch_size
+            for offset in range(0, len(pending), batch):
+                chunk = pending[offset : offset + batch]
+                chunk_results = craft.certify_regions(
+                    [balls[i] for i in chunk],
+                    [specs[i] for i in chunk],
+                    anchors[chunk] if anchors is not None else None,
+                )
+                stats.batches += 1
+                self.num_batches += 1
+                for index, result in zip(chunk, chunk_results):
+                    if stage_index == last or not should_escalate(result):
+                        results[index] = result
+                        stats.resolved += 1
+                        stats.certified += int(result.certified)
+                    else:
+                        escalated.append(index)
+            stats.escalated = len(escalated)
+            stats.elapsed_seconds = time.perf_counter() - stage_start
+            pending = escalated
+        return results

@@ -25,6 +25,10 @@ class EngineReport:
     num_batches: int = 0
     elapsed_seconds: float = 0.0
     num_workers: int = 1
+    #: Per-stage accounting rows of an escalation-ladder sweep
+    #: (:class:`repro.engine.escalation.StageStats` ``as_row`` dicts,
+    #: cheapest stage first); empty for cache-only or legacy reports.
+    stages: List[Dict] = field(default_factory=list)
 
     @property
     def num_regions(self) -> int:
@@ -50,9 +54,16 @@ class EngineReport:
         margins = [result.margin for result in self.results if np.isfinite(result.margin)]
         return float(np.mean(margins)) if margins else float("nan")
 
+    @property
+    def stage_counts(self) -> Dict[str, int]:
+        """Resolving-stage histogram of the per-query verdicts."""
+        from repro.engine.escalation import stage_histogram
+
+        return stage_histogram(self.results)
+
     def as_row(self) -> Dict:
         """Summary dictionary printed by the benchmark harness."""
-        return {
+        row = {
             "regions": self.num_regions,
             "contained": self.num_contained,
             "certified": self.num_certified,
@@ -62,3 +73,6 @@ class EngineReport:
             "time": round(self.elapsed_seconds, 3),
             "regions_per_second": round(self.throughput, 2),
         }
+        if self.stages:
+            row["stages"] = self.stages
+        return row

@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.core.config import CraftConfig
 from repro.core.results import VerificationOutcome, VerificationResult
-from repro.engine.craft import BatchedCraft
 from repro.engine.results import EngineReport
 from repro.exceptions import ConfigurationError
 from repro.mondeq.model import MonDEQ
@@ -56,7 +55,7 @@ def _config_signature(config: CraftConfig) -> str:
 
     fields = (
         repro.__version__,
-        config.domain, config.solver1, config.alpha1, config.solver2,
+        config.domain, config.domains, config.solver1, config.alpha1, config.solver2,
         config.alpha2, tuple(config.alpha2_grid), config.expansion,
         config.w_mul, config.w_add, config.expansion_mul_growth,
         config.expansion_add_growth, config.expansion_growth_every,
@@ -174,6 +173,11 @@ class FixpointCache:
             selected_solver2=data.get("selected_solver2"),
             slope_optimized=bool(data.get("slope_optimized", False)),
             notes=data.get("notes", "") + " [cached]",
+            # The resolving ladder stage travels with the verdict, so a
+            # cached escalation-sweep query replays at its final stage
+            # without re-climbing the ladder.
+            stage=data.get("stage"),
+            cached=True,
         )
 
     def store(self, key: str, result: VerificationResult) -> None:
@@ -192,6 +196,7 @@ class FixpointCache:
             "slope_optimized": result.slope_optimized,
             "notes": result.notes,
             "signature": self.signature,
+            "stage": result.stage,
         }
         path = self._path(key)
         # The temporary name is writer-unique (pid + fresh uuid, so two
@@ -204,12 +209,22 @@ class FixpointCache:
 
 
 class BatchCertificationScheduler:
-    """Chunk certification queries into batches and aggregate the verdicts.
+    """Run certification queries through the escalation waterfall, batched.
 
-    ``batch_size=None`` (the default) sizes batches from the phase-two
-    working-set estimate so one batch fits the last-level cache — see
-    :mod:`repro.engine.working_set`; an integer pins the size explicitly
-    (as does ``CraftConfig.engine_batch_size``).
+    The scheduler owns one :class:`~repro.engine.escalation.EscalationLadder`
+    — for single-domain configurations that is a one-stage waterfall, i.e.
+    exactly the pre-escalation batched sweep; for ladder configurations
+    (``CraftConfig.domains`` with several stages) every query starts in
+    the cheapest domain and only unresolved queries climb.
+
+    ``batch_size=None`` (the default) sizes every ladder stage from its
+    own phase-two working-set estimate so one batch fits the last-level
+    cache — see :mod:`repro.engine.working_set`; an integer pins the size
+    for all stages (as does ``CraftConfig.engine_batch_size``).
+
+    Cache entries are keyed by the *ladder* configuration and record the
+    resolving stage, so a cached verdict replays at its final stage
+    without re-climbing the ladder.
     """
 
     def __init__(
@@ -219,21 +234,22 @@ class BatchCertificationScheduler:
         batch_size: Optional[int] = None,
         cache_dir: Optional[str] = None,
     ):
-        from repro.engine.working_set import auto_batch_size
+        from repro.engine.escalation import EscalationLadder
 
         self.model = model
         self.config = config if config is not None else CraftConfig()
-        if batch_size is None:
-            batch_size = auto_batch_size(model, self.config)
-        if batch_size < 1:
+        if batch_size is not None and batch_size < 1:
             raise ConfigurationError("batch_size must be positive")
-        self.batch_size = batch_size
+        self._ladder = EscalationLadder(model, self.config, batch_size=batch_size)
+        # The advertised batch size is the final (most precise) stage's —
+        # the one whose working set actually risks spilling the LLC.
+        self.batch_size = self._ladder.batch_sizes[self.config.domain]
+        self.stage_batch_sizes = dict(self._ladder.batch_sizes)
         self.cache = (
             FixpointCache(cache_dir, signature=config_fingerprint(self.config))
             if cache_dir is not None
             else None
         )
-        self._craft = BatchedCraft(model, self.config)
         self._model_digest = weights_hash(model) if self.cache is not None else None
 
     def certify(
@@ -269,13 +285,14 @@ class BatchCertificationScheduler:
             misses.append(index)
 
         num_batches = 0
-        for offset in range(0, len(misses), self.batch_size):
-            chunk = misses[offset : offset + self.batch_size]
-            chunk_results = self._craft.certify(
-                xs[chunk], labels[chunk], epsilon, clip_min=clip_min, clip_max=clip_max
+        stage_rows: List[dict] = []
+        if misses:
+            miss_results = self._ladder.certify(
+                xs[misses], labels[misses], epsilon, clip_min=clip_min, clip_max=clip_max
             )
-            num_batches += 1
-            for index, result in zip(chunk, chunk_results):
+            num_batches = self._ladder.num_batches
+            stage_rows = [stats.as_row() for stats in self._ladder.stage_stats]
+            for index, result in zip(misses, miss_results):
                 results[index] = result
                 if self.cache is not None:
                     self.cache.store(keys[index], result)
@@ -285,4 +302,5 @@ class BatchCertificationScheduler:
             cache_hits=cache_hits,
             num_batches=num_batches,
             elapsed_seconds=time.perf_counter() - start,
+            stages=stage_rows,
         )

@@ -13,6 +13,19 @@ Per-sample early-exit semantics inside a shard are exactly those of the
 batched engine, and verdicts are independent of the sharding (the engine's
 parity contract).
 
+Escalation waterfall
+--------------------
+Ladder configurations (``CraftConfig.domains`` with several stages) shard
+per **(stage, batch)**: every query starts in the cheapest domain, and a
+completed shard's unresolved queries are immediately re-sharded into the
+next stage and submitted to the pool — escalated stragglers overlap with
+still-running cheap-stage shards instead of serialising behind a stage
+barrier.  Shard batch sizes are stage-aware
+(:func:`repro.engine.working_set.stage_batch_sizes`), workers build one
+:class:`BatchedCraft` per stage lazily, and only *final* verdicts
+(resolved, or produced by the last stage) are persisted to the shared
+cache.
+
 Cache sharing
 -------------
 All workers share one on-disk :class:`~repro.engine.scheduler.FixpointCache`
@@ -47,14 +60,16 @@ import multiprocessing
 import os
 import pickle
 import time
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import CraftConfig
 from repro.core.results import VerificationResult
 from repro.engine.craft import BatchedCraft
+from repro.engine.escalation import StageStats, should_escalate
 from repro.engine.results import EngineReport
 from repro.engine.scheduler import (
     FixpointCache,
@@ -90,9 +105,21 @@ def default_num_workers() -> int:
 
 @dataclass
 class _WorkerState:
-    craft: BatchedCraft
+    """Per-worker state: the weights plus one lazily built
+    :class:`BatchedCraft` per ladder stage the worker actually sees."""
+
+    model: MonDEQ
+    config: CraftConfig
     cache: Optional[FixpointCache]
     keep_abstractions: bool
+    crafts: Dict[str, BatchedCraft] = field(default_factory=dict)
+
+    def craft_for(self, domain: str) -> BatchedCraft:
+        craft = self.crafts.get(domain)
+        if craft is None:
+            craft = BatchedCraft(self.model, self.config.stage_config(domain))
+            self.crafts[domain] = craft
+        return craft
 
 
 _WORKER: Optional[_WorkerState] = None
@@ -106,7 +133,8 @@ def _build_worker_state(payload: bytes) -> _WorkerState:
         else None
     )
     return _WorkerState(
-        craft=BatchedCraft(model, config),
+        model=model,
+        config=config,
         cache=cache,
         keep_abstractions=keep_abstractions,
     )
@@ -119,33 +147,47 @@ def _init_worker(payload: bytes) -> None:
 
 @dataclass
 class _Shard:
-    """One unit of work: a chunk of cache-miss queries."""
+    """One unit of work: a chunk of cache-miss queries at one ladder stage."""
 
     indices: List[int]
     keys: List[Optional[str]]
     balls: List[LinfBall]
     specs: List[ClassificationSpec]
     anchors: Optional[np.ndarray]
+    #: Ladder stage (domain name) this shard certifies in.
+    domain: str = "chzonotope"
+    #: Whether this is the ladder's last stage (its verdicts are final).
+    final: bool = True
 
 
-def _run_shard(shard: _Shard) -> Tuple[List[int], List[VerificationResult]]:
+def _run_shard(
+    shard: _Shard,
+) -> Tuple[List[int], List[VerificationResult], str, float]:
     return _execute_shard(_WORKER, shard)
 
 
 def _execute_shard(
     state: _WorkerState, shard: _Shard
-) -> Tuple[List[int], List[VerificationResult]]:
-    results = state.craft.certify_regions(shard.balls, shard.specs, shard.anchors)
+) -> Tuple[List[int], List[VerificationResult], str, float]:
+    start = time.perf_counter()
+    results = state.craft_for(shard.domain).certify_regions(
+        shard.balls, shard.specs, shard.anchors
+    )
+    elapsed = time.perf_counter() - start
     if state.cache is not None:
         for key, result in zip(shard.keys, results):
-            if key is not None:
+            # Only *final* verdicts may be persisted: a non-final stage's
+            # unresolved result is about to be escalated, and caching it
+            # would replay an interim Unknown as the sweep's answer if a
+            # later run hits the entry before the ladder finishes.
+            if key is not None and (shard.final or not should_escalate(result)):
                 state.cache.store(key, result)
     if not state.keep_abstractions:
         # Strip on the worker side, *before* the results cross the pool
         # pipe — avoiding the serialisation of the generator stacks is the
         # whole point of the flag.
         results = [_strip_abstractions(result) for result in results]
-    return shard.indices, results
+    return shard.indices, results, shard.domain, elapsed
 
 
 def _strip_abstractions(result: VerificationResult) -> VerificationResult:
@@ -197,7 +239,7 @@ class ShardedScheduler:
         timeout_seconds: float = 600.0,
         keep_abstractions: bool = True,
     ):
-        from repro.engine.working_set import auto_batch_size, detect_llc_bytes
+        from repro.engine.working_set import detect_llc_bytes, stage_batch_sizes
 
         self.model = model
         self.config = config if config is not None else CraftConfig()
@@ -206,22 +248,29 @@ class ShardedScheduler:
         if num_workers < 1:
             raise ConfigurationError("num_workers must be positive")
         self.num_workers = num_workers
-        if batch_size is None:
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ConfigurationError("batch_size must be positive")
+            self.stage_batch_sizes = {name: batch_size for name in self.config.domains}
+        else:
             # The workers run concurrently on cores sharing one last-level
             # cache, so each shard only gets a 1/num_workers slice of the
             # budget — otherwise the aggregate working set is num_workers
-            # times the cache and every worker goes DRAM-bound again.
+            # times the cache and every worker goes DRAM-bound again.  Each
+            # ladder stage is sized for its own domain layout (a Box stage
+            # has no generator stack to budget for).
             budget = (
                 self.config.cache_budget_bytes
                 if self.config.cache_budget_bytes is not None
                 else detect_llc_bytes()
             )
-            batch_size = auto_batch_size(
+            self.stage_batch_sizes = stage_batch_sizes(
                 model, self.config, budget_bytes=max(1, budget // num_workers)
             )
-        if batch_size < 1:
-            raise ConfigurationError("batch_size must be positive")
-        self.batch_size = batch_size
+        # The advertised batch size is the final (most precise) stage's.
+        self.batch_size = self.stage_batch_sizes[self.config.domain]
+        #: Per-stage accounting of the most recent dispatch (waterfall sweeps).
+        self.stage_stats: List[StageStats] = []
         if start_method is None:
             start_method = default_start_method()
         if start_method not in _START_METHODS:
@@ -354,13 +403,14 @@ class ShardedScheduler:
                         self.cache.store(keys[index], miss_results[row])
             queued = [misses[row] for row in miss_queued]
 
-        num_shards = self._dispatch(queued, keys, balls, specs, anchors, results)
+        num_shards, stage_rows = self._dispatch(queued, keys, balls, specs, anchors, results)
         return EngineReport(
             results=results,
             cache_hits=cache_hits,
             num_batches=num_shards,
             elapsed_seconds=time.perf_counter() - start,
             num_workers=1 if self._inline else self.num_workers,
+            stages=stage_rows,
         )
 
     def certify_regions(
@@ -421,45 +471,60 @@ class ShardedScheduler:
             misses.append(index)
         return results, keys, misses
 
-    def _make_shards(
+    def _build_shard(
+        self,
+        chunk: List[int],
+        keys: List[Optional[str]],
+        balls: Sequence[LinfBall],
+        specs: Sequence[ClassificationSpec],
+        anchor_rows: Optional[Dict[int, np.ndarray]],
+        domain: str,
+    ) -> _Shard:
+        return _Shard(
+            indices=chunk,
+            keys=[keys[i] for i in chunk],
+            balls=[balls[i] for i in chunk],
+            specs=[specs[i] for i in chunk],
+            anchors=(
+                np.stack([anchor_rows[i] for i in chunk])
+                if anchor_rows is not None
+                else None
+            ),
+            domain=domain,
+            final=domain == self.config.domains[-1],
+        )
+
+    def _make_stage0_shards(
         self,
         order: List[int],
         keys: List[Optional[str]],
         balls: Sequence[LinfBall],
         specs: Sequence[ClassificationSpec],
-        anchors: Optional[np.ndarray],
+        anchor_rows: Optional[Dict[int, np.ndarray]],
     ) -> List[_Shard]:
-        """Chunk the queries at the global indices ``order`` into shards.
-
-        ``anchors`` (when given) is aligned with ``order``, not with the
-        global index space.
-        """
+        """Chunk the queries at the global indices ``order`` into the
+        first-stage shards, balanced across the worker pool."""
         if not order:
             return []
         # At most batch_size queries per shard, but never fewer shards than
         # workers: a 256-region sweep over 4 workers with batch 256 would
         # otherwise serialise on a single shard.  numpy's array_split
         # balancing keeps shard sizes within one query of each other.
+        domain = self.config.domains[0]
+        batch_size = self.stage_batch_sizes[domain]
         count = len(order)
-        num_shards = max(math.ceil(count / self.batch_size), min(self.num_workers, count))
+        num_shards = max(math.ceil(count / batch_size), min(self.num_workers, count))
         # Round the shard count up to a worker multiple: 6 shards over 4
         # workers would leave two workers processing two shards while the
         # others idle — a 2x makespan for no batching gain.
         num_shards = min(count, math.ceil(num_shards / self.num_workers) * self.num_workers)
         boundaries = np.array_split(np.arange(count), num_shards)
-        shards = []
-        for positions in boundaries:
-            chunk = [order[p] for p in positions]
-            shards.append(
-                _Shard(
-                    indices=chunk,
-                    keys=[keys[i] for i in chunk],
-                    balls=[balls[i] for i in chunk],
-                    specs=[specs[i] for i in chunk],
-                    anchors=anchors[positions] if anchors is not None else None,
-                )
+        return [
+            self._build_shard(
+                [order[p] for p in positions], keys, balls, specs, anchor_rows, domain
             )
-        return shards
+            for positions in boundaries
+        ]
 
     def _dispatch(
         self,
@@ -469,34 +534,88 @@ class ShardedScheduler:
         specs: Sequence[ClassificationSpec],
         anchors: Optional[np.ndarray],
         results: List[Optional[VerificationResult]],
-    ) -> int:
-        """Shard the queries at ``order``, run them, scatter into ``results``."""
-        shards = self._make_shards(order, keys, balls, specs, anchors)
-        for indices, shard_results in self._execute(shards):
-            for index, result in zip(indices, shard_results):
-                results[index] = result
-        return len(shards)
+    ) -> Tuple[int, List[dict]]:
+        """Run the escalation waterfall over the queries at ``order``.
 
-    def _execute(self, shards: List[_Shard]):
-        """Yield ``(indices, results)`` per shard as workers finish."""
-        if not shards:
-            return
+        Shards are per ``(stage, batch)``: every query starts in the
+        cheapest configured domain, and each completed shard's unresolved
+        queries are immediately re-sharded into the next stage and
+        submitted to the pool — escalated stragglers overlap with
+        still-running cheap-stage shards instead of serialising the sweep
+        behind a stage barrier.  ``anchors`` (when given) is aligned with
+        ``order``; the anchor rows stay valid across stages because the
+        solver parameters are ladder-invariant.
+
+        Returns ``(total shard count, per-stage accounting rows)`` and
+        scatters verdicts into ``results``.
+        """
+        stages = self.config.domains
+        stage_index = {name: position for position, name in enumerate(stages)}
+        stats = {
+            name: StageStats(domain=name, batch_size=self.stage_batch_sizes[name])
+            for name in stages
+        }
+        self.stage_stats = [stats[name] for name in stages]
+        if not order:
+            return 0, []
+        anchor_rows = (
+            {index: anchors[position] for position, index in enumerate(order)}
+            if anchors is not None
+            else None
+        )
+        shards = self._make_stage0_shards(order, keys, balls, specs, anchor_rows)
+        stats[stages[0]].attempted = len(order)
+        total_shards = len(shards)
         self._ensure_pool()
+        pending: deque = deque(self._submit(shard) for shard in shards)
+        while pending:
+            indices, shard_results, domain, elapsed = self._collect(pending.popleft())
+            stage_stats = stats[domain]
+            stage_stats.batches += 1
+            stage_stats.elapsed_seconds += elapsed
+            position = stage_index[domain]
+            final = position == len(stages) - 1
+            escalated: List[int] = []
+            for index, result in zip(indices, shard_results):
+                if final or not should_escalate(result):
+                    results[index] = result
+                    stage_stats.resolved += 1
+                    stage_stats.certified += int(result.certified)
+                else:
+                    escalated.append(index)
+            stage_stats.escalated += len(escalated)
+            if escalated:
+                next_domain = stages[position + 1]
+                stats[next_domain].attempted += len(escalated)
+                next_batch = self.stage_batch_sizes[next_domain]
+                for offset in range(0, len(escalated), next_batch):
+                    shard = self._build_shard(
+                        escalated[offset : offset + next_batch],
+                        keys, balls, specs, anchor_rows, next_domain,
+                    )
+                    total_shards += 1
+                    pending.append(self._submit(shard))
+        return total_shards, [stats[name].as_row() for name in stages]
+
+    def _submit(self, shard: _Shard):
+        """Hand a shard to the pool (or keep it for inline execution)."""
         if self._inline:
-            for shard in shards:
-                yield _execute_shard(self._inline_state, shard)
-            return
-        iterator = self._pool.imap_unordered(_run_shard, shards)
-        for _ in range(len(shards)):
-            try:
-                yield iterator.next(timeout=self.timeout_seconds)
-            except multiprocessing.TimeoutError:
-                self.close()
-                raise VerificationError(
-                    f"sharded certification timed out: no shard finished within "
-                    f"{self.timeout_seconds}s ({self.num_workers} workers, "
-                    f"{len(shards)} shards) — pool terminated"
-                ) from None
-            except Exception:
-                self.close()
-                raise
+            return shard
+        return self._pool.apply_async(_run_shard, (shard,))
+
+    def _collect(self, handle):
+        """Wait for one submitted shard's ``(indices, results, domain, elapsed)``."""
+        if self._inline:
+            return _execute_shard(self._inline_state, handle)
+        try:
+            return handle.get(timeout=self.timeout_seconds)
+        except multiprocessing.TimeoutError:
+            self.close()
+            raise VerificationError(
+                f"sharded certification timed out: a shard did not finish within "
+                f"{self.timeout_seconds}s ({self.num_workers} workers) — pool "
+                f"terminated"
+            ) from None
+        except Exception:
+            self.close()
+            raise

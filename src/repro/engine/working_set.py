@@ -90,7 +90,7 @@ def error_growth_per_step(model: MonDEQ, config: CraftConfig) -> int:
     return state_dim(model, config) + model.input_dim
 
 
-def max_error_terms(model: MonDEQ, config: CraftConfig) -> int:
+def max_error_terms(model: MonDEQ, config: CraftConfig, domain: Optional[str] = None) -> int:
     """Upper-bound error-term count reached during the tightening phase.
 
     Phase one hands phase two a consolidated state (``state_dim`` square
@@ -99,12 +99,26 @@ def max_error_terms(model: MonDEQ, config: CraftConfig) -> int:
     budget runs out or a periodic consolidation
     (``tighten_consolidate_every``) resets it to ``state_dim``.
 
-    The Box domain carries no generator stack at all — its representation
-    is two bound vectors per sample — so its error-term count is the
-    constant 1 (the per-sample bound pair folded into the stack constant).
+    The estimate is clamped to the **per-stage domain layout** (``domain``
+    defaults to ``config.domain``, i.e. the most precise ladder stage):
+
+    * ``"box"`` carries no generator stack at all — its representation is
+      two bound vectors per sample — so its error-term count is the
+      constant 1 (the per-sample bound pair folded into the stack
+      constant).  Sizing a Box stage by the generator model would shrink
+      its batches by orders of magnitude for no locality gain.
+    * ``"parallelotope"`` reduces to a square error matrix after every
+      ReLU, so the count is bounded by one step of growth over
+      ``state_dim`` regardless of the phase-two budget.
+    * the zonotope-family domains grow by :func:`error_growth_per_step`
+      per step up to the consolidation horizon.
     """
-    if config.domain == "box":
+    if domain is None:
+        domain = config.domain
+    if domain == "box":
         return 1
+    if domain == "parallelotope":
+        return state_dim(model, config) + error_growth_per_step(model, config)
     horizon = config.tighten_max_iterations
     if config.tighten_consolidate_every > 0:
         horizon = min(horizon, config.tighten_consolidate_every)
@@ -113,7 +127,7 @@ def max_error_terms(model: MonDEQ, config: CraftConfig) -> int:
 
 
 def phase2_working_set_bytes(
-    model: MonDEQ, config: CraftConfig, batch_size: int
+    model: MonDEQ, config: CraftConfig, batch_size: int, domain: Optional[str] = None
 ) -> int:
     """Estimated bytes a phase-two iteration streams for ``batch_size`` rows.
 
@@ -122,12 +136,13 @@ def phase2_working_set_bytes(
     bounds are ``O(B * state_dim)`` and folded into the stack constant.
     For the Box domain the whole representation *is* the ``O(B *
     state_dim)`` term, so the estimate reduces to the bound arrays and the
-    automatic batch size clamps to ``MAX_AUTO_BATCH``.
+    automatic batch size clamps to ``MAX_AUTO_BATCH``.  ``domain``
+    overrides the stage layout (default: ``config.domain``).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     n = state_dim(model, config)
-    k = max_error_terms(model, config)
+    k = max_error_terms(model, config, domain=domain)
     return batch_size * _LIVE_STACKS * n * k * _BYTES_PER_FLOAT
 
 
@@ -135,6 +150,7 @@ def auto_batch_size(
     model: MonDEQ,
     config: Optional[CraftConfig] = None,
     budget_bytes: Optional[int] = None,
+    domain: Optional[str] = None,
 ) -> int:
     """Largest batch whose phase-two working set fits the LLC budget.
 
@@ -142,6 +158,12 @@ def auto_batch_size(
     otherwise ``budget_bytes`` (or ``config.cache_budget_bytes``, or the
     detected LLC size) divided by the per-sample working set, clamped to
     ``[MIN_AUTO_BATCH, MAX_AUTO_BATCH]``.
+
+    ``domain`` sizes one **ladder stage**: the working set is evaluated
+    for that stage's layout instead of ``config.domain`` (the most precise
+    stage).  Without it, a Box stage of an escalation ladder would be
+    shrunk to the CH-Zonotope batch size — a pure throughput loss, since
+    the Box stage streams no generator stack at all.
     """
     config = config if config is not None else CraftConfig()
     if config.engine_batch_size is not None:
@@ -152,6 +174,25 @@ def auto_batch_size(
             if config.cache_budget_bytes is not None
             else detect_llc_bytes()
         )
-    per_sample = phase2_working_set_bytes(model, config, 1)
+    per_sample = phase2_working_set_bytes(model, config, 1, domain=domain)
     fitting = budget_bytes // max(per_sample, 1)
     return int(min(MAX_AUTO_BATCH, max(MIN_AUTO_BATCH, fitting)))
+
+
+def stage_batch_sizes(
+    model: MonDEQ,
+    config: Optional[CraftConfig] = None,
+    budget_bytes: Optional[int] = None,
+) -> dict:
+    """Per-stage batch sizes for every domain of ``config.domains``.
+
+    The waterfall scheduler sizes each ladder stage independently: Box
+    stages clamp to ``MAX_AUTO_BATCH`` (no generator budget), CH-Zonotope
+    stages keep the LLC fit.  An explicit ``config.engine_batch_size``
+    pins every stage, exactly as it pins a single-domain sweep.
+    """
+    config = config if config is not None else CraftConfig()
+    return {
+        name: auto_batch_size(model, config, budget_bytes=budget_bytes, domain=name)
+        for name in config.domains
+    }

@@ -13,6 +13,10 @@ local-robustness evaluation on the FCx87-scale model:
 * ``same_iteration_containment`` — certification only from states contained
   in their immediate predecessor (no fixpoint-set preservation).
 * ``no_expansion`` — expansion disabled.
+* ``escalation_ladder`` — the per-query domain waterfall (Box → Zonotope →
+  CH-Zonotope): same final precision as the reference, cheap stages absorb
+  the easy queries; the row's ``stages`` histogram shows where queries
+  resolved.
 
 Every row's sweep routes through the multi-domain batched certification
 engine by default (``engine="batched"``) — the Box rows batch exactly like
@@ -43,6 +47,7 @@ ABLATION_NAMES: Sequence[str] = (
     "reduced_lambda_optimization",
     "same_iteration_containment",
     "no_expansion",
+    "escalation_ladder",
 )
 
 _SAMPLES_BY_SCALE = {"smoke": 4, "small": 16, "full": 40}
@@ -85,6 +90,8 @@ def run_table4(
             for result in results
             if result.outcome != VerificationOutcome.MISCLASSIFIED
         ]
+        from repro.engine.escalation import stage_histogram
+
         rows.append(
             {
                 "ablation": name,
@@ -96,6 +103,9 @@ def run_table4(
                     if evaluated
                     else 0.0
                 ),
+                # Resolving-stage histogram: single-domain rows collapse to
+                # one stage; the escalation_ladder row shows the waterfall.
+                "stages": stage_histogram(evaluated),
             }
         )
     return rows

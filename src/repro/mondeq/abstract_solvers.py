@@ -107,8 +107,13 @@ def _coerce_input(input_element: AbstractElement, domain: Type[AbstractElement])
             return CHZonotope.from_interval(input_element)
         if isinstance(input_element, Zonotope):
             return CHZonotope.from_zonotope(input_element)
-    if domain is Zonotope and isinstance(input_element, Interval):
-        return Zonotope.from_interval(input_element)
+    if issubclass(domain, Zonotope):
+        if isinstance(input_element, Interval):
+            return domain.from_interval(input_element)
+        if isinstance(input_element, Zonotope) and not isinstance(input_element, CHZonotope):
+            # Re-typing a plain zonotope into a Zonotope subclass (e.g. the
+            # order-bounded ParallelotopeZonotope) keeps the set unchanged.
+            return domain(input_element.center, input_element.generators)
     if domain is Interval:
         lower, upper = input_element.concretize_bounds()
         return Interval(lower, upper)
@@ -340,8 +345,10 @@ def build_initial_state(
     point = np.concatenate([z0] * blocks)
     if domain is CHZonotope:
         return CHZonotope.from_point(point)
-    if domain is Zonotope:
-        return Zonotope.from_point(point)
+    if issubclass(domain, Zonotope):
+        # Covers plain Zonotope and the order-bounded ParallelotopeZonotope
+        # (classmethod constructors are type-stable on the subclass).
+        return domain.from_point(point)
     if domain is Interval:
         return Interval.from_point(point)
     raise DomainError(f"unsupported domain {domain.__name__}")
@@ -369,7 +376,14 @@ def make_z_extractor(layout: StateLayout) -> Callable[[AbstractElement], Abstrac
 
 def coerce_input_element(input_element: AbstractElement, domain: str) -> AbstractElement:
     """Convert an input abstraction to the domain named in a CraftConfig."""
-    domain_classes = {"chzonotope": CHZonotope, "box": Interval, "zonotope": Zonotope}
+    from repro.domains.parallelotope import ParallelotopeZonotope
+
+    domain_classes = {
+        "chzonotope": CHZonotope,
+        "box": Interval,
+        "zonotope": Zonotope,
+        "parallelotope": ParallelotopeZonotope,
+    }
     try:
         target = domain_classes[domain]
     except KeyError:

@@ -114,7 +114,10 @@ class DomainSplittingCertifier:
         self.config = config if config is not None else CraftConfig()
         self.max_depth = max_depth
         self.min_cell_width = min_cell_width
-        self._verifier = CraftVerifier(self.config)
+        self._stage_configs = self.config.stage_configs()
+        # Built on first use: only the sequential recursion needs them (an
+        # engine handles all certification on the other paths).
+        self._stage_verifiers: Optional[List[CraftVerifier]] = None
         if engine is None:
             engine = "batched" if use_engine else "sequential"
         if engine not in ("sequential", "batched", "sharded"):
@@ -126,9 +129,13 @@ class DomainSplittingCertifier:
         self._cache_dir = cache_dir
         self._engine = None
         if engine == "batched":
-            from repro.engine.craft import BatchedCraft
+            from repro.engine.escalation import EscalationLadder
 
-            self._engine = BatchedCraft(model, self.config)
+            # The ladder degrades to a single BatchedCraft stage for
+            # singleton configs, and runs the per-cell domain waterfall for
+            # escalation configs — either way one vectorised pass per
+            # frontier level.
+            self._engine = EscalationLadder(model, self.config)
         elif engine == "sharded":
             from repro.engine.sharded import ShardedScheduler
 
@@ -228,9 +235,20 @@ class DomainSplittingCertifier:
             frontier = next_frontier
 
     def _certify_cell(self, region: Interval, predicted: int) -> bool:
+        from repro.engine.escalation import should_escalate
+
+        if self._stage_verifiers is None:
+            self._stage_verifiers = [CraftVerifier(cfg) for cfg in self._stage_configs]
         spec = ClassificationSpec(target=predicted, num_classes=self.model.output_dim)
-        problem = build_fixpoint_problem(self.model, self._cell_ball(region), spec, self.config)
-        outcome = self._verifier.solve(problem)
+        ball = self._cell_ball(region)
+        # Sequential counterpart of the engine waterfall: the cell climbs
+        # the ladder while its verdict stays unresolved (singleton ladders
+        # collapse to a single verifier).
+        for stage_config, verifier in zip(self._stage_configs, self._stage_verifiers):
+            problem = build_fixpoint_problem(self.model, ball, spec, stage_config)
+            outcome = verifier.solve(problem)
+            if not should_escalate(outcome):
+                break
         return outcome.certified
 
     def _certify_recursive(

@@ -32,6 +32,7 @@ from repro.core.craft import CraftVerifier, FixpointProblem
 from repro.core.results import VerificationOutcome, VerificationResult
 from repro.domains.chzonotope import CHZonotope
 from repro.domains.interval import Interval
+from repro.domains.parallelotope import ParallelotopeZonotope
 from repro.domains.zonotope import Zonotope
 from repro.exceptions import VerificationError
 from repro.mondeq.abstract_solvers import (
@@ -47,7 +48,12 @@ from repro.mondeq.solvers import solve_fixpoint
 from repro.utils.rng import SeedLike, as_generator
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-_DOMAIN_CLASSES = {"chzonotope": CHZonotope, "box": Interval, "zonotope": Zonotope}
+_DOMAIN_CLASSES = {
+    "chzonotope": CHZonotope,
+    "box": Interval,
+    "zonotope": Zonotope,
+    "parallelotope": ParallelotopeZonotope,
+}
 
 _logger = logging.getLogger(__name__)
 
@@ -134,7 +140,14 @@ def certify_sample(
 
     If the model misclassifies ``x`` the result is ``MISCLASSIFIED`` without
     running the abstract analysis (the property is trivially false).
+
+    Escalation-ladder configurations run the per-sample waterfall: the
+    sample is certified in the cheapest configured domain first and climbs
+    to the next stage while the verdict stays unresolved (the sequential
+    reference semantics the engine ladders are parity-tested against).
     """
+    from dataclasses import replace as _replace
+
     config = config if config is not None else CraftConfig()
     x = np.asarray(x, dtype=float).reshape(-1)
     prediction = model.predict(x)
@@ -149,11 +162,18 @@ def certify_sample(
             time_seconds=0.0,
             notes=f"model predicts class {prediction}, expected {label}",
         )
+    from repro.engine.escalation import should_escalate
+
     ball = LinfBall(center=x, epsilon=epsilon, clip_min=clip_min, clip_max=clip_max)
     spec = ClassificationSpec(target=int(label), num_classes=model.output_dim)
-    problem = build_fixpoint_problem(model, ball, spec, config)
-    verifier = CraftVerifier(config)
-    return verifier.solve(problem)
+    result = None
+    for stage_config in config.stage_configs():
+        problem = build_fixpoint_problem(model, ball, spec, stage_config)
+        result = CraftVerifier(stage_config).solve(problem)
+        result = _replace(result, stage=stage_config.domain)
+        if not should_escalate(result):
+            break
+    return result
 
 
 def fixpoint_set_abstraction(
@@ -208,13 +228,20 @@ def certify_local_robustness(
     config:
         The :class:`~repro.core.config.CraftConfig` controlling domain,
         solvers and budgets.  Every ``config.domain`` — ``"chzonotope"``,
-        ``"box"`` and ``"zonotope"`` — runs through every engine; the
-        batched stack class is resolved by
+        ``"box"``, ``"zonotope"`` and ``"parallelotope"`` — runs through
+        every engine; the batched stack class is resolved by
         :func:`repro.engine.batched_domains.batched_domain_for`, and an
         unknown domain name raises
         :class:`~repro.exceptions.ConfigurationError` (never a silent
         sequential fallback).  The chosen (engine, domain) dispatch is
         logged once per process on the ``repro.verify.robustness`` logger.
+
+        An **escalation ladder** (``config.domains`` with several stages,
+        e.g. ``CraftConfig.escalation()``) makes the domain choice
+        per-query on every engine: each query starts in the cheapest
+        stage, certified/falsified verdicts exit early, unresolved ones
+        climb (:mod:`repro.engine.escalation`).  Each result's ``stage``
+        field names the resolving domain.
     engine:
         Execution strategy:
 
@@ -267,7 +294,7 @@ def certify_local_robustness(
         raise VerificationError(
             f"xs and labels must have matching lengths, got {xs.shape[0]} vs {labels.shape[0]}"
         )
-    _log_engine_choice(engine, config.domain)
+    _log_engine_choice(engine, " -> ".join(config.domains))
     if engine == "sharded":
         from repro.engine.sharded import ShardedScheduler
 
@@ -306,6 +333,11 @@ class SampleRecord:
     margin: float
     time_seconds: float
     outcome: str
+    #: Resolving ladder stage (abstract domain) of the verdict; ``None``
+    #: for misclassified samples (never enter the waterfall).
+    stage: Optional[str] = None
+    #: Whether the verdict was replayed from the on-disk fixpoint cache.
+    cached: bool = False
 
 
 @dataclass
@@ -341,8 +373,30 @@ class RobustnessReport:
         times = [record.time_seconds for record in self.records if record.correct]
         return float(np.mean(times)) if times else 0.0
 
+    @property
+    def cache_hits(self) -> int:
+        """Verdicts replayed from the on-disk fixpoint cache."""
+        return sum(record.cached for record in self.records)
+
+    @property
+    def cache_misses(self) -> int:
+        """Verdicts computed live (including misclassification shortcuts)."""
+        return self.num_samples - self.cache_hits
+
+    @property
+    def stage_counts(self) -> dict:
+        """Resolving-stage histogram, cheapest domain first.
+
+        This is where escalation savings become visible in sweep output:
+        queries a cheap stage resolved never paid the expensive stack.
+        """
+        from repro.engine.escalation import stage_histogram
+
+        return stage_histogram(self.records)
+
     def as_row(self) -> dict:
-        """Dictionary matching the columns of Table 2."""
+        """Dictionary matching the columns of Table 2 (plus the fixpoint-cache
+        and escalation-stage counters of the engine subsystem)."""
         return {
             "model": self.model_name,
             "epsilon": self.epsilon,
@@ -352,6 +406,9 @@ class RobustnessReport:
             "cert": self.num_certified,
             "time": round(self.mean_time_correct, 3),
             "samples": self.num_samples,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "stages": self.stage_counts,
         }
 
 
@@ -379,6 +436,7 @@ class RobustnessVerifier:
         engine: str = "batched",
         num_workers: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        cache_dir: Optional[str] = None,
     ) -> RobustnessReport:
         """Evaluate the first ``max_samples`` samples (paper: first 100).
 
@@ -411,6 +469,18 @@ class RobustnessVerifier:
         num_workers, timeout_seconds:
             Sharded-engine pool size and the per-shard wait bound
             (default 600 s).
+        cache_dir:
+            Optional on-disk fixpoint-cache directory (``batched`` and
+            ``sharded`` engines; the sequential reference loop does not
+            consult a cache).  Replayed verdicts are flagged per record
+            and counted by ``RobustnessReport.cache_hits`` /
+            ``cache_misses``.
+
+        Escalation-ladder configurations (``CraftConfig.domains`` with
+        several stages) run the waterfall on every engine; each record's
+        ``stage`` names the resolving domain and
+        ``RobustnessReport.stage_counts`` aggregates them (surfaced by
+        ``as_row`` next to the cache counters).
         """
         rng = as_generator(seed)
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
@@ -424,7 +494,7 @@ class RobustnessVerifier:
         results = certify_local_robustness(
             self.model, xs, labels, epsilon, self.config, engine=engine,
             num_workers=num_workers, timeout_seconds=timeout_seconds,
-            keep_abstractions=False,
+            keep_abstractions=False, cache_dir=cache_dir,
         )
         # One vectorised fixpoint pass recovers every prediction (same
         # pr/tol defaults as model.predict) instead of a sequential solve
@@ -450,6 +520,8 @@ class RobustnessVerifier:
                     margin=result.margin,
                     time_seconds=result.time_seconds,
                     outcome=result.outcome.value,
+                    stage=result.stage,
+                    cached=result.from_cache,
                 )
             )
         return report

@@ -81,11 +81,17 @@ class LinfBall:
     def to_chzonotope(self) -> CHZonotope:
         return CHZonotope.from_interval(self.to_interval())
 
+    def to_parallelotope(self) -> "AbstractElement":
+        from repro.domains.parallelotope import ParallelotopeZonotope
+
+        return ParallelotopeZonotope.from_interval(self.to_interval())
+
     def to_element(self, domain: str) -> AbstractElement:
         """Build the precondition abstraction in the named domain."""
         builders = {
             "box": self.to_interval,
             "zonotope": self.to_zonotope,
+            "parallelotope": self.to_parallelotope,
             "chzonotope": self.to_chzonotope,
         }
         try:

@@ -69,6 +69,59 @@ class TestCraftConfig:
         assert updated.alpha1 == 0.05
         assert config.alpha1 == 0.1
 
+
+class TestEscalationLadderConfig:
+    def test_domain_is_a_singleton_ladder_alias(self):
+        config = CraftConfig(domain="box")
+        assert config.domains == ("box",)
+        assert not config.is_ladder
+        assert CraftConfig().domains == ("chzonotope",)
+
+    def test_ladder_sets_domain_to_final_stage(self):
+        config = CraftConfig(domains=("box", "zonotope", "chzonotope"))
+        assert config.domain == "chzonotope"
+        assert config.is_ladder
+        assert CraftConfig.escalation().domains == ("box", "zonotope", "chzonotope")
+
+    def test_ladder_order_is_validated(self):
+        with pytest.raises(ConfigurationError, match="ascending"):
+            CraftConfig(domains=("chzonotope", "box"))
+        with pytest.raises(ConfigurationError, match="ascending"):
+            CraftConfig(domains=("box", "box"))
+        with pytest.raises(ConfigurationError):
+            CraftConfig(domains=())
+        with pytest.raises(ConfigurationError):
+            CraftConfig(domains=("box", "octagon"))
+
+    def test_conflicting_alias_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicts"):
+            CraftConfig(domain="box", domains=("box", "chzonotope"))
+        # A consistent alias is accepted.
+        config = CraftConfig(domain="chzonotope", domains=("box", "chzonotope"))
+        assert config.domains == ("box", "chzonotope")
+
+    def test_with_updates_realigns_alias_and_ladder(self):
+        ladder = CraftConfig.escalation()
+        assert ladder.with_updates(domain="box").domains == ("box",)
+        widened = CraftConfig(domain="box").with_updates(
+            domains=("zonotope", "chzonotope")
+        )
+        assert widened.domain == "chzonotope"
+
+    def test_stage_configs_are_singletons_sharing_everything_else(self):
+        ladder = CraftConfig.escalation(alpha1=0.2)
+        stages = ladder.stage_configs()
+        assert [stage.domain for stage in stages] == ["box", "zonotope", "chzonotope"]
+        for stage in stages:
+            assert not stage.is_ladder
+            assert stage.alpha1 == 0.2
+        with pytest.raises(ConfigurationError, match="not a stage"):
+            ladder.stage_config("parallelotope")
+
+    def test_parallelotope_is_a_valid_domain(self):
+        config = CraftConfig(domain="parallelotope")
+        assert config.domains == ("parallelotope",)
+
     def test_reference_configuration(self):
         assert CraftConfig.reference().slope_optimization == "reference"
 

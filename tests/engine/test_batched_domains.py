@@ -21,11 +21,13 @@ from hypothesis import given, settings
 
 from repro.core.config import CraftConfig
 from repro.domains.interval import Interval
+from repro.domains.parallelotope import ParallelotopeZonotope
 from repro.domains.zonotope import Zonotope
 from repro.engine import (
     BatchedBox,
     BatchedCHZonotope,
     BatchedDomain,
+    BatchedParallelotope,
     BatchedZonotope,
     batched_domain_for,
 )
@@ -66,6 +68,7 @@ class TestDispatch:
         assert batched_domain_for("chzonotope") is BatchedCHZonotope
         assert batched_domain_for("box") is BatchedBox
         assert batched_domain_for("zonotope") is BatchedZonotope
+        assert batched_domain_for("parallelotope") is BatchedParallelotope
 
     def test_unknown_domain_raises(self):
         with pytest.raises(ConfigurationError, match="octagon"):
@@ -223,6 +226,85 @@ class TestBatchedZonotopeParity:
         flags = consolidated.contains(stack)
         for index, (outer, inner) in enumerate(zip(sequential, elements)):
             assert flags[index] == ops.contains(outer, inner)
+
+
+class TestBatchedParallelotope:
+    """Soundness of the order-bounded stack, via the shared hypothesis
+    strategies — same over-approximation contract as the sequential domain
+    property tests, here at the stack granularity."""
+
+    def test_roundtrip_and_zero_box(self):
+        elements = _zonotopes(seed=11)
+        stack = BatchedParallelotope.from_elements(elements)
+        _assert_bounds_match(stack, elements)
+        assert not np.any(stack.box > 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(center=centers(), generators=generator_matrices(count=6))
+    def test_relu_reduces_order_and_encloses(self, center, generators):
+        """The parallelotope ReLU is the zonotope ReLU followed by an
+        enclosing reduction: the result is square (``k == dim``) and
+        contains the unreduced zonotope ReLU image per sample."""
+        element = Zonotope(center, generators)
+        stack = BatchedParallelotope.from_elements([element, element.scale(0.5)])
+        reduced = stack.relu()
+        assert isinstance(reduced, BatchedParallelotope)
+        assert reduced.num_generators == reduced.dim
+        unreduced = BatchedZonotope.from_elements([element, element.scale(0.5)]).relu()
+        assert reduced.contains(unreduced, tol=1e-7).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(center=centers(), generators=generator_matrices(count=5))
+    def test_relu_sound_on_sampled_points(self, center, generators):
+        """Over-approximation contract: the concrete ReLU image of every
+        sampled point stays inside the reduced stack's concretisation."""
+        element = Zonotope(center, generators)
+        stack = BatchedParallelotope.from_elements([element])
+        points = stack.sample(32, np.random.default_rng(0))[0]
+        lower, upper = stack.relu().concretize_bounds()
+        images = np.maximum(points, 0.0)
+        assert np.all(images >= lower[0] - 1e-7)
+        assert np.all(images <= upper[0] + 1e-7)
+
+    def test_transformers_preserve_type(self):
+        stack = BatchedParallelotope.from_elements(_zonotopes(seed=12))
+        for result in (
+            stack.affine(np.eye(3)),
+            stack.relu(),
+            stack.sum(stack),
+            stack.consolidate(None, 0.0, 0.0),
+            stack.select(np.array([0, 1])),
+        ):
+            assert isinstance(result, BatchedParallelotope)
+            assert not np.any(result.box > 0)
+
+    def test_single_sample_matches_sequential_element(self):
+        """A one-sample stack has no batch padding, so the reduction must
+        match the sequential ``ParallelotopeZonotope`` bit-for-bit."""
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            center = rng.normal(size=3)
+            generators = rng.normal(size=(3, 5))
+            sequential = ParallelotopeZonotope(center, generators).relu()
+            batched = BatchedParallelotope.from_elements(
+                [Zonotope(center, generators)]
+            ).relu()
+            seq_lower, seq_upper = sequential.concretize_bounds()
+            lower, upper = batched.concretize_bounds()
+            np.testing.assert_allclose(lower[0], seq_lower, atol=ATOL)
+            np.testing.assert_allclose(upper[0], seq_upper, atol=ATOL)
+
+    def test_sequential_pipeline_element_is_type_stable(self):
+        element = ParallelotopeZonotope(np.zeros(3), np.eye(3))
+        for result in (
+            element.affine(np.eye(3)),
+            element.sum(element),
+            element.relu(),
+            element.scale(0.5),
+            element.translate(np.ones(3)),
+        ):
+            assert isinstance(result, ParallelotopeZonotope)
+        assert element.relu().num_generators == element.dim
 
 
 class TestFrontEndDispatch:

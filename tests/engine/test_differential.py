@@ -13,7 +13,10 @@ pinned by the seeded test at the bottom and by
 
 Cold-cache vs cache-hit runs are fuzzed too: a second sweep over the same
 regions must answer entirely from the on-disk fixpoint cache with
-identical verdicts.
+identical verdicts.  Escalation waterfalls are fuzzed over random ladders
+(ascending domain subsequences): the sequential per-sample climb, the
+batched ``EscalationLadder`` and the sharded per-(stage, batch) waterfall
+must agree on verdicts *and* resolving stages.
 """
 
 import tempfile
@@ -28,7 +31,13 @@ from repro.engine import BatchedCraft, ShardedScheduler
 from repro.verify.robustness import build_fixpoint_problem, certify_sample
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-from strategies import craft_configs, epsilons, input_regions, mondeq_models
+from strategies import (
+    craft_configs,
+    domain_ladders,
+    epsilons,
+    input_regions,
+    mondeq_models,
+)
 
 BOUND_TOL = 1e-9
 
@@ -85,6 +94,44 @@ class TestDifferentialFuzzing:
             sharded = scheduler.certify(xs, labels, epsilon).results
 
         for seq, bat, sha in zip(sequential, batched, sharded):
+            _assert_agree(seq, bat)
+            _assert_agree(seq, sha)
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        config=craft_configs(),
+        ladder=domain_ladders(),
+        epsilon=epsilons(),
+        data=st.data(),
+    )
+    def test_random_ladders_agree_across_engines(
+        self, model, config, ladder, epsilon, data
+    ):
+        """Escalation waterfalls over random ladders: the sequential
+        per-sample climb, the batched EscalationLadder and the sharded
+        per-(stage, batch) waterfall must return the same verdicts — and,
+        when the ladder ends in the fuzzed config's own domain family, the
+        same no-flip guarantee the dedicated escalation tests pin."""
+        from repro.engine import EscalationLadder
+
+        config = config.with_updates(domains=ladder)
+        xs = data.draw(input_regions(model.input_dim, count=3))
+        labels = np.array([int(model.predict(x)) for x in xs])
+        labels[-1] = (labels[-1] + 1) % model.output_dim
+
+        sequential = [
+            certify_sample(model, x, int(label), epsilon, config)
+            for x, label in zip(xs, labels)
+        ]
+        batched = EscalationLadder(model, config).certify(xs, labels, epsilon)
+        with ShardedScheduler(
+            model, config, num_workers=2, batch_size=2, start_method="inline"
+        ) as scheduler:
+            sharded = scheduler.certify(xs, labels, epsilon).results
+
+        for seq, bat, sha in zip(sequential, batched, sharded):
+            assert seq.stage == bat.stage == sha.stage
             _assert_agree(seq, bat)
             _assert_agree(seq, sha)
 

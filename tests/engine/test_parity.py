@@ -184,9 +184,32 @@ class TestBatchedParity:
         with pytest.raises(ConfigurationError, match="octagon"):
             BatchedCraft(trained_mondeq, config)
 
-    @pytest.mark.parametrize("domain", ["box", "zonotope"])
+    @pytest.mark.parametrize("domain", ["box", "zonotope", "parallelotope"])
     def test_engine_accepts_all_repo_domains(self, trained_mondeq, domain):
         BatchedCraft(trained_mondeq, CraftConfig(domain=domain))
+
+    @pytest.mark.parametrize("epsilon", [1e-4, 0.05, 0.5])
+    def test_parallelotope_verdict_parity(self, trained_mondeq, toy_data, epsilon):
+        """The parallelotope pipeline reduces with an SVD every step over
+        matrices the PR layout makes rank-deficient, so last-ulp BLAS
+        differences between the stacked and sequential paths can rotate
+        the reduction basis (see ``BatchedParallelotope._reduce_order``).
+        Its parity contract is therefore verdict-level — outcomes,
+        containment and certification identical, margins matching tightly
+        in the certifiable regime."""
+        xs, ys = _evaluation_set(toy_data)
+        config = CraftConfig(domain="parallelotope", slope_optimization="none")
+        sequential = [
+            certify_sample(trained_mondeq, x, int(y), epsilon, config)
+            for x, y in zip(xs, ys)
+        ]
+        batched = BatchedCraft(trained_mondeq, config).certify(xs, ys, epsilon)
+        for seq, bat in zip(sequential, batched):
+            assert seq.outcome == bat.outcome
+            assert seq.contained == bat.contained
+            assert seq.certified == bat.certified
+            if seq.certified:
+                assert seq.margin == pytest.approx(bat.margin, abs=1e-6)
 
 
 class TestGlobalCertParity:

@@ -56,10 +56,18 @@ class TestScheduler:
         xs, ys = eval_set
         scheduler = BatchCertificationScheduler(trained_mondeq, config, batch_size=3)
         report = scheduler.certify(xs, ys, 0.01)
-        assert report.num_batches == 3  # ceil(8 / 3)
+        # Misclassified queries short-circuit in the shared prediction pass;
+        # only the correctly classified residue is chunked into batches.
+        queued = sum(
+            trained_mondeq.predict(x) == y for x, y in zip(xs, ys.astype(int))
+        )
+        assert report.num_batches == -(-queued // 3)  # ceil(queued / 3)
         assert report.num_regions == len(xs)
         assert report.cache_hits == 0
         assert report.throughput > 0
+        # Single-domain sweeps report a one-stage waterfall.
+        assert [row["domain"] for row in report.stages] == [config.domain]
+        assert report.stages[0]["attempted"] == queued
 
     def test_cache_round_trip(self, trained_mondeq, config, eval_set, tmp_path):
         xs, ys = eval_set

@@ -98,6 +98,42 @@ class TestWorkingSetEstimator:
         pinned = auto_batch_size(model, CraftConfig(cache_budget_bytes=2**20))
         assert pinned == auto_batch_size(model, CraftConfig(), budget_bytes=2**20)
 
+    def test_stage_layout_clamps_the_estimate(self):
+        """Per-stage sizing: the Box stage has no generator stack, the
+        parallelotope stage has a constant-order one, and the zonotope
+        family grows per step — a ladder must not shrink its cheap stages
+        to the CH-Zonotope batch size."""
+        model = _model(**WIDE_INPUT)
+        ladder = CraftConfig(domains=("box", "zonotope", "parallelotope", "chzonotope"))
+        assert max_error_terms(model, ladder, domain="box") == 1
+        assert (
+            max_error_terms(model, ladder, domain="parallelotope")
+            < max_error_terms(model, ladder, domain="zonotope")
+        )
+        # Default (no override) sizes for the final, most precise stage.
+        assert max_error_terms(model, ladder) == max_error_terms(
+            model, ladder, domain="chzonotope"
+        )
+        budget = 32 * 2**20
+        box = auto_batch_size(model, ladder, budget_bytes=budget, domain="box")
+        chz = auto_batch_size(model, ladder, budget_bytes=budget, domain="chzonotope")
+        assert box == MAX_AUTO_BATCH
+        assert box > chz
+
+    def test_stage_batch_sizes_cover_the_ladder(self):
+        from repro.engine.working_set import stage_batch_sizes
+
+        model = _model(**WIDE_INPUT)
+        ladder = CraftConfig(domains=("box", "zonotope", "chzonotope"))
+        sizes = stage_batch_sizes(model, ladder, budget_bytes=32 * 2**20)
+        assert set(sizes) == set(ladder.domains)
+        assert sizes["box"] >= sizes["zonotope"] >= sizes["chzonotope"]
+        # An explicit engine_batch_size pins every stage.
+        pinned = stage_batch_sizes(
+            model, ladder.with_updates(engine_batch_size=9), budget_bytes=32 * 2**20
+        )
+        assert set(pinned.values()) == {9}
+
     def test_llc_detection_has_a_floor(self, monkeypatch):
         assert detect_llc_bytes() > 0
         # Without sysfs (macOS, masked /sys) the default must come through.

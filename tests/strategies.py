@@ -99,6 +99,27 @@ def epsilons():
     return st.sampled_from([1e-4, 0.01, 0.05, 0.15, 0.3])
 
 
+def domain_ladders():
+    """Random escalation ladders: ascending subsequences of the domain
+    precision order with at least two stages.
+
+    Ladders are drawn from the Box/Zonotope/CH-Zonotope rungs — the
+    domains whose engine parity contract is bit-level (1e-9 bounds), so
+    the differential suite can assert strict agreement.  The parallelotope
+    rung's every-step SVD reduction amplifies last-ulp BLAS differences
+    between the stacked and sequential pipelines (see
+    ``BatchedParallelotope._reduce_order``), so its ladder coverage lives
+    in the dedicated verdict-level tests
+    (``tests/engine/test_escalation.py``).
+    """
+    rungs = ("box", "zonotope", "chzonotope")
+    subsets = [
+        tuple(name for keep, name in zip(mask, rungs) if keep)
+        for mask in [(1, 1, 0), (1, 0, 1), (0, 1, 1), (1, 1, 1)]
+    ]
+    return st.sampled_from(subsets)
+
+
 def craft_configs():
     """Verifier configurations exercising the engines' distinct code paths.
 
