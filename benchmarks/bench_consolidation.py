@@ -1,0 +1,150 @@
+"""Shared-basis vs per-sample consolidation — the PR 5 acceptance run.
+
+Phase-two tightening consolidates the CH-Zonotope error terms
+periodically (Appendix C); until PR 5 every consolidation event computed
+**one PCA basis per sample** (a dense SVD each), so the sweep hot path of
+a batch-``B`` sweep was ``B`` SVDs per event.  The shared-basis mode
+(``CraftConfig.consolidation_basis``) computes one pooled basis per batch
+— a pooled-Gram eigendecomposition or a randomized range-finder sketch —
+and consolidates the whole stack in one batched projection.
+
+Two deliverables per run:
+
+* **Acceptance row** — a 256-region, consolidation-heavy sweep on the
+  input-dim-64 FCx40 model (the wide-input regime where PR 2 measured the
+  working set spilling the LLC): shared-basis must be **>= 2x** faster
+  than per-sample consolidation at an **equal certified count**.  The
+  sweep runs with ``tighten_consolidate_every=1`` so consolidation
+  genuinely dominates, and the default width-inflation guard stays armed
+  (its fallbacks are part of the measured cost).
+* **Kernel row** — the raw basis kernels on a realistic generator stack:
+  per-sample batched SVD vs the pooled Gram vs the randomized
+  range-finder, so the trajectory records where the sweep-level win comes
+  from.
+
+Rows are appended to ``BENCH_consolidation.json`` (``$BENCH_OUTPUT_DIR``
+or the working directory), the same perf-trajectory scheme as the other
+engine benchmarks; ``scripts/plot_bench_trajectory.py`` graphs them and
+``--check`` gates on regressions.
+"""
+
+import time
+
+import numpy as np
+
+from _harness import append_trajectory, run_once
+
+from repro.core.config import CraftConfig
+from repro.engine import BatchedCraft
+from repro.experiments.model_zoo import get_model
+from repro.utils.linalg import pooled_gram_basis, randomized_range_basis
+
+REGIONS = 256
+EPSILON = 0.05
+
+
+def _workload():
+    model, dataset = get_model("FCx40", "smoke")
+    repeats = REGIONS // len(dataset.x_test) + 1
+    xs = np.vstack([dataset.x_test] * repeats)[:REGIONS]
+    ys = model.predict_batch(xs).astype(int)
+    return model, xs, ys
+
+
+def _sweep_config(mode):
+    # One batch of 256 with a per-step phase-two consolidation cadence:
+    # the regime where the per-sample SVD loop is the sweep hot path.
+    return CraftConfig(
+        slope_optimization="none",
+        tighten_consolidate_every=1,
+        engine_batch_size=REGIONS,
+        consolidation_basis=mode,
+    )
+
+
+def _acceptance_row():
+    model, xs, ys = _workload()
+
+    # Warm-up: first-touch BLAS initialisation must not bias either side.
+    BatchedCraft(model, _sweep_config("per_sample")).certify(xs[:2], ys[:2], EPSILON)
+
+    rows = {}
+    for mode in ("per_sample", "shared"):
+        craft = BatchedCraft(model, _sweep_config(mode))
+        start = time.perf_counter()
+        results = craft.certify(xs, ys, EPSILON)
+        elapsed = time.perf_counter() - start
+        stats = craft.consolidation_stats
+        rows[mode] = {
+            "time": round(elapsed, 3),
+            "certified": sum(r.certified for r in results),
+            "consolidation_time": round(stats.seconds, 3),
+            "consolidation_events": stats.events,
+            "shared_events": stats.shared_events,
+            "guard_fallback_samples": stats.fallback_samples,
+            "max_width_inflation": round(stats.max_width_inflation, 3),
+        }
+    return {
+        "workload": "FCx40 (input dim 64) batch-256 consolidation-heavy sweep",
+        "regions": REGIONS,
+        "epsilon": EPSILON,
+        "per_sample_time": rows["per_sample"]["time"],
+        "shared_time": rows["shared"]["time"],
+        "speedup": round(rows["per_sample"]["time"] / rows["shared"]["time"], 2),
+        "per_sample_certified": rows["per_sample"]["certified"],
+        "shared_certified": rows["shared"]["certified"],
+        "per_sample_consolidation_time": rows["per_sample"]["consolidation_time"],
+        "shared_consolidation_time": rows["shared"]["consolidation_time"],
+        "guard_fallback_samples": rows["shared"]["guard_fallback_samples"],
+        "max_width_inflation": rows["shared"]["max_width_inflation"],
+    }
+
+
+def _kernel_row():
+    """Raw basis-kernel timings on a tightening-shaped generator stack."""
+    rng = np.random.default_rng(7)
+    batch, dim, terms = REGIONS, 20, 336
+    stack = rng.standard_normal((batch, dim, terms))
+
+    start = time.perf_counter()
+    u, _, _ = np.linalg.svd(stack, full_matrices=False)
+    per_sample_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = pooled_gram_basis(stack)
+    pooled_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sketched = randomized_range_basis(stack)
+    randomized_time = time.perf_counter() - start
+
+    # Both shared kernels must return orthonormal (hence invertible) bases
+    # — the property Theorem 4.1 soundness rests on.
+    for basis in (pooled, sketched):
+        np.testing.assert_allclose(basis.T @ basis, np.eye(dim), atol=1e-8)
+
+    return {
+        "workload": f"basis kernels on a ({batch}, {dim}, {terms}) stack",
+        "per_sample_svd_time": round(per_sample_time, 4),
+        "pooled_gram_time": round(pooled_time, 4),
+        "randomized_time": round(randomized_time, 4),
+        "kernel_speedup": round(per_sample_time / pooled_time, 1),
+    }
+
+
+def test_shared_basis_consolidation(benchmark, record_rows):
+    def experiment():
+        return _acceptance_row(), _kernel_row()
+
+    acceptance, kernel = run_once(benchmark, experiment)
+    record_rows("Shared-basis vs per-sample consolidation (batch-256 FCx40)", [acceptance])
+    record_rows("Basis kernels (per-sample SVD vs pooled / randomized)", [kernel])
+    append_trajectory("consolidation", {"acceptance": acceptance, "kernel": kernel})
+
+    # Acceptance: >= 2x wall clock at an equal certified count — the
+    # shared basis may only trade SVDs for BLAS-3, never certificates.
+    assert acceptance["speedup"] >= 2.0
+    assert acceptance["shared_certified"] == acceptance["per_sample_certified"]
+    # The kernel itself must show where the win comes from: one pooled
+    # factorisation beats 256 dense SVDs by a wide margin.
+    assert kernel["kernel_speedup"] >= 2.0

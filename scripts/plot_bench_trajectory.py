@@ -13,9 +13,18 @@ them together (the ROADMAP "perf trajectory" item):
   sparkline per metric is printed instead, and ``--out`` receives the
   same text — the trajectory stays inspectable anywhere.
 
+The script doubles as the **bench regression gate**: ``--check`` compares
+every time-like trajectory point against the median of its trailing
+window and exits nonzero when a point is slower by more than the noise
+band (1.5x the trailing inter-quartile range, with a 10% relative floor
+so a run of identical timings does not flag measurement jitter).  The CI
+``bench-engines`` job runs the gate after the benchmarks, so a
+regression shows up as a failing step next to the uploaded trajectory.
+
 Usage::
 
     python scripts/plot_bench_trajectory.py [--dir DIR] [--keys speedup,time]
+    python scripts/plot_bench_trajectory.py --check [--dir DIR]
 """
 
 from __future__ import annotations
@@ -25,10 +34,23 @@ import glob
 import json
 import os
 import sys
+from statistics import median
 from typing import Dict, List
 
 #: Metric-name substrings graphed by default; override with --keys.
 DEFAULT_KEYS = ("speedup", "regions_per_second", "certified", "_time", "time")
+
+#: Metric-name substrings the regression gate treats as "lower is better"
+#: wall-clock measurements.
+CHECK_KEYS = ("time",)
+
+#: Trailing-window length, IQR multiplier, relative noise floor and the
+#: minimum history before the gate arms (young trajectories have no
+#: meaningful baseline).
+CHECK_WINDOW = 8
+CHECK_BAND = 1.5
+CHECK_RELATIVE_FLOOR = 0.10
+CHECK_MIN_HISTORY = 4
 
 SPARKS = "▁▂▃▄▅▆▇█"
 
@@ -97,6 +119,58 @@ def sparkline(values: List[float]) -> str:
     return "".join(chars)
 
 
+def _iqr(values: List[float]) -> float:
+    ordered = sorted(values)
+    if len(ordered) < 2:
+        return 0.0
+    half = len(ordered) // 2
+    return median(ordered[-half:]) - median(ordered[:half])
+
+
+def check_regressions(
+    trajectories,
+    window: int = CHECK_WINDOW,
+    band: float = CHECK_BAND,
+    relative_floor: float = CHECK_RELATIVE_FLOOR,
+    min_history: int = CHECK_MIN_HISTORY,
+    latest_only: bool = False,
+) -> List[str]:
+    """Flag time-like trajectory points slower than their trailing median.
+
+    For every metric whose name matches :data:`CHECK_KEYS`, each point
+    with at least ``min_history`` predecessors is compared against the
+    median of its trailing ``window``: a point is a regression when it
+    exceeds ``median + max(band * IQR, relative_floor * median)`` — the
+    IQR term models the trajectory's own run-to-run noise, the relative
+    floor keeps a perfectly steady history from flagging harmless jitter.
+
+    ``latest_only`` restricts the scan to each series' newest point —
+    what the CI gate uses, so a transient regression that has since
+    healed does not keep every future gate run red.  Returns
+    human-readable descriptions, one per flagged point.
+    """
+    flags: List[str] = []
+    for name, runs in trajectories.items():
+        series = select_series(runs, CHECK_KEYS)
+        for metric, values in series.items():
+            indices = [len(values) - 1] if latest_only else range(len(values))
+            for index in indices:
+                value = values[index]
+                if value != value:  # nan: run missing this metric
+                    continue
+                trailing = [v for v in values[max(0, index - window) : index] if v == v]
+                if len(trailing) < min_history:
+                    continue
+                baseline = median(trailing)
+                noise = max(band * _iqr(trailing), relative_floor * abs(baseline))
+                if value > baseline + noise:
+                    flags.append(
+                        f"{name}: {metric} run {index + 1} took {value:g} "
+                        f"(trailing median {baseline:g}, allowed {baseline + noise:g})"
+                    )
+    return flags
+
+
 def render_text(trajectories) -> str:
     lines = []
     for name, series in trajectories.items():
@@ -148,10 +222,30 @@ def main(argv=None) -> int:
         default="bench_trajectory.png",
         help="output image (or .txt fallback without matplotlib)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: exit nonzero when a time-like trajectory "
+        "point is slower than its trailing median by more than the noise "
+        "band (1.5x IQR with a 10%% floor)",
+    )
     args = parser.parse_args(argv)
     key_filters = tuple(token for token in args.keys.split(",") if token)
 
     raw = load_trajectories(args.dir)
+    if args.check:
+        # Gate on the newest point of every series only: a past (healed)
+        # regression stays visible in the graphed trajectory but must not
+        # keep failing runs whose own measurements are healthy.
+        flags = check_regressions(raw, latest_only=True)
+        if flags:
+            print(f"{len(flags)} bench regression(s) detected:")
+            for flag in flags:
+                print(f"  REGRESSION {flag}")
+            return 1
+        count = sum(len(runs) for runs in raw.values())
+        print(f"bench trajectories clean ({len(raw)} histories, {count} runs)")
+        return 0
     trajectories = {
         name: series
         for name, series in (

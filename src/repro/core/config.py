@@ -23,6 +23,7 @@ _VALID_DOMAINS = DOMAIN_LADDER
 _VALID_SOLVERS = ("pr", "fb")
 _VALID_EXPANSIONS = ("const", "exp", "none")
 _VALID_SLOPE_MODES = ("none", "reduced", "reference")
+_VALID_CONSOLIDATION_BASES = ("per_sample", "shared", "auto")
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,40 @@ class CraftConfig:
         per step — at the price of a slightly coarser abstraction.  Both
         the sequential and the batched driver apply the same cadence, so
         the engine parity contract is preserved.
+    consolidation_basis:
+        How consolidation bases are computed by the batched engines:
+
+        * ``"per_sample"`` (default) — every sample gets the PCA basis of
+          its own error matrix (one SVD per sample per consolidation
+          event), the paper's Appendix C behaviour and the engine parity
+          reference.
+        * ``"shared"`` — one pooled basis per batch (pooled-Gram
+          eigendecomposition, or a randomized range-finder sketch for
+          large stacks — :func:`repro.utils.linalg.shared_pca_basis`),
+          applied to every sample in a single batched projection.
+          Consolidation stays *sound* for any basis (Theorem 4.1); the
+          approximation may be slightly coarser, and iterates become
+          batch-composition dependent, so verdicts can differ from the
+          per-sample mode.  The width-inflation guard
+          (``shared_basis_max_inflation``) re-runs offending samples with
+          their own basis.
+        * ``"auto"`` — shared bases on the *interim* stages of an
+          escalation ladder (where an over-coarse verdict merely
+          escalates), per-sample on the final stage — so final-stage
+          verdicts match the ``"per_sample"`` configuration and the
+          ladder's no-flip discipline is preserved.
+    shared_basis_max_inflation:
+        Fallback threshold of the shared-basis width-inflation guard: a
+        sample whose post-consolidation mean width exceeds this multiple
+        of its pre-consolidation mean width is re-consolidated with its
+        own per-sample basis.  Must be >= 1.
+    stage_phase_one_budgets:
+        Optional per-stage phase-one (containment) iteration budgets, one
+        entry per ladder stage (validated against ``len(domains)``).
+        ``None`` entries inherit ``contraction.max_iterations``.  Lets
+        interim escalation stages run smaller containment budgets than
+        the final stage — a cheap stage that will not contract within a
+        short budget should escalate rather than burn the full budget.
     engine_batch_size:
         Fixed batch size for the certification engines.  ``None`` (the
         default) sizes batches from the phase-two working-set estimate so
@@ -166,6 +201,9 @@ class CraftConfig:
     slope_margin_threshold: float = 1.0
     same_iteration_containment: bool = False
     use_box_component: bool = True
+    consolidation_basis: str = "per_sample"
+    shared_basis_max_inflation: float = 4.0
+    stage_phase_one_budgets: Optional[Tuple[Optional[int], ...]] = None
     tighten_max_iterations: int = 150
     tighten_patience: int = 30
     tighten_consolidate_every: int = 0
@@ -203,6 +241,31 @@ class CraftConfig:
             raise ConfigurationError("tighten_patience must be positive")
         if self.tighten_consolidate_every < 0:
             raise ConfigurationError("tighten_consolidate_every must be non-negative")
+        if self.consolidation_basis not in _VALID_CONSOLIDATION_BASES:
+            raise ConfigurationError(
+                f"consolidation_basis must be one of {_VALID_CONSOLIDATION_BASES}, "
+                f"got {self.consolidation_basis!r}"
+            )
+        if not self.shared_basis_max_inflation >= 1.0:
+            raise ConfigurationError(
+                "shared_basis_max_inflation must be >= 1 (the guard compares "
+                "post- to pre-consolidation widths)"
+            )
+        if self.stage_phase_one_budgets is not None:
+            budgets = tuple(self.stage_phase_one_budgets)
+            if len(budgets) != len(self.domains):
+                raise ConfigurationError(
+                    f"stage_phase_one_budgets must name one budget per ladder "
+                    f"stage ({len(self.domains)} stages {self.domains}), got "
+                    f"{len(budgets)} entries"
+                )
+            for budget in budgets:
+                if budget is not None and (not isinstance(budget, int) or budget < 1):
+                    raise ConfigurationError(
+                        f"stage_phase_one_budgets entries must be positive "
+                        f"integers or None, got {budget!r}"
+                    )
+            object.__setattr__(self, "stage_phase_one_budgets", budgets)
         if self.engine_batch_size is not None and self.engine_batch_size < 1:
             raise ConfigurationError("engine_batch_size must be positive")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
@@ -256,19 +319,51 @@ class CraftConfig:
         """Whether this configuration escalates across multiple domains."""
         return len(self.domains) > 1
 
+    def resolved_consolidation_basis(self, final: bool = True) -> str:
+        """The concrete basis mode of one ladder stage.
+
+        ``"auto"`` resolves to ``"shared"`` on interim stages (a coarser
+        interim verdict merely escalates) and ``"per_sample"`` on the
+        final stage (final verdicts must match the per-sample
+        configuration); explicit modes pass through unchanged.  A
+        single-domain configuration is its own final stage.
+        """
+        if self.consolidation_basis != "auto":
+            return self.consolidation_basis
+        return "per_sample" if final else "shared"
+
     def stage_config(self, stage_domain: str) -> "CraftConfig":
         """The single-domain configuration of one ladder stage.
 
-        Everything except the domain choice is shared across stages, so a
-        stage config is this config with a singleton ``domains`` tuple —
-        which is also exactly what the engine parity contract compares a
-        ladder stage against.
+        Everything except the domain choice is shared across stages —
+        with two stage-local resolutions: the stage's phase-one budget
+        (``stage_phase_one_budgets``) replaces
+        ``contraction.max_iterations``, and an ``"auto"``
+        ``consolidation_basis`` resolves to ``"shared"`` on interim
+        stages / ``"per_sample"`` on the final stage.  The final stage of
+        a default-budget, non-``auto`` ladder is therefore exactly the
+        single-domain configuration the engine parity contract compares
+        against.
         """
         if stage_domain not in self.domains:
             raise ConfigurationError(
                 f"{stage_domain!r} is not a stage of the ladder {self.domains}"
             )
-        return replace(self, domain=stage_domain, domains=(stage_domain,))
+        index = self.domains.index(stage_domain)
+        final = index == len(self.domains) - 1
+        contraction = self.contraction
+        if self.stage_phase_one_budgets is not None:
+            budget = self.stage_phase_one_budgets[index]
+            if budget is not None:
+                contraction = replace(contraction, max_iterations=budget)
+        return replace(
+            self,
+            domain=stage_domain,
+            domains=(stage_domain,),
+            contraction=contraction,
+            stage_phase_one_budgets=None,
+            consolidation_basis=self.resolved_consolidation_basis(final=final),
+        )
 
     def stage_configs(self) -> Tuple["CraftConfig", ...]:
         """Per-stage configurations, cheapest first."""
@@ -338,6 +433,14 @@ class CraftConfig:
         elif "domains" in kwargs and "domain" not in kwargs:
             domains = kwargs["domains"]
             kwargs["domain"] = tuple(domains)[-1] if domains else None
+        if (
+            ("domain" in kwargs or "domains" in kwargs)
+            and "stage_phase_one_budgets" not in kwargs
+            and self.stage_phase_one_budgets is not None
+        ):
+            # Per-stage budgets are positional along the ladder; a ladder
+            # change invalidates them rather than silently re-aligning.
+            kwargs["stage_phase_one_budgets"] = None
         return replace(self, **kwargs)
 
     @classmethod

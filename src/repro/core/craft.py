@@ -102,6 +102,7 @@ class _PhaseTwoOutcome:
     solver: Optional[str]
     slope_delta: float
     width_trace: List[float] = field(default_factory=list)
+    peak_error_terms: int = 0
 
 
 class CraftVerifier:
@@ -109,7 +110,18 @@ class CraftVerifier:
 
     def __init__(self, config: Optional[CraftConfig] = None, ops: Optional[DomainOps] = None):
         self._config = config if config is not None else CraftConfig()
-        self._ops = ops if ops is not None else domain_ops_for(self._config.domain)
+        # A single-domain verifier is its own final stage, so "auto"
+        # resolves to the per-sample basis policy; ladder stage configs
+        # arrive with their mode already resolved by stage_config().
+        self._ops = (
+            ops
+            if ops is not None
+            else domain_ops_for(
+                self._config.domain,
+                consolidation_basis=self._config.resolved_consolidation_basis(),
+                shared_basis_max_inflation=self._config.shared_basis_max_inflation,
+            )
+        )
 
     @property
     def config(self) -> CraftConfig:
@@ -163,6 +175,7 @@ class CraftVerifier:
                     width_trace_phase1=contraction.width_trace,
                 ),
                 notes="containment phase did not detect contraction",
+                peak_error_terms=contraction.peak_error_terms,
             )
 
         phase_two = self._tighten_and_certify(problem, contraction)
@@ -192,6 +205,9 @@ class CraftVerifier:
             slope_optimized=phase_two.slope_delta != 0.0,
             fixpoint_abstraction=abstraction,
             output_element=phase_two.output,
+            peak_error_terms=max(
+                contraction.peak_error_terms, phase_two.peak_error_terms
+            ),
         )
 
     def compute_fixpoint_set(
@@ -312,6 +328,7 @@ class CraftVerifier:
         since_improvement = 0
         width_trace: List[float] = []
         iterations = 0
+        peak_error_terms = getattr(state, "num_generators", 0)
 
         for iterations in range(1, budget + 1):
             if config.tighten_should_consolidate(iterations):
@@ -322,6 +339,9 @@ class CraftVerifier:
                 # driver applies the identical cadence (parity contract).
                 state = self._ops.consolidate(state, None, 0.0, 0.0)
             new_state = step(state)
+            peak_error_terms = max(
+                peak_error_terms, getattr(new_state, "num_generators", 0)
+            )
             width_trace.append(new_state.mean_width)
 
             usable = True
@@ -364,4 +384,5 @@ class CraftVerifier:
             solver=solver,
             slope_delta=slope_delta,
             width_trace=width_trace,
+            peak_error_terms=peak_error_terms,
         )

@@ -70,6 +70,8 @@ class ContractionResult:
     consolidations: int
     width_trace: List[float] = field(default_factory=list)
     diverged: bool = False
+    #: Largest error-term count any iterate reached (0 for basis-free domains).
+    peak_error_terms: int = 0
 
     @property
     def mean_width(self) -> float:
@@ -130,6 +132,14 @@ class VerificationResult:
     #: Set by :meth:`repro.engine.scheduler.FixpointCache.load` on replayed
     #: verdicts (the ``[cached]`` notes suffix is the human-readable echo).
     cached: bool = False
+    #: Peak error-term (generator-column) count observed across both Craft
+    #: phases — the measured counterpart of the analytic working-set
+    #: estimate (:func:`repro.engine.working_set.max_error_terms`).
+    #: ``None`` for verdicts that never ran the abstract analysis
+    #: (misclassification short-circuits).  In the batched engines this is
+    #: the padded stack width the sample actually streamed, which is what
+    #: the cache-fitting batch sizing models.
+    peak_error_terms: Optional[int] = None
 
     @property
     def verified(self) -> bool:

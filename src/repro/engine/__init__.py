@@ -111,7 +111,7 @@ from repro.engine.batched_domains import (
     BatchedZonotope,
     batched_domain_for,
 )
-from repro.engine.craft import BatchedCraft
+from repro.engine.craft import BatchedCraft, ConsolidationStats
 from repro.engine.escalation import EscalationLadder, StageStats, should_escalate
 from repro.engine.results import EngineReport
 from repro.engine.scheduler import (
@@ -123,8 +123,10 @@ from repro.engine.scheduler import (
 from repro.engine.sharded import ShardedScheduler
 from repro.engine.working_set import (
     auto_batch_size,
+    max_error_terms,
     phase2_working_set_bytes,
     stage_batch_sizes,
+    stage_error_term_estimates,
 )
 
 __all__ = [
@@ -135,6 +137,7 @@ __all__ = [
     "BatchedDomain",
     "BatchedParallelotope",
     "BatchedZonotope",
+    "ConsolidationStats",
     "EngineReport",
     "EscalationLadder",
     "FixpointCache",
@@ -143,8 +146,10 @@ __all__ = [
     "auto_batch_size",
     "batched_domain_for",
     "config_fingerprint",
+    "max_error_terms",
     "phase2_working_set_bytes",
     "should_escalate",
     "stage_batch_sizes",
+    "stage_error_term_estimates",
     "weights_hash",
 ]

@@ -60,9 +60,13 @@ class BatchedDomain(Protocol):
       same way their sequential transformer does.
     * **Containment/consolidation hooks** — ``consolidate(basis, w_mul,
       w_add)`` returning a stack usable as the *outer* operand of
-      ``contains``; ``contains(other)`` returning per-sample ``(B,)``
-      soundness flags; ``pca_basis()`` returning the consolidation basis
-      stack or ``None`` when the domain has no basis (Box).
+      ``contains`` (``basis`` may be a per-sample ``(B, n, n)`` stack or
+      one shared ``(n, n)`` basis); ``contains(other)`` returning
+      per-sample ``(B,)`` soundness flags; ``pca_basis()`` returning the
+      consolidation basis stack or ``None`` when the domain has no basis
+      (Box); ``shared_pca_basis(method)`` returning one pooled ``(n, n)``
+      basis for the whole stack (or ``None`` for basis-free domains) —
+      the shared-basis consolidation mode.
     * **Geometry accessors** — ``concretize_bounds()``, ``width``,
       ``mean_width``, ``max_width``, ``batch_size``, ``dim``.
     """
@@ -85,6 +89,7 @@ class BatchedDomain(Protocol):
     def consolidate(self, basis=None, w_mul: float = 0.0, w_add: float = 0.0) -> "BatchedDomain": ...
     def contains(self, other, tol: float = 1e-9) -> np.ndarray: ...
     def pca_basis(self) -> Optional[np.ndarray]: ...
+    def shared_pca_basis(self, method: str = "auto") -> Optional[np.ndarray]: ...
 
     # Geometry ----------------------------------------------------------
     def concretize_bounds(self) -> Tuple[np.ndarray, np.ndarray]: ...
@@ -316,6 +321,11 @@ class BatchedBox:
 
     def pca_basis(self) -> Optional[np.ndarray]:
         """Boxes carry no error basis; the driver skips basis bookkeeping."""
+        return None
+
+    def shared_pca_basis(self, method: str = "auto") -> Optional[np.ndarray]:
+        """Boxes carry no error basis in shared mode either."""
+        del method
         return None
 
     def contains(self, other: "BatchedBox", tol: float = 1e-9) -> np.ndarray:

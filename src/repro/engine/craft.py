@@ -45,6 +45,76 @@ from repro.mondeq.solvers import default_alpha, solve_fixpoint_batch
 from repro.verify.specs import ClassificationSpec, LinfBall
 
 
+#: Minimum pre-consolidation mean width for the shared-basis inflation
+#: guard to arm: below this the state is numerically a point, every
+#: orthonormal basis consolidates it to the same floored coefficients,
+#: and a ratio against (near-)zero would trigger pointless per-sample
+#: fallbacks.  Matches the sequential guard in
+#: :mod:`repro.core.contraction`.
+_GUARD_MIN_WIDTH = 1e-9
+
+
+@dataclass
+class ConsolidationStats:
+    """Consolidation accounting of one driver run (both Craft phases).
+
+    ``events`` counts driver-level consolidation calls, ``shared_events``
+    those that used a pooled (shared) basis, ``fallback_samples`` the
+    samples the width-inflation guard re-consolidated onto their own
+    per-sample basis, ``seconds`` the wall-clock spent inside
+    consolidation (basis computation included), and
+    ``max_width_inflation`` the largest post/pre mean-width ratio any
+    shared consolidation produced.  The escalation machinery aggregates
+    these per ladder stage (:class:`repro.engine.escalation.StageStats`).
+    """
+
+    events: int = 0
+    shared_events: int = 0
+    fallback_samples: int = 0
+    seconds: float = 0.0
+    max_width_inflation: float = 0.0
+
+    def merge(self, other: "ConsolidationStats") -> None:
+        self.events += other.events
+        self.shared_events += other.shared_events
+        self.fallback_samples += other.fallback_samples
+        self.seconds += other.seconds
+        self.max_width_inflation = max(
+            self.max_width_inflation, other.max_width_inflation
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "events": self.events,
+            "shared_events": self.shared_events,
+            "fallback_samples": self.fallback_samples,
+            "seconds": self.seconds,
+            "max_width_inflation": self.max_width_inflation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ConsolidationStats":
+        return cls(
+            events=int(data.get("events", 0)),
+            shared_events=int(data.get("shared_events", 0)),
+            fallback_samples=int(data.get("fallback_samples", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+            max_width_inflation=float(data.get("max_width_inflation", 0.0)),
+        )
+
+
+def _scatter_rows(stack, rows: np.ndarray, replacement):
+    """Replace the generator rows ``rows`` of ``stack`` with ``replacement``.
+
+    Used by the width-inflation guard: both stacks are consolidation
+    results (square generators, identical centres/Box radii), so only the
+    generator payload differs.
+    """
+    generators = stack.generators
+    generators[rows] = replacement.generators
+    return type(stack)(stack.center, generators, stack.box)
+
+
 @dataclass
 class _ContainmentRecord:
     """Per-sample outcome of the batched containment phase.
@@ -60,6 +130,7 @@ class _ContainmentRecord:
     iterations: int
     consolidations: int
     width_trace: List[float] = field(default_factory=list)
+    peak_error_terms: int = 0
 
 
 @dataclass
@@ -81,6 +152,7 @@ class _TighteningRecord:
     solver: Optional[str]
     slope_delta: float
     width_trace: List[float] = field(default_factory=list)
+    peak_error_terms: int = 0
 
 
 def _materialise(reference) -> Optional[AbstractElement]:
@@ -184,6 +256,12 @@ class BatchedCraft:
         # repro.domains has a batched stack implementation (an unknown name
         # raises ConfigurationError — never a silent sequential fallback).
         self._domain_cls = batched_domain_for(self._config.domain)
+        # A single-domain driver is its own final stage, so "auto" resolves
+        # to per-sample; ladder stage configs arrive pre-resolved through
+        # CraftConfig.stage_config().
+        self._basis_mode = self._config.resolved_consolidation_basis()
+        #: Consolidation accounting of the most recent certify_regions run.
+        self.consolidation_stats = ConsolidationStats()
         if self._config.solver1 == "fb" and self._config.solver2 == "pr":
             raise VerificationError(
                 "tightening with PR after an FB containment phase is not supported: "
@@ -265,6 +343,7 @@ class BatchedCraft:
         start = time.perf_counter()
         config = self._config
         batch = len(balls)
+        self.consolidation_stats = ConsolidationStats()
 
         input_elements = self._domain_cls.from_elements(
             [ball.to_element(config.domain) for ball in balls]
@@ -305,6 +384,69 @@ class BatchedCraft:
         ]
 
     # ------------------------------------------------------------------
+    # Consolidation-basis policy (per-sample vs shared)
+    # ------------------------------------------------------------------
+
+    def _compute_consolidation_basis(self, state: "BatchedDomain"):
+        """Consolidation basis under the configured policy.
+
+        ``"per_sample"`` returns the ``(B, n, n)`` per-sample PCA stack
+        (one SVD per sample — the paper's Appendix C behaviour);
+        ``"shared"`` returns one pooled ``(n, n)`` basis for the whole
+        stack (a single pooled-Gram eigendecomposition or randomized
+        range-finder sketch).  Basis-free domains (Box) return ``None``
+        either way.
+        """
+        if self._basis_mode == "shared":
+            return state.shared_pca_basis()
+        return state.pca_basis()
+
+    def _consolidate(
+        self, state: "BatchedDomain", w_mul: float, w_add: float, basis=None
+    ) -> "BatchedDomain":
+        """One driver-level consolidation under the basis policy.
+
+        In shared mode the width-inflation guard compares each sample's
+        post-consolidation mean width against its pre-consolidation width
+        and re-consolidates offending samples
+        (> ``config.shared_basis_max_inflation``) onto their own
+        per-sample basis — so a pooled basis that happens to fit one
+        sample badly costs one extra SVD for that sample instead of
+        precision for the whole batch.  Counters land in
+        :attr:`consolidation_stats`.
+        """
+        start = time.perf_counter()
+        stats = self.consolidation_stats
+        stats.events += 1
+        if basis is None:
+            basis = self._compute_consolidation_basis(state)
+        shared = (
+            self._basis_mode == "shared" and basis is not None and basis.ndim == 2
+        )
+        result = state.consolidate(basis, w_mul, w_add)
+        if shared:
+            stats.shared_events += 1
+            before = state.mean_width
+            # Only states with meaningful width can inflate *because of the
+            # basis*; near-point states consolidate to floored coefficients
+            # under any basis, so the guard stays disarmed for them.
+            eligible = before > _GUARD_MIN_WIDTH
+            inflation = np.where(eligible, result.mean_width / np.maximum(before, _GUARD_MIN_WIDTH), 0.0)
+            if np.any(eligible):
+                stats.max_width_inflation = max(
+                    stats.max_width_inflation, float(inflation.max())
+                )
+            bad = inflation > self._config.shared_basis_max_inflation
+            if np.any(bad):
+                rows = np.nonzero(bad)[0]
+                subset = state.select(rows)
+                repaired = subset.consolidate(subset.pca_basis(), w_mul, w_add)
+                result = _scatter_rows(result, rows, repaired)
+                stats.fallback_samples += int(rows.size)
+        stats.seconds += time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
     # Phase one: batched containment search
     # ------------------------------------------------------------------
 
@@ -324,19 +466,31 @@ class BatchedCraft:
         history: deque = deque(maxlen=settings.history_size)
         basis: Optional[np.ndarray] = None
         consolidations = 0
+        peak_error_terms = np.zeros(batch, dtype=int)
 
         for iteration in range(settings.max_iterations):
             if active.size == 0:
                 break
             if iteration % settings.consolidate_every == 0:
                 if basis is None or iteration % settings.basis_recompute_every == 0:
-                    basis = state.pca_basis()
+                    # Timed here because the basis is cached across events
+                    # (recomputed every basis_recompute_every iterations)
+                    # and handed to _consolidate pre-built — this is the
+                    # phase-one share of the per-sample SVD cost.
+                    basis_start = time.perf_counter()
+                    basis = self._compute_consolidation_basis(state)
+                    self.consolidation_stats.seconds += (
+                        time.perf_counter() - basis_start
+                    )
                 w_mul, w_add = expansion.step()
-                state = state.consolidate(basis, w_mul, w_add)
+                state = self._consolidate(state, w_mul, w_add, basis=basis)
                 history.append(state)
                 consolidations += 1
 
             next_state = current_step(state)
+            peak_error_terms[active] = np.maximum(
+                peak_error_terms[active], getattr(next_state, "num_generators", 0)
+            )
             widths = next_state.width
             if settings.track_trace:
                 trace_log.append((active, widths.mean(axis=1)))
@@ -371,6 +525,7 @@ class BatchedCraft:
                     ),
                     iterations=iteration + 1,
                     consolidations=consolidations,
+                    peak_error_terms=int(peak_error_terms[sample]),
                 )
             if exit_mask.any():
                 keep = np.nonzero(~exit_mask)[0]
@@ -381,7 +536,9 @@ class BatchedCraft:
                 history = deque(
                     (entry.select(keep) for entry in history), maxlen=settings.history_size
                 )
-                if basis is not None:
+                # A shared (n, n) basis is row-independent; only per-sample
+                # basis stacks are gathered down with the batch.
+                if basis is not None and basis.ndim == 3:
                     basis = basis[keep]
                 current_step = current_step.select(keep)
             else:
@@ -395,6 +552,7 @@ class BatchedCraft:
                 reference=None,
                 iterations=settings.max_iterations,
                 consolidations=consolidations,
+                peak_error_terms=int(peak_error_terms[int(sample)]),
             )
         for active_rows, means in trace_log:
             for row, sample in zip(active_rows.tolist(), means.tolist()):
@@ -440,10 +598,21 @@ class BatchedCraft:
         count = len(contained_samples)
         all_rows = np.arange(count)
 
+        # Peak error-term counts are merged across every run a sample took
+        # part in (probes, full-budget continuation, slope attempts) — the
+        # measured working set the calibration counters report.
+        peaks = np.zeros(count, dtype=int)
+
+        def merge_peaks(rows, records):
+            for i, record in zip(rows, records):
+                peaks[i] = max(peaks[i], record.peak_error_terms)
+
         probe_runs = [
             self._run_tightening(stacks, all_rows, solver, alpha, 0.0, probe_budget)
             for solver, alpha in candidates
         ]
+        for run in probe_runs:
+            merge_peaks(all_rows, run)
         margins = np.array([[record.margin for record in run] for run in probe_runs])
         best_candidate = np.argmax(margins, axis=0)
         best: List[_TighteningRecord] = [
@@ -461,6 +630,7 @@ class BatchedCraft:
             full = self._run_tightening(
                 stacks, np.asarray(rows), solver, alpha, 0.0, config.tighten_max_iterations
             )
+            merge_peaks(rows, full)
             for i, record in zip(rows, full):
                 if record.margin >= best[i].margin:
                     best[i] = record
@@ -485,6 +655,7 @@ class BatchedCraft:
                         stacks, np.asarray(group_rows), solver, alpha,
                         float(delta), config.tighten_max_iterations,
                     )
+                    merge_peaks(group_rows, attempts)
                     for i, record in zip(group_rows, attempts):
                         if record.margin > best[i].margin:
                             best[i] = record
@@ -494,6 +665,7 @@ class BatchedCraft:
                 best[i],
                 state=_materialise(best[i].state),
                 output=_materialise(best[i].output),
+                peak_error_terms=int(peaks[i]),
             )
         return {contained_samples[i]: best[i] for i in range(count)}
 
@@ -536,6 +708,9 @@ class BatchedCraft:
         certified = np.zeros(count, dtype=bool)
         since_improvement = np.zeros(count, dtype=int)
         iterations = np.zeros(count, dtype=int)
+        peak_error_terms = np.full(
+            count, getattr(state, "num_generators", 0), dtype=int
+        )
         trace_log: List[Tuple[np.ndarray, np.ndarray]] = []
 
         active = np.arange(count)
@@ -550,14 +725,19 @@ class BatchedCraft:
                 # which is what keeps wide-input batches inside the LLC.
                 # The cadence is indexed by the global iteration counter, and
                 # all active rows share it, so per-sample behaviour is
-                # independent of batch composition.
-                state = state.consolidate(None, 0.0, 0.0)
+                # independent of batch composition.  This is the sweep hot
+                # path the shared-basis mode amortises: one pooled basis per
+                # event instead of one SVD per sample (_consolidate).
+                state = self._consolidate(state, 0.0, 0.0)
             new_state = current_step(state)
             iterations[active] = iteration
+            peak_error_terms[active] = np.maximum(
+                peak_error_terms[active], getattr(new_state, "num_generators", 0)
+            )
             trace_log.append((active, new_state.mean_width))
 
             if config.same_iteration_containment:
-                proper_previous = previous.consolidate(None, 0.0, 0.0)
+                proper_previous = self._consolidate(previous, 0.0, 0.0)
                 usable = proper_previous.contains(new_state)
             else:
                 usable = np.ones(active.size, dtype=bool)
@@ -615,6 +795,7 @@ class BatchedCraft:
                 solver=solver,
                 slope_delta=slope_delta,
                 width_trace=traces[i],
+                peak_error_terms=int(peak_error_terms[i]),
             )
             for i in range(count)
         ]
@@ -652,6 +833,7 @@ class BatchedCraft:
                 ),
                 notes="containment phase did not detect contraction",
                 stage=self._config.domain,
+                peak_error_terms=containment.peak_error_terms,
             )
         outcome = (
             VerificationOutcome.VERIFIED
@@ -680,4 +862,7 @@ class BatchedCraft:
             fixpoint_abstraction=abstraction,
             output_element=tightening.output,
             stage=self._config.domain,
+            peak_error_terms=max(
+                containment.peak_error_terms, tightening.peak_error_terms
+            ),
         )

@@ -85,7 +85,18 @@ class StageStats:
     *worker-side* shard times of the stage (its shards run concurrently
     and interleave with other stages, so a stage has no well-defined
     wall-clock there) — compare the field across engines as work done,
-    not as latency.
+    not as latency.  The same caveat applies to ``consolidation_seconds``.
+
+    The consolidation counters aggregate the per-driver
+    :class:`~repro.engine.craft.ConsolidationStats`:
+    ``shared_consolidations`` / ``consolidation_fallbacks`` show how often
+    the stage used a pooled basis and how many samples its width-inflation
+    guard re-consolidated per-sample; ``max_width_inflation`` is the worst
+    post/pre mean-width ratio a shared consolidation produced.
+    ``peak_error_terms`` (measured, the largest generator-stack width any
+    query of the stage streamed) against ``estimated_error_terms`` (the
+    analytic bound of :func:`repro.engine.working_set.max_error_terms`)
+    calibrates the cache-fitting batch sizing.
     """
 
     domain: str
@@ -96,6 +107,31 @@ class StageStats:
     escalated: int = 0
     batches: int = 0
     elapsed_seconds: float = 0.0
+    consolidations: int = 0
+    shared_consolidations: int = 0
+    consolidation_fallbacks: int = 0
+    consolidation_seconds: float = 0.0
+    max_width_inflation: float = 0.0
+    peak_error_terms: int = 0
+    estimated_error_terms: int = 0
+
+    def record_consolidation(self, stats) -> None:
+        """Fold one driver run's ``ConsolidationStats`` into this stage."""
+        self.consolidations += stats.events
+        self.shared_consolidations += stats.shared_events
+        self.consolidation_fallbacks += stats.fallback_samples
+        self.consolidation_seconds += stats.seconds
+        self.max_width_inflation = max(
+            self.max_width_inflation, stats.max_width_inflation
+        )
+
+    def record_peaks(self, results) -> None:
+        """Track the largest measured error-term count of the stage."""
+        for result in results:
+            if result is not None and result.peak_error_terms:
+                self.peak_error_terms = max(
+                    self.peak_error_terms, result.peak_error_terms
+                )
 
     def as_row(self) -> Dict:
         return {
@@ -107,6 +143,13 @@ class StageStats:
             "escalated": self.escalated,
             "batches": self.batches,
             "time": round(self.elapsed_seconds, 3),
+            "consolidations": self.consolidations,
+            "shared_consolidations": self.shared_consolidations,
+            "consolidation_fallbacks": self.consolidation_fallbacks,
+            "consolidation_time": round(self.consolidation_seconds, 3),
+            "max_width_inflation": round(self.max_width_inflation, 3),
+            "peak_error_terms": self.peak_error_terms,
+            "estimated_error_terms": self.estimated_error_terms,
         }
 
 
@@ -133,7 +176,7 @@ class EscalationLadder:
         batch_size: Optional[int] = None,
     ):
         from repro.engine.craft import BatchedCraft
-        from repro.engine.working_set import auto_batch_size
+        from repro.engine.working_set import auto_batch_size, stage_error_term_estimates
 
         self.model = model
         self.config = config if config is not None else CraftConfig()
@@ -141,6 +184,11 @@ class EscalationLadder:
         self._crafts = [
             BatchedCraft(model, stage_config) for stage_config in self._stage_configs
         ]
+        #: Analytic per-stage peak error-term estimates (the measured
+        #: counterpart lands in ``StageStats.peak_error_terms``).
+        self.estimated_error_terms: Dict[str, int] = stage_error_term_estimates(
+            model, self.config
+        )
         if batch_size is not None and batch_size < 1:
             raise ConfigurationError("batch_size must be positive")
         self.batch_sizes: Dict[str, int] = {
@@ -221,7 +269,11 @@ class EscalationLadder:
         )
         pending = list(range(total))
         self.stage_stats = [
-            StageStats(domain=cfg.domain, batch_size=self.batch_sizes[cfg.domain])
+            StageStats(
+                domain=cfg.domain,
+                batch_size=self.batch_sizes[cfg.domain],
+                estimated_error_terms=self.estimated_error_terms[cfg.domain],
+            )
             for cfg in self._stage_configs
         ]
         self.num_batches = 0
@@ -243,6 +295,8 @@ class EscalationLadder:
                 )
                 stats.batches += 1
                 self.num_batches += 1
+                stats.record_consolidation(craft.consolidation_stats)
+                stats.record_peaks(chunk_results)
                 for index, result in zip(chunk, chunk_results):
                     if stage_index == last or not should_escalate(result):
                         results[index] = result

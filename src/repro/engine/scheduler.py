@@ -64,6 +64,8 @@ def _config_signature(config: CraftConfig) -> str:
         config.same_iteration_containment, config.use_box_component,
         config.tighten_max_iterations, config.tighten_patience,
         config.tighten_consolidate_every,
+        config.consolidation_basis, config.shared_basis_max_inflation,
+        config.stage_phase_one_budgets,
         config.concrete_tol, config.concrete_max_iterations,
         config.contraction.max_iterations, config.contraction.consolidate_every,
         config.contraction.basis_recompute_every, config.contraction.history_size,
@@ -178,6 +180,7 @@ class FixpointCache:
             # without re-climbing the ladder.
             stage=data.get("stage"),
             cached=True,
+            peak_error_terms=data.get("peak_error_terms"),
         )
 
     def store(self, key: str, result: VerificationResult) -> None:
@@ -197,6 +200,7 @@ class FixpointCache:
             "notes": result.notes,
             "signature": self.signature,
             "stage": result.stage,
+            "peak_error_terms": result.peak_error_terms,
         }
         path = self._path(key)
         # The temporary name is writer-unique (pid + fresh uuid, so two

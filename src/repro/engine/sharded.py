@@ -68,7 +68,7 @@ import numpy as np
 
 from repro.core.config import CraftConfig
 from repro.core.results import VerificationResult
-from repro.engine.craft import BatchedCraft
+from repro.engine.craft import BatchedCraft, ConsolidationStats
 from repro.engine.escalation import StageStats, should_escalate
 from repro.engine.results import EngineReport
 from repro.engine.scheduler import (
@@ -162,18 +162,21 @@ class _Shard:
 
 def _run_shard(
     shard: _Shard,
-) -> Tuple[List[int], List[VerificationResult], str, float]:
+) -> Tuple[List[int], List[VerificationResult], str, float, Dict]:
     return _execute_shard(_WORKER, shard)
 
 
 def _execute_shard(
     state: _WorkerState, shard: _Shard
-) -> Tuple[List[int], List[VerificationResult], str, float]:
+) -> Tuple[List[int], List[VerificationResult], str, float, Dict]:
     start = time.perf_counter()
-    results = state.craft_for(shard.domain).certify_regions(
-        shard.balls, shard.specs, shard.anchors
-    )
+    craft = state.craft_for(shard.domain)
+    results = craft.certify_regions(shard.balls, shard.specs, shard.anchors)
     elapsed = time.perf_counter() - start
+    # The driver resets its consolidation accounting per certify_regions
+    # call, so this snapshot is exactly this shard's share; it crosses the
+    # pool pipe as a plain dict (cheap, pickle-stable).
+    consolidation = craft.consolidation_stats.as_dict()
     if state.cache is not None:
         for key, result in zip(shard.keys, results):
             # Only *final* verdicts may be persisted: a non-final stage's
@@ -187,7 +190,7 @@ def _execute_shard(
         # pipe — avoiding the serialisation of the generator stacks is the
         # whole point of the flag.
         results = [_strip_abstractions(result) for result in results]
-    return shard.indices, results, shard.domain, elapsed
+    return shard.indices, results, shard.domain, elapsed, consolidation
 
 
 def _strip_abstractions(result: VerificationResult) -> VerificationResult:
@@ -239,7 +242,11 @@ class ShardedScheduler:
         timeout_seconds: float = 600.0,
         keep_abstractions: bool = True,
     ):
-        from repro.engine.working_set import detect_llc_bytes, stage_batch_sizes
+        from repro.engine.working_set import (
+            detect_llc_bytes,
+            stage_batch_sizes,
+            stage_error_term_estimates,
+        )
 
         self.model = model
         self.config = config if config is not None else CraftConfig()
@@ -269,6 +276,9 @@ class ShardedScheduler:
             )
         # The advertised batch size is the final (most precise) stage's.
         self.batch_size = self.stage_batch_sizes[self.config.domain]
+        #: Analytic per-stage peak error-term estimates (compared against
+        #: the measured peaks the shards stream back).
+        self.stage_error_term_estimates = stage_error_term_estimates(model, self.config)
         #: Per-stage accounting of the most recent dispatch (waterfall sweeps).
         self.stage_stats: List[StageStats] = []
         if start_method is None:
@@ -552,7 +562,11 @@ class ShardedScheduler:
         stages = self.config.domains
         stage_index = {name: position for position, name in enumerate(stages)}
         stats = {
-            name: StageStats(domain=name, batch_size=self.stage_batch_sizes[name])
+            name: StageStats(
+                domain=name,
+                batch_size=self.stage_batch_sizes[name],
+                estimated_error_terms=self.stage_error_term_estimates[name],
+            )
             for name in stages
         }
         self.stage_stats = [stats[name] for name in stages]
@@ -569,10 +583,14 @@ class ShardedScheduler:
         self._ensure_pool()
         pending: deque = deque(self._submit(shard) for shard in shards)
         while pending:
-            indices, shard_results, domain, elapsed = self._collect(pending.popleft())
+            indices, shard_results, domain, elapsed, consolidation = self._collect(
+                pending.popleft()
+            )
             stage_stats = stats[domain]
             stage_stats.batches += 1
             stage_stats.elapsed_seconds += elapsed
+            stage_stats.record_consolidation(ConsolidationStats.from_dict(consolidation))
+            stage_stats.record_peaks(shard_results)
             position = stage_index[domain]
             final = position == len(stages) - 1
             escalated: List[int] = []
@@ -604,7 +622,8 @@ class ShardedScheduler:
         return self._pool.apply_async(_run_shard, (shard,))
 
     def _collect(self, handle):
-        """Wait for one submitted shard's ``(indices, results, domain, elapsed)``."""
+        """Wait for one submitted shard's
+        ``(indices, results, domain, elapsed, consolidation stats)``."""
         if self._inline:
             return _execute_shard(self._inline_state, handle)
         try:

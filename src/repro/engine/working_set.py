@@ -122,6 +122,12 @@ def max_error_terms(model: MonDEQ, config: CraftConfig, domain: Optional[str] = 
     horizon = config.tighten_max_iterations
     if config.tighten_consolidate_every > 0:
         horizon = min(horizon, config.tighten_consolidate_every)
+    # Phase one consolidates every ``contraction.consolidate_every`` steps,
+    # so its iterates can outgrow a tighter phase-two cadence between
+    # consolidations; the peak the batch actually streams is governed by
+    # the larger of the two horizons (calibrated against the measured
+    # per-stage peaks — see StageStats.peak_error_terms).
+    horizon = max(horizon, config.contraction.consolidate_every)
     base = state_dim(model, config) + model.input_dim
     return base + horizon * error_growth_per_step(model, config)
 
@@ -177,6 +183,23 @@ def auto_batch_size(
     per_sample = phase2_working_set_bytes(model, config, 1, domain=domain)
     fitting = budget_bytes // max(per_sample, 1)
     return int(min(MAX_AUTO_BATCH, max(MIN_AUTO_BATCH, fitting)))
+
+
+def stage_error_term_estimates(
+    model: MonDEQ, config: Optional[CraftConfig] = None
+) -> dict:
+    """Per-stage analytic peak error-term estimates for a ladder config.
+
+    One :func:`max_error_terms` evaluation per stage of ``config.domains``
+    — the numbers the escalation machinery surfaces next to the
+    *measured* per-stage peaks (``StageStats.peak_error_terms`` /
+    ``VerificationResult.peak_error_terms``), so sweep reports show how
+    tight the working-set model actually is on the workload at hand.
+    """
+    config = config if config is not None else CraftConfig()
+    return {
+        name: max_error_terms(model, config, domain=name) for name in config.domains
+    }
 
 
 def stage_batch_sizes(

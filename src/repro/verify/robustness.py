@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -338,6 +338,9 @@ class SampleRecord:
     stage: Optional[str] = None
     #: Whether the verdict was replayed from the on-disk fixpoint cache.
     cached: bool = False
+    #: Measured peak error-term count of the query (``None`` when the
+    #: abstract analysis never ran — misclassification short-circuits).
+    peak_error_terms: Optional[int] = None
 
 
 @dataclass
@@ -347,6 +350,11 @@ class RobustnessReport:
     model_name: str
     epsilon: float
     records: List[SampleRecord] = field(default_factory=list)
+    #: Analytic per-stage peak error-term estimates
+    #: (:func:`repro.engine.working_set.stage_error_term_estimates`),
+    #: surfaced next to the measured peaks by :meth:`as_row` so sweep
+    #: output shows how tight the working-set model is on this workload.
+    error_term_estimates: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_samples(self) -> int:
@@ -394,9 +402,40 @@ class RobustnessReport:
 
         return stage_histogram(self.records)
 
+    @property
+    def measured_error_terms(self) -> Dict[str, int]:
+        """Per-stage maxima of the measured peak error-term counts."""
+        measured: Dict[str, int] = {}
+        for record in self.records:
+            if record.stage is not None and record.peak_error_terms:
+                measured[record.stage] = max(
+                    measured.get(record.stage, 0), record.peak_error_terms
+                )
+        return measured
+
+    @property
+    def error_term_calibration(self) -> Dict[str, Dict[str, int]]:
+        """Estimate-vs-measured peak error terms per resolving stage.
+
+        The estimate is the analytic working-set bound the batch sizing
+        uses; the measurement is the widest generator stack any query of
+        the stage actually streamed.  A large gap means batches could be
+        sized more aggressively (ROADMAP: calibrate the working-set
+        estimate).
+        """
+        measured = self.measured_error_terms
+        return {
+            stage: {
+                "estimated": self.error_term_estimates.get(stage, 0),
+                "measured": measured.get(stage, 0),
+            }
+            for stage in sorted(set(self.error_term_estimates) | set(measured))
+        }
+
     def as_row(self) -> dict:
-        """Dictionary matching the columns of Table 2 (plus the fixpoint-cache
-        and escalation-stage counters of the engine subsystem)."""
+        """Dictionary matching the columns of Table 2 (plus the fixpoint-cache,
+        escalation-stage and working-set-calibration counters of the engine
+        subsystem)."""
         return {
             "model": self.model_name,
             "epsilon": self.epsilon,
@@ -409,6 +448,7 @@ class RobustnessReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "stages": self.stage_counts,
+            "error_terms": self.error_term_calibration,
         }
 
 
@@ -500,7 +540,13 @@ class RobustnessVerifier:
         # pr/tol defaults as model.predict) instead of a sequential solve
         # per record.
         predictions = self.model.predict_batch(xs)
-        report = RobustnessReport(model_name=self.model.name, epsilon=epsilon)
+        from repro.engine.working_set import stage_error_term_estimates
+
+        report = RobustnessReport(
+            model_name=self.model.name,
+            epsilon=epsilon,
+            error_term_estimates=stage_error_term_estimates(self.model, self.config),
+        )
         for index, (x, label, result) in enumerate(zip(xs, labels, results)):
             prediction = int(predictions[index])
             correct = prediction == label
@@ -522,6 +568,7 @@ class RobustnessVerifier:
                     outcome=result.outcome.value,
                     stage=result.stage,
                     cached=result.from_cache,
+                    peak_error_terms=result.peak_error_terms,
                 )
             )
         return report

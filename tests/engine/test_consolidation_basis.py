@@ -1,0 +1,346 @@
+"""Shared-basis consolidation: soundness, guard, policy and no-flip contracts.
+
+* **Enclosure property** (hypothesis) — consolidating a stack onto the
+  pooled shared basis yields a proper stack whose Theorem 4.2 check
+  proves containment of the pre-consolidation stack, for the exact
+  pooled-Gram kernel and the randomized range-finder alike (Theorem 4.1
+  soundness is basis-independent).
+* **Kernel contracts** — pooled/randomized bases are orthonormal, a
+  one-sample pooled basis spans the same subspace as the per-sample PCA
+  basis, degenerate stacks fall back to the identity.
+* **Width-inflation guard** — a hostile threshold forces per-sample
+  fallbacks, counted by ``ConsolidationStats``; disarmed on near-point
+  stacks.
+* **Auto-mode no-flip** — across a deterministic fuzz-style corpus of
+  random models and random ladders, ``consolidation_basis="auto"``
+  produces zero certified/falsified verdict flips against
+  ``"per_sample"`` on all three engines (the acceptance contract: auto
+  only uses shared bases on interim stages, whose verdicts merely gate
+  escalation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from strategies import centers, generator_matrices
+
+from repro.core.config import ContractionSettings, CraftConfig
+from repro.core.results import VerificationOutcome
+from repro.domains.chzonotope import CHZonotope
+from repro.engine import BatchedCraft, EscalationLadder, ShardedScheduler
+from repro.engine.batched_chzonotope import BatchedCHZonotope
+from repro.engine.batched_domains import BatchedBox
+from repro.utils.linalg import (
+    pca_basis,
+    pooled_gram_basis,
+    randomized_range_basis,
+    shared_pca_basis,
+)
+from repro.verify.robustness import certify_sample
+
+DIM = 3
+
+
+def _stack(rng, batch=6, dim=4, k=7):
+    elements = [
+        CHZonotope(
+            rng.normal(size=dim),
+            rng.normal(size=(dim, k)),
+            rng.uniform(0, 0.4, size=dim),
+        )
+        for _ in range(batch)
+    ]
+    return BatchedCHZonotope.from_elements(elements)
+
+
+class TestSharedBasisKernels:
+    def test_bases_are_orthonormal(self, rng):
+        stack = rng.normal(size=(8, 5, 11))
+        for basis in (
+            pooled_gram_basis(stack),
+            randomized_range_basis(stack),
+            shared_pca_basis(stack, method="auto"),
+        ):
+            assert basis.shape == (5, 5)
+            np.testing.assert_allclose(basis.T @ basis, np.eye(5), atol=1e-9)
+
+    def test_single_sample_pooled_basis_spans_the_pca_subspace(self, rng):
+        """For B=1 the pooled Gram eigenvectors are the left singular
+        vectors of the sample (up to sign), so both bases span identical
+        principal subspaces."""
+        matrix = rng.normal(size=(4, 9))
+        pooled = pooled_gram_basis(matrix[None])
+        svd = pca_basis(matrix)
+        # Compare column by column up to sign (distinct singular values
+        # with probability 1 for Gaussian matrices).
+        for column in range(4):
+            dot = abs(float(pooled[:, column] @ svd[:, column]))
+            assert dot == pytest.approx(1.0, abs=1e-8)
+
+    def test_degenerate_stack_falls_back_to_identity(self):
+        zero = np.zeros((3, 4, 5))
+        np.testing.assert_array_equal(pooled_gram_basis(zero), np.eye(4))
+        np.testing.assert_array_equal(randomized_range_basis(zero), np.eye(4))
+        empty = np.zeros((3, 4, 0))
+        np.testing.assert_array_equal(pooled_gram_basis(empty), np.eye(4))
+
+    def test_method_dispatch(self, rng):
+        stack = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            shared_pca_basis(stack, method="gram"), pooled_gram_basis(stack)
+        )
+        np.testing.assert_allclose(
+            shared_pca_basis(stack, method="randomized"),
+            randomized_range_basis(stack),
+        )
+        with pytest.raises(ValueError, match="method"):
+            shared_pca_basis(stack, method="exact")
+        with pytest.raises(ValueError, match="batch"):
+            shared_pca_basis(np.zeros((3, 4)))
+
+    def test_randomized_path_is_deterministic(self, rng):
+        stack = rng.normal(size=(4, 5, 64))
+        np.testing.assert_array_equal(
+            randomized_range_basis(stack), randomized_range_basis(stack)
+        )
+
+    def test_auto_threshold_routes_large_stacks_to_the_sketch(self, rng):
+        from repro.utils.linalg import RANDOMIZED_BASIS_THRESHOLD
+
+        wide_k = RANDOMIZED_BASIS_THRESHOLD + 1  # B=1 so B*k crosses it
+        stack = rng.normal(size=(1, 3, wide_k))
+        np.testing.assert_array_equal(
+            shared_pca_basis(stack, method="auto"), randomized_range_basis(stack)
+        )
+
+
+class TestSharedConsolidationEnclosure:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        center_a=centers(DIM),
+        center_b=centers(DIM),
+        generators_a=generator_matrices(DIM, count=5),
+        generators_b=generator_matrices(DIM, count=5),
+    )
+    def test_shared_consolidation_encloses_the_stack(
+        self, center_a, center_b, generators_a, generators_b
+    ):
+        """The Theorem 4.2 check proves the pre-consolidation stack is
+        contained in its shared-basis consolidation (Theorem 4.1 holds
+        for any invertible basis; the pooled basis is one)."""
+        stack = BatchedCHZonotope.from_elements(
+            [CHZonotope(center_a, generators_a), CHZonotope(center_b, generators_b)]
+        )
+        basis = stack.shared_pca_basis()
+        assert basis.shape == (DIM, DIM)
+        consolidated = stack.consolidate(basis, 0.0, 0.0)
+        assert np.all(consolidated.contains(stack))
+        # Expansion only enlarges further.
+        expanded = stack.consolidate(basis, 1e-3, 1e-2)
+        assert np.all(expanded.contains(stack))
+
+    def test_randomized_basis_consolidation_encloses_too(self, rng):
+        stack = _stack(rng, batch=5, dim=4, k=40)
+        basis = randomized_range_basis(stack.generators)
+        consolidated = stack.consolidate(basis, 0.0, 0.0)
+        assert np.all(consolidated.contains(stack))
+
+    def test_sampled_points_stay_inside_shared_consolidation(self, rng):
+        stack = _stack(rng)
+        consolidated = stack.consolidate(stack.shared_pca_basis(), 0.0, 0.0)
+        points = stack.sample(32, rng)
+        lower, upper = consolidated.concretize_bounds()
+        assert np.all(points >= lower[:, None, :] - 1e-9)
+        assert np.all(points <= upper[:, None, :] + 1e-9)
+
+    def test_shared_basis_accepts_2d_and_3d_layouts(self, rng):
+        stack = _stack(rng)
+        basis = stack.shared_pca_basis()
+        two_d = stack.consolidate(basis, 0.0, 0.0)
+        three_d = stack.consolidate(
+            np.broadcast_to(basis, (stack.batch_size, stack.dim, stack.dim)).copy(),
+            0.0,
+            0.0,
+        )
+        np.testing.assert_allclose(two_d.generators, three_d.generators, atol=1e-12)
+
+    def test_box_stacks_have_no_shared_basis(self):
+        box = BatchedBox(np.zeros((3, 2)), np.ones((3, 2)))
+        assert box.shared_pca_basis() is None
+
+
+class TestWidthInflationGuard:
+    def _craft(self, model, **overrides):
+        overrides.setdefault("slope_optimization", "none")
+        overrides.setdefault("consolidation_basis", "shared")
+        overrides.setdefault("tighten_consolidate_every", 2)
+        return BatchedCraft(model, CraftConfig(**overrides))
+
+    def test_hostile_threshold_forces_per_sample_fallbacks(
+        self, trained_mondeq, toy_data
+    ):
+        xs, ys = toy_data
+        exs, eys = xs[120:126], ys[120:126].astype(int)
+        guarded = self._craft(trained_mondeq, shared_basis_max_inflation=1.0)
+        guarded.certify(exs, eys, 0.05)
+        hostile = guarded.consolidation_stats
+        assert hostile.shared_events > 0
+        assert hostile.fallback_samples > 0
+
+        relaxed = self._craft(trained_mondeq, shared_basis_max_inflation=1e6)
+        relaxed.certify(exs, eys, 0.05)
+        assert relaxed.consolidation_stats.fallback_samples == 0
+        assert relaxed.consolidation_stats.shared_events > 0
+        assert relaxed.consolidation_stats.seconds > 0.0
+
+    def test_per_sample_mode_never_counts_shared_events(
+        self, trained_mondeq, toy_data
+    ):
+        xs, ys = toy_data
+        exs, eys = xs[120:124], ys[120:124].astype(int)
+        craft = self._craft(trained_mondeq, consolidation_basis="per_sample")
+        craft.certify(exs, eys, 0.05)
+        stats = craft.consolidation_stats
+        assert stats.events > 0
+        assert stats.shared_events == 0
+        assert stats.fallback_samples == 0
+
+    def test_stats_round_trip_for_the_shard_pipe(self):
+        from repro.engine import ConsolidationStats
+
+        stats = ConsolidationStats(
+            events=4, shared_events=3, fallback_samples=2, seconds=0.5,
+            max_width_inflation=2.5,
+        )
+        assert ConsolidationStats.from_dict(stats.as_dict()) == stats
+        merged = ConsolidationStats(events=1, max_width_inflation=3.0)
+        merged.merge(stats)
+        assert merged.events == 5
+        assert merged.max_width_inflation == 3.0
+
+
+class TestSharedModeSweeps:
+    def test_shared_sweep_certifies_like_per_sample_on_easy_radii(
+        self, trained_mondeq, toy_data
+    ):
+        """Not a bit-parity contract (shared iterates are batch-composition
+        dependent by construction) — but on comfortably certifiable radii
+        the coarser basis must not cost certificates."""
+        xs, ys = toy_data
+        exs, eys = xs[120:132], ys[120:132].astype(int)
+        per_sample = BatchedCraft(
+            trained_mondeq,
+            CraftConfig(slope_optimization="none", tighten_consolidate_every=2),
+        ).certify(exs, eys, 1e-3)
+        shared = BatchedCraft(
+            trained_mondeq,
+            CraftConfig(
+                slope_optimization="none",
+                tighten_consolidate_every=2,
+                consolidation_basis="shared",
+            ),
+        ).certify(exs, eys, 1e-3)
+        assert sum(r.certified for r in shared) == sum(
+            r.certified for r in per_sample
+        )
+
+    def test_ladder_stage_rows_report_the_basis_policy(
+        self, trained_mondeq, toy_data
+    ):
+        xs, ys = toy_data
+        exs, eys = xs[120:130], ys[120:130].astype(int)
+        ladder = EscalationLadder(
+            trained_mondeq,
+            CraftConfig.escalation(
+                ("box", "zonotope", "chzonotope"),
+                slope_optimization="none",
+                tighten_consolidate_every=2,
+                consolidation_basis="auto",
+            ),
+        )
+        ladder.certify(exs, eys, 0.3)
+        rows = {row.domain: row.as_row() for row in ladder.stage_stats}
+        # Interim zonotope stage runs shared, final CH-Zonotope per-sample.
+        if rows["zonotope"]["attempted"]:
+            assert rows["zonotope"]["consolidations"] > 0
+            assert (
+                rows["zonotope"]["shared_consolidations"]
+                == rows["zonotope"]["consolidations"]
+            )
+        assert rows["chzonotope"]["shared_consolidations"] == 0
+        # Measured-vs-estimated working-set counters travel with the rows.
+        for row in rows.values():
+            assert "peak_error_terms" in row and "estimated_error_terms" in row
+
+
+#: Deterministic fuzz-style corpus: small random monotone DEQs, random
+#: ladders and radii spanning trivial to hopeless — the corpus the PR's
+#: acceptance criterion quantifies the auto-mode no-flip contract over.
+_CORPUS_LADDERS = (
+    ("box", "zonotope"),
+    ("box", "chzonotope"),
+    ("zonotope", "chzonotope"),
+    ("box", "zonotope", "chzonotope"),
+)
+_CORPUS_EPSILONS = (1e-4, 0.01, 0.05, 0.15, 0.3)
+
+
+def _corpus(seed):
+    from repro.mondeq.model import MonDEQ
+
+    rng = np.random.default_rng(seed)
+    model = MonDEQ.random(
+        input_dim=3 + seed % 3,
+        latent_dim=4 + seed % 4,
+        output_dim=3,
+        monotonicity=8.0 + seed,
+        seed=seed,
+    )
+    xs = rng.uniform(-1.5, 1.5, size=(4, model.input_dim))
+    labels = np.array([int(model.predict(x)) for x in xs])
+    labels[-1] = (labels[-1] + 1) % model.output_dim
+    config = CraftConfig(
+        domains=_CORPUS_LADDERS[seed % len(_CORPUS_LADDERS)],
+        slope_optimization="none",
+        contraction=ContractionSettings(max_iterations=60, history_size=4),
+        tighten_max_iterations=12,
+        tighten_patience=5,
+        tighten_consolidate_every=2,
+    )
+    return model, xs, labels, _CORPUS_EPSILONS[seed % len(_CORPUS_EPSILONS)], config
+
+
+def _assert_no_flips(per_sample, auto):
+    __tracebackhide__ = True
+    for p, a in zip(per_sample, auto):
+        assert p.certified == a.certified
+        assert (p.outcome == VerificationOutcome.MISCLASSIFIED) == (
+            a.outcome == VerificationOutcome.MISCLASSIFIED
+        )
+
+
+class TestAutoModeNoFlip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_auto_never_flips_verdicts_on_any_engine(self, seed):
+        """The acceptance contract: "auto" (shared interim bases) produces
+        zero certified/falsified flips vs "per_sample" across the fuzz
+        corpus, on the batched, sharded and sequential engines alike."""
+        model, xs, labels, epsilon, base = _corpus(seed)
+        runs = {}
+        for mode in ("per_sample", "auto"):
+            config = base.with_updates(consolidation_basis=mode)
+            batched = EscalationLadder(model, config).certify(xs, labels, epsilon)
+            with ShardedScheduler(
+                model, config, num_workers=2, batch_size=2, start_method="inline"
+            ) as scheduler:
+                sharded = scheduler.certify(xs, labels, epsilon).results
+            sequential = [
+                certify_sample(model, x, int(label), epsilon, config)
+                for x, label in zip(xs, labels)
+            ]
+            runs[mode] = (batched, sharded, sequential)
+        for engine_index in range(3):
+            _assert_no_flips(
+                runs["per_sample"][engine_index], runs["auto"][engine_index]
+            )

@@ -230,7 +230,7 @@ class TestLadderCache:
             indices=list(range(len(xs))), keys=keys, balls=balls, specs=specs,
             anchors=None, domain="box", final=False,
         )
-        _, results, domain, _ = _execute_shard(state, shard)
+        _, results, domain, _, _ = _execute_shard(state, shard)
         assert domain == "box"
         for key, result in zip(keys, results):
             entry_exists = os.path.exists(os.path.join(str(tmp_path), f"{key}.json"))
@@ -303,3 +303,41 @@ class TestEngineAgreement:
             trained_mondeq, config, max_depth=1, engine="sequential"
         ).certify_region(region)
         assert ladder.coverage == pytest.approx(sequential.coverage, rel=1e-9)
+
+
+class TestStagePhaseOneBudgets:
+    def test_interim_budget_limits_phase_one_iterations(self, trained_mondeq, toy_data):
+        """A tiny interim budget caps the cheap stage's containment search;
+        queries it can no longer resolve climb, and the full-budget final
+        stage keeps the ladder's no-flip contract."""
+        xs, ys = _eval_set(toy_data, count=10)
+        full = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.05, _config(), engine="batched"
+        )
+        budgeted_config = _config(stage_phase_one_budgets=(2, 2, None))
+        budgeted = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.05, budgeted_config, engine="batched"
+        )
+        _assert_no_flips(full, budgeted)
+        for result in budgeted:
+            # Queries resolved by a budgeted interim stage ran at most the
+            # stage budget's phase-one iterations.
+            if result.stage in ("box", "zonotope"):
+                assert result.iterations_phase1 <= 2
+
+    def test_budgets_flow_through_every_engine(self, trained_mondeq, toy_data):
+        xs, ys = _eval_set(toy_data, count=6)
+        config = _config(stage_phase_one_budgets=(3, None, None))
+        batched = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.3, config, engine="batched"
+        )
+        sequential = certify_local_robustness(
+            trained_mondeq, xs, ys, 0.3, config, engine="sequential"
+        )
+        with ShardedScheduler(
+            trained_mondeq, config, num_workers=2, batch_size=3, start_method="inline"
+        ) as scheduler:
+            sharded = scheduler.certify(xs, ys, 0.3).results
+        for bat, seq, sha in zip(batched, sequential, sharded):
+            assert bat.outcome == seq.outcome == sha.outcome
+            assert bat.stage == seq.stage == sha.stage

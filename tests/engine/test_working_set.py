@@ -204,3 +204,75 @@ class TestPhase2Consolidation:
     def test_consolidation_cadence_validation(self):
         with pytest.raises(Exception):
             CraftConfig(tighten_consolidate_every=-1)
+
+
+class TestEstimateCalibration:
+    """The analytic peak-error-term estimate vs the measured peaks the
+    engines now record (``VerificationResult.peak_error_terms``) — the
+    ROADMAP "calibrate the working-set estimate" follow-on."""
+
+    def test_stage_error_term_estimates_cover_the_ladder(self):
+        from repro.engine.working_set import stage_error_term_estimates
+
+        model = _model(**WIDE_INPUT)
+        ladder = CraftConfig(domains=("box", "zonotope", "chzonotope"))
+        estimates = stage_error_term_estimates(model, ladder)
+        assert set(estimates) == set(ladder.domains)
+        assert estimates["box"] == 1
+        assert estimates["zonotope"] == max_error_terms(model, ladder, domain="zonotope")
+
+    def test_phase_one_cadence_raises_a_too_tight_phase_two_horizon(self):
+        """A per-step phase-two cadence must not shrink the estimate below
+        what phase one's consolidate-every-3 iterates actually stream."""
+        model = _model(**WIDE_INPUT)
+        per_step = CraftConfig(tighten_consolidate_every=1)
+        assert max_error_terms(model, per_step) == max_error_terms(
+            model, CraftConfig(tighten_consolidate_every=3)
+        )
+
+    @pytest.mark.parametrize("domain", ["chzonotope", "zonotope"])
+    @pytest.mark.parametrize("cadence", [3, 5])
+    def test_estimate_within_2x_of_measured_on_fuzzed_models(self, domain, cadence):
+        """Across the fuzz-style model corpus the analytic estimate must be
+        an upper bound on the measured peak and stay within 2x of it —
+        looser would mis-size batches, tighter would risk unsoundness of
+        the LLC fit."""
+        from repro.core.config import ContractionSettings
+        from repro.engine import BatchedCraft
+        from repro.mondeq.model import MonDEQ
+
+        for seed in range(3):
+            rng = np.random.default_rng(100 + seed)
+            model = MonDEQ.random(
+                input_dim=3 + seed % 3, latent_dim=4 + seed % 4, output_dim=3,
+                monotonicity=9.0 + seed, seed=seed,
+            )
+            xs = rng.uniform(-1.0, 1.0, size=(4, model.input_dim))
+            labels = np.array([int(model.predict(x)) for x in xs])
+            config = CraftConfig(
+                domain=domain,
+                slope_optimization="none",
+                contraction=ContractionSettings(max_iterations=60, history_size=4),
+                tighten_max_iterations=12,
+                tighten_patience=5,
+                tighten_consolidate_every=cadence,
+            )
+            results = BatchedCraft(model, config).certify(xs, labels, 0.03)
+            measured = max((r.peak_error_terms or 0) for r in results)
+            estimate = max_error_terms(model, config)
+            assert measured > 0, "corpus sweep never grew an error term"
+            assert measured <= estimate <= 2 * measured, (
+                f"seed {seed}: estimate {estimate} vs measured {measured}"
+            )
+
+    def test_report_surfaces_estimate_vs_measured(self, trained_mondeq, toy_data):
+        from repro.verify.robustness import RobustnessVerifier
+
+        xs, ys = toy_data
+        report = RobustnessVerifier(
+            trained_mondeq,
+            CraftConfig(slope_optimization="none", tighten_consolidate_every=4),
+        ).evaluate(xs[120:126], ys[120:126].astype(int), 0.05, run_attack=False)
+        row = report.as_row()
+        calibration = row["error_terms"]["chzonotope"]
+        assert calibration["estimated"] >= calibration["measured"] > 0

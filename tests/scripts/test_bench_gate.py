@@ -1,0 +1,118 @@
+"""The bench-trajectory regression gate (``plot_bench_trajectory.py --check``).
+
+The gate flags any time-like trajectory point slower than its trailing
+median by more than the noise band (1.5x trailing IQR with a 10% relative
+floor) and exits nonzero — the CI ``bench-engines`` job runs it right
+after the benchmarks, so a perf regression fails a visible step instead
+of silently accumulating in the artifact.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "plot_bench_trajectory.py"
+_spec = importlib.util.spec_from_file_location("plot_bench_trajectory", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _history(times, metric="sweep_time"):
+    return {"bench": [{metric: value} for value in times]}
+
+
+class TestCheckRegressions:
+    def test_steady_trajectory_is_clean(self):
+        assert gate.check_regressions(_history([10.0, 10.1, 9.9, 10.0, 10.05, 9.95])) == []
+
+    def test_spike_beyond_the_noise_band_flags(self):
+        flags = gate.check_regressions(_history([10.0, 10.2, 9.9, 10.1, 10.0, 16.0]))
+        assert len(flags) == 1
+        assert "run 6" in flags[0]
+        assert "sweep_time" in flags[0]
+
+    def test_relative_floor_absorbs_jitter_on_flat_histories(self):
+        """Identical timings have IQR 0; a 5% wobble must not flag (the
+        10% floor), an above-floor jump must."""
+        assert gate.check_regressions(_history([5.0] * 6 + [5.25])) == []
+        flags = gate.check_regressions(_history([5.0] * 6 + [5.8]))
+        assert len(flags) == 1
+
+    def test_young_histories_never_flag(self):
+        """Below min_history there is no baseline worth gating on."""
+        assert gate.check_regressions(_history([1.0, 50.0, 1.0])) == []
+
+    def test_improvements_never_flag(self):
+        assert gate.check_regressions(_history([10.0, 10.0, 10.0, 10.0, 2.0])) == []
+
+    def test_only_time_like_metrics_are_gated(self):
+        """speedup/certified counts may jump freely — higher is better."""
+        runs = [
+            {"speedup": s, "certified": c}
+            for s, c in [(2.0, 9), (2.1, 9), (2.0, 9), (2.2, 9), (9.0, 2)]
+        ]
+        assert gate.check_regressions({"bench": runs}) == []
+
+    def test_latest_only_ignores_healed_past_regressions(self):
+        """The CI gate mode: a past spike stays visible in the graph but
+        only the newest point can fail the gate."""
+        healed = _history([10.0, 10.1, 9.9, 10.0, 18.0, 10.0, 10.05])
+        assert gate.check_regressions(healed, latest_only=True) == []
+        # The full-history scan still reports it for forensic use.
+        assert len(gate.check_regressions(healed)) == 1
+
+    def test_missing_points_are_skipped(self):
+        runs = [{"sweep_time": t} for t in [4.0, 4.1, 3.9, 4.0]]
+        runs.append({"other": 1.0})  # run without the metric
+        runs.append({"sweep_time": 4.05})
+        assert gate.check_regressions({"bench": runs}) == []
+
+    def test_nested_time_metrics_are_gated(self):
+        """Real histories nest rows (e.g. acceptance.pure_time); the gate
+        must see the flattened dotted paths."""
+        nested = [
+            {"acceptance": {"pure_time": value, "speedup": 2.0}}
+            for value in [7.0, 7.1, 6.9, 7.0, 12.5]
+        ]
+        flat = [dict() for _ in nested]
+        for run, out in zip(nested, flat):
+            gate.flatten_numeric("", run, out)
+        flags = gate.check_regressions({"bench": flat})
+        assert len(flags) == 1
+        assert "acceptance.pure_time" in flags[0]
+
+
+class TestCheckCli:
+    def _write_history(self, directory, times):
+        payload = {
+            "benchmark": "demo",
+            "runs": [{"created_unix": 1.0, "sweep_time": t} for t in times],
+        }
+        (directory / "BENCH_demo.json").write_text(json.dumps(payload))
+
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        self._write_history(tmp_path, [3.0, 3.1, 2.9, 3.0, 3.05])
+        assert gate.main(["--check", "--dir", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        self._write_history(tmp_path, [3.0, 3.1, 2.9, 3.0, 9.0])
+        assert gate.main(["--check", "--dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_gates_on_the_newest_point_only(self, tmp_path, capsys):
+        """A healed historical spike must not keep the gate red."""
+        self._write_history(tmp_path, [3.0, 3.1, 2.9, 3.0, 9.0, 3.0, 3.05])
+        assert gate.main(["--check", "--dir", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repo_histories_pass_the_gate(self):
+        """The committed BENCH_*.json trajectories must be clean — a red
+        gate on a fresh checkout would poison every future CI run."""
+        repo_root = Path(__file__).resolve().parents[2]
+        raw = gate.load_trajectories(str(repo_root))
+        if not raw:
+            pytest.skip("no committed trajectories")
+        assert gate.check_regressions(raw) == []
