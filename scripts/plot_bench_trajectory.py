@@ -38,7 +38,9 @@ from statistics import median
 from typing import Dict, List
 
 #: Metric-name substrings graphed by default; override with --keys.
-DEFAULT_KEYS = ("speedup", "regions_per_second", "certified", "_time", "time")
+DEFAULT_KEYS = (
+    "speedup", "regions_per_second", "certified", "hit_rate", "_time", "time"
+)
 
 #: Metric-name substrings the regression gate treats as "lower is better"
 #: wall-clock measurements.

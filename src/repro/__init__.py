@@ -62,7 +62,7 @@ from repro.engine import (
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchCertificationScheduler",

@@ -24,6 +24,72 @@ _VALID_SOLVERS = ("pr", "fb")
 _VALID_EXPANSIONS = ("const", "exp", "none")
 _VALID_SLOPE_MODES = ("none", "reduced", "reference")
 _VALID_CONSOLIDATION_BASES = ("per_sample", "shared", "auto")
+_VALID_CACHE_KEY_MODES = ("exact", "quantized")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Layout of the tiered fixpoint-verdict cache (:mod:`repro.engine.cache`).
+
+    None of these fields influence verdicts — they trade lookup breadth
+    and memory against recomputation — so they are deliberately excluded
+    from the cache's config signature: switching key mode or LRU bounds
+    must never invalidate entries already on disk.
+
+    Attributes
+    ----------
+    key_mode:
+        ``"exact"`` (default) keys entries on exact centre bytes — a
+        cache hit requires the literal query to have been asked before.
+        ``"quantized"`` snaps centre and epsilon to a
+        ``10^-quantize_decimals`` grid so nearby queries share bucket
+        entries; epsilon rounds *down* for lookup and *up* for admission
+        of certified verdicts (down otherwise), and every non-verbatim
+        serve is decided by the exact region recorded in the payload,
+        never by key equality alone.
+    quantize_decimals:
+        Decimal digits of the quantisation grid (``"quantized"`` mode
+        only).  Coarser grids coalesce more traffic per bucket at the
+        price of more bucket overwrites.
+    dominance:
+        Enable the directory-wide dominance index: lookups may answer
+        ``VERIFIED`` from any cached certified superset region and
+        ``MISCLASSIFIED`` from any cached falsifying point inside the
+        query region (:mod:`repro.engine.cache_dominance`).
+    lru_entries:
+        Capacity (entries) of the in-memory LRU payload tier layered
+        over the on-disk store (:mod:`repro.engine.cache_lru`).  ``0``
+        disables the tier.
+    lru_bytes:
+        Byte budget of the LRU tier (approximate, measured on the JSON
+        payload size).
+    """
+
+    key_mode: str = "exact"
+    quantize_decimals: int = 3
+    dominance: bool = True
+    lru_entries: int = 4096
+    lru_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.key_mode not in _VALID_CACHE_KEY_MODES:
+            raise ConfigurationError(
+                f"key_mode must be one of {_VALID_CACHE_KEY_MODES}, "
+                f"got {self.key_mode!r}"
+            )
+        if not isinstance(self.quantize_decimals, int) or not (
+            0 <= self.quantize_decimals <= 12
+        ):
+            raise ConfigurationError(
+                f"quantize_decimals must be an integer in [0, 12], "
+                f"got {self.quantize_decimals!r}"
+            )
+        if not isinstance(self.lru_entries, int) or self.lru_entries < 0:
+            raise ConfigurationError(
+                "lru_entries must be a non-negative integer (0 disables the LRU tier)"
+            )
+        if not isinstance(self.lru_bytes, int) or self.lru_bytes < 1:
+            raise ConfigurationError("lru_bytes must be a positive integer")
 
 
 @dataclass(frozen=True)
@@ -179,6 +245,12 @@ class CraftConfig:
         ``None`` detects the LLC size from the host (falling back to
         32 MiB).  Neither this field nor ``engine_batch_size`` influences
         verdicts — they only trade memory locality against batching.
+    cache:
+        Layout of the fixpoint-verdict cache (:class:`CacheConfig`): key
+        mode (exact vs quantised-grid), the dominance index, and the
+        in-memory LRU tier.  Like the batch-sizing knobs, these fields
+        never influence verdicts and are excluded from the cache's
+        config signature.
     """
 
     domain: Optional[str] = None
@@ -209,6 +281,7 @@ class CraftConfig:
     tighten_consolidate_every: int = 0
     engine_batch_size: Optional[int] = None
     cache_budget_bytes: Optional[int] = None
+    cache: CacheConfig = field(default_factory=CacheConfig)
     concrete_tol: float = 1e-9
     concrete_max_iterations: int = 2000
     verbose: bool = False
@@ -270,6 +343,10 @@ class CraftConfig:
             raise ConfigurationError("engine_batch_size must be positive")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
             raise ConfigurationError("cache_budget_bytes must be positive")
+        if not isinstance(self.cache, CacheConfig):
+            raise ConfigurationError(
+                f"cache must be a CacheConfig, got {type(self.cache).__name__}"
+            )
         if not self.alpha2_grid:
             raise ConfigurationError("alpha2_grid must not be empty")
 

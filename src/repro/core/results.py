@@ -129,9 +129,15 @@ class VerificationResult:
     #: sweeps this is the *resolving* stage (the domain the query exited
     #: the waterfall in); for single-domain sweeps it is that domain.
     stage: Optional[str] = None
-    #: Set by :meth:`repro.engine.scheduler.FixpointCache.load` on replayed
+    #: Set by :meth:`repro.engine.cache.FixpointCache.load` on replayed
     #: verdicts (the ``[cached]`` notes suffix is the human-readable echo).
     cached: bool = False
+    #: Which cache tier answered the query: ``"lru"`` (in-memory payload
+    #: tier), ``"disk"`` (on-disk store), ``"dominance"`` (served from a
+    #: dominating entry — a certified superset region or a falsifying
+    #: point — so this exact query was never computed), or ``None`` for
+    #: live verdicts.
+    cache_tier: Optional[str] = None
     #: Peak error-term (generator-column) count observed across both Craft
     #: phases — the measured counterpart of the analytic working-set
     #: estimate (:func:`repro.engine.working_set.max_error_terms`).

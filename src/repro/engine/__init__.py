@@ -71,24 +71,34 @@ trace) is frozen, and the remaining rows continue as a smaller stack —
 so a finished region never pays for a slow batch mate, and each sample's
 trajectory is independent of which other samples share its batch.
 
-Cache key format
-----------------
-The scheduler (:class:`~repro.engine.scheduler.BatchCertificationScheduler`)
-optionally persists verdicts through an on-disk
-:class:`~repro.engine.scheduler.FixpointCache`.  A query's key is::
+Cache tiers & keys
+------------------
+The schedulers optionally persist verdicts through the tiered cache of
+:mod:`repro.engine.cache` (:class:`~repro.engine.cache.TieredVerdictCache`):
+an in-memory LRU tier (:class:`~repro.engine.cache_lru.LRUTier`) in front
+of the on-disk :class:`~repro.engine.cache.FixpointCache`, plus a
+**dominance index** (:class:`~repro.engine.cache_dominance.DominanceIndex`)
+that answers queries never literally asked — a cached *certified* superset
+region dominates any contained query, and a cached *falsifying point*
+refutes any region containing it.  An exact query key is::
 
     sha256( weights_hash(model)       # sha256 over sorted parameter bytes + m
           | center.tobytes()          # float64 anchor input
           | repr((epsilon, clip_min, clip_max, target))
           | config signature )        # verdict-relevant CraftConfig fields
 
-stored as ``<key>.json`` holding the scalar verdict (outcome, margin,
-iteration counts, selected tightening parameters) — enough to restore a
-:class:`~repro.core.results.VerificationResult` without the abstraction
-elements — plus the writing configuration's fingerprint as a version
-stamp.  Any weight update, region change or verdict-relevant configuration
-change therefore misses the cache by construction, and entries stamped by
-a mismatched configuration are rejected on load.
+``CacheConfig.key_mode="quantized"`` instead snaps the centre to a grid
+and buckets epsilon (down for lookup, up when admitting certified
+verdicts), so near-identical queries share keys; the entry always records
+the *exact* region it was proved for, and every non-verbatim serve is
+re-checked against that recorded region, so quantisation can change hit
+rates but never verdicts.  Entries are ``<key>.json`` holding the scalar
+verdict (outcome, margin, iteration counts, selected tightening
+parameters, resolving stage) plus the exact region and the writing
+configuration's fingerprint as a version stamp.  Any weight update,
+region change or verdict-relevant configuration change therefore misses
+the cache by construction, and entries stamped by a mismatched
+configuration are rejected on load.
 
 Multi-process sharding
 ----------------------
@@ -104,6 +114,17 @@ to the host's last-level cache.
 """
 
 from repro.engine.batched_chzonotope import BatchedCHZonotope
+from repro.engine.cache import (
+    CacheStats,
+    FixpointCache,
+    RegionQuery,
+    TieredVerdictCache,
+    build_verdict_cache,
+    config_fingerprint,
+    weights_hash,
+)
+from repro.engine.cache_dominance import DominanceIndex
+from repro.engine.cache_lru import LRUTier
 from repro.engine.batched_domains import (
     BatchedBox,
     BatchedDomain,
@@ -114,12 +135,7 @@ from repro.engine.batched_domains import (
 from repro.engine.craft import BatchedCraft, ConsolidationStats
 from repro.engine.escalation import EscalationLadder, StageStats, should_escalate
 from repro.engine.results import EngineReport
-from repro.engine.scheduler import (
-    BatchCertificationScheduler,
-    FixpointCache,
-    config_fingerprint,
-    weights_hash,
-)
+from repro.engine.scheduler import BatchCertificationScheduler
 from repro.engine.sharded import ShardedScheduler
 from repro.engine.working_set import (
     auto_batch_size,
@@ -137,14 +153,20 @@ __all__ = [
     "BatchedDomain",
     "BatchedParallelotope",
     "BatchedZonotope",
+    "CacheStats",
     "ConsolidationStats",
+    "DominanceIndex",
     "EngineReport",
     "EscalationLadder",
     "FixpointCache",
+    "LRUTier",
+    "RegionQuery",
     "ShardedScheduler",
     "StageStats",
+    "TieredVerdictCache",
     "auto_batch_size",
     "batched_domain_for",
+    "build_verdict_cache",
     "config_fingerprint",
     "max_error_terms",
     "phase2_working_set_bytes",

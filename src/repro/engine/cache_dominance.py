@@ -1,0 +1,218 @@
+"""Dominance index: answer cached-verdict queries never literally asked.
+
+The index exploits the two monotonicity facts of the certification
+protocol (Müller et al., PLDI 2023 — robustness queries over l-infinity
+balls):
+
+* a region certified at radius ``epsilon`` dominates every contained
+  region — a sound certificate covers all of its points, so any query
+  whose clipped region is a subset (same classification target) is
+  ``VERIFIED`` by implication;
+* a falsifying point refutes every region containing it — a cached
+  ``MISCLASSIFIED`` entry records a concrete input the network labels
+  wrongly, so any query region containing that point (same target) is
+  falsified by witness.
+
+Entries are grouped per (target, input dimension) under one
+(model-fingerprint, config-signature) scope: certified regions are kept
+as stacked clipped-interval bounds sorted by epsilon *descending* (the
+widest — most likely dominating — region is checked first, and ties
+break on key for determinism), falsifying entries as stacked centre
+points sorted by key.  Queries are answered with vectorised numpy
+containment tests using exact ``<=`` comparisons — no tolerance, since a
+tolerance would certify points the certificate does not cover.
+
+Falsifying points are consulted **before** certificates (fail-closed): a
+query region containing a known misclassified input must be refuted even
+if some cached certificate *claims* to cover it (which would indicate a
+corrupt entry — refutation by concrete witness always wins).
+
+Only payloads carrying the full region identity and the post-1.5.0
+calibration fields (:func:`repro.engine.cache.payload_supports_dominance`)
+are ingested; ``refresh()`` incrementally scans the cache directory for
+entries other workers published, tracking seen filenames so concurrent
+admissions never require a rebuild — the atomic-publication contract of
+:class:`~repro.engine.cache.FixpointCache` guarantees a scan only ever
+observes complete entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.results import VerificationOutcome
+from repro.engine.cache import (
+    RegionQuery,
+    payload_region,
+    payload_supports_dominance,
+)
+
+
+@dataclass
+class _Group:
+    """All ingested entries for one (target, input-dimension) pair."""
+
+    certified: List[Tuple[str, Dict, RegionQuery]] = field(default_factory=list)
+    falsified: List[Tuple[str, Dict, np.ndarray]] = field(default_factory=list)
+    # Lazily (re)built stacked arrays; invalidated on every ingest.
+    _cert_stack: Optional[Tuple[np.ndarray, np.ndarray, List[int]]] = None
+    _fals_stack: Optional[Tuple[np.ndarray, List[int]]] = None
+
+    def invalidate(self) -> None:
+        self._cert_stack = None
+        self._fals_stack = None
+
+    def certified_stack(self) -> Optional[Tuple[np.ndarray, np.ndarray, List[int]]]:
+        if not self.certified:
+            return None
+        if self._cert_stack is None:
+            order = sorted(
+                range(len(self.certified)),
+                key=lambda i: (-self.certified[i][2].epsilon, self.certified[i][0]),
+            )
+            lower = np.stack([self.certified[i][2].bounds()[0] for i in order])
+            upper = np.stack([self.certified[i][2].bounds()[1] for i in order])
+            self._cert_stack = (lower, upper, order)
+        return self._cert_stack
+
+    def falsified_stack(self) -> Optional[Tuple[np.ndarray, List[int]]]:
+        if not self.falsified:
+            return None
+        if self._fals_stack is None:
+            order = sorted(
+                range(len(self.falsified)), key=lambda i: self.falsified[i][0]
+            )
+            points = np.stack([self.falsified[i][2] for i in order])
+            self._fals_stack = (points, order)
+        return self._fals_stack
+
+
+class DominanceIndex:
+    """Interval index over one cache directory's dominance-capable entries.
+
+    ``signature``/``model_digest`` scope the index: entries stamped by a
+    different configuration or recording a different model fingerprint
+    are skipped at ingest, so one shared cache directory can serve many
+    (model, config) pairs without cross-talk.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        signature: Optional[str] = None,
+        model_digest: Optional[str] = None,
+    ):
+        self.directory = directory
+        self.signature = signature
+        self.model_digest = model_digest
+        self._seen: Set[str] = set()
+        self._groups: Dict[Tuple[int, int], _Group] = {}
+        #: Entries a refresh scan skipped (legacy shape, foreign scope…) —
+        #: surfaced for observability, never consulted for answers.
+        self.skipped = 0
+        self.refresh()
+
+    # -- ingest --------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Scan the directory for entries not yet ingested; returns the
+        number of new dominance-capable entries."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        ingested = 0
+        for name in sorted(names):
+            if not name.endswith(".json") or name in self._seen:
+                continue
+            self._seen.add(name)
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                self.skipped += 1
+                continue
+            if self._ingest(name[: -len(".json")], payload):
+                ingested += 1
+            else:
+                self.skipped += 1
+        return ingested
+
+    def admit(self, key: str, payload: Dict) -> bool:
+        """Ingest an entry this process just wrote (no directory scan)."""
+        self._seen.add(f"{key}.json")
+        return self._ingest(key, payload)
+
+    def _ingest(self, key: str, payload: Dict) -> bool:
+        if self.signature is not None and payload.get("signature") != self.signature:
+            return False
+        if (
+            self.model_digest is not None
+            and payload.get("model_digest") != self.model_digest
+        ):
+            return False
+        if not payload_supports_dominance(payload):
+            # Pre-1.5.0 payload shapes (no region / calibration fields)
+            # may replay verbatim by exact key but never by dominance.
+            return False
+        region = payload_region(payload)
+        group_key = (region.target, region.dim)
+        group = self._groups.get(group_key)
+        if group is None:
+            group = self._groups[group_key] = _Group()
+        if payload.get("outcome") == VerificationOutcome.MISCLASSIFIED.value:
+            group.falsified.append((key, payload, region.center))
+        elif payload.get("certified"):
+            group.certified.append((key, payload, region))
+        else:
+            # UNKNOWN / NO_CONTAINMENT / DIVERGED verdicts dominate
+            # nothing beyond their literal region (exact replay handles
+            # that); indexing them would only slow queries down.
+            return False
+        group.invalidate()
+        return True
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            len(group.certified) + len(group.falsified)
+            for group in self._groups.values()
+        )
+
+    def query(self, query: RegionQuery) -> Optional[Tuple[str, Dict]]:
+        """The (key, payload) of an entry dominating ``query``, or ``None``.
+
+        Falsifying points are consulted first (fail-closed), then
+        certified regions widest-epsilon first.  Containment is tested on
+        the clipped interval bounds with exact comparisons.
+        """
+        group = self._groups.get((query.target, query.dim))
+        if group is None:
+            return None
+        query_lower, query_upper = query.bounds()
+        falsified = group.falsified_stack()
+        if falsified is not None:
+            points, order = falsified
+            mask = np.all((points >= query_lower) & (points <= query_upper), axis=1)
+            hits = np.flatnonzero(mask)
+            if hits.size:
+                key, payload, _ = group.falsified[order[int(hits[0])]]
+                return key, payload
+        certified = group.certified_stack()
+        if certified is not None:
+            lower, upper, order = certified
+            mask = np.all(lower <= query_lower, axis=1) & np.all(
+                query_upper <= upper, axis=1
+            )
+            hits = np.flatnonzero(mask)
+            if hits.size:
+                key, payload, _ = group.certified[order[int(hits[0])]]
+                return key, payload
+        return None

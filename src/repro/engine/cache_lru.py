@@ -1,0 +1,85 @@
+"""In-memory LRU tier over the on-disk fixpoint cache.
+
+Hot models answer repeat traffic without touching disk: the tier holds
+recently used cache *payloads* (the JSON dicts of
+:class:`~repro.engine.cache.FixpointCache`), keyed by the same bucket
+keys, bounded both by entry count and by an approximate byte budget.
+Eviction is strict LRU — any get or put refreshes recency.
+
+The tier is a read-through/write-through companion of the disk store
+(:class:`~repro.engine.cache.TieredVerdictCache` populates it on disk
+hits and admissions); it is also where dominance-derived answers are
+*materialised* (payloads flagged ``derived: True``), which never reach
+disk.  Byte accounting measures the JSON serialisation of each payload —
+the same bytes the disk tier would have re-read.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def payload_bytes(payload: Dict) -> int:
+    """Approximate in-memory cost of one payload (its JSON size)."""
+    return len(json.dumps(payload, default=str).encode("utf-8"))
+
+
+class LRUTier:
+    """Bounded in-memory payload cache (entries *and* bytes)."""
+
+    def __init__(self, max_entries: int = 4096, max_bytes: int = 16 * 1024 * 1024):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ConfigurationError("max_bytes must be positive")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, Tuple[Dict, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload under ``key`` (refreshing recency), or ``None``."""
+        slot = self._entries.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return slot[0]
+
+    def put(self, key: str, payload: Dict) -> bool:
+        """Insert/refresh ``key``; returns ``False`` if the payload alone
+        exceeds the byte budget (the tier stays unchanged)."""
+        size = payload_bytes(payload)
+        if size > self.max_bytes:
+            return False
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self.current_bytes -= existing[1]
+        self._entries[key] = (payload, size)
+        self.current_bytes += size
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or self.current_bytes > self.max_bytes:
+            _, (_, size) = self._entries.popitem(last=False)
+            self.current_bytes -= size
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0

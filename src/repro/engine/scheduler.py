@@ -1,4 +1,4 @@
-"""Batch scheduling and the on-disk fixpoint cache.
+"""Batch scheduling over the tiered fixpoint-verdict cache.
 
 The scheduler is the entry point the verification front-ends use: it takes
 an arbitrary number of certification queries against one set of monDEQ
@@ -7,209 +7,38 @@ of ``batch_size`` and runs :class:`~repro.engine.craft.BatchedCraft` per
 chunk, then aggregates everything into an
 :class:`~repro.engine.results.EngineReport`.
 
-Cache entries are keyed by ``sha256(weights hash | center bytes | epsilon |
-clip range | target | config signature)`` — see :class:`FixpointCache` for
-the exact layout — so re-running a sweep with unchanged weights (the
-Table 2 / Fig. 11 setting) skips already-certified regions entirely.  Only
-scalar verdict data (outcome, margin, iteration counts) is persisted; the
-abstraction elements are not, since cached queries do not need them.
+The cache machinery lives in :mod:`repro.engine.cache` (on-disk store,
+exact/quantised keys, the dominance index and the in-memory LRU tier —
+configured through :class:`~repro.core.config.CacheConfig`); the names
+historically importable from this module (:class:`FixpointCache`,
+:func:`config_fingerprint`, :func:`weights_hash`) are re-exported for
+compatibility.  Re-running a sweep with unchanged weights (the Table 2 /
+Fig. 11 setting) answers repeated queries from the cache — and, with the
+dominance index, also answers *contained* repeat queries (cell splits,
+jittered centres) that were never literally asked.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 import time
-import uuid
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import CraftConfig
-from repro.core.results import VerificationOutcome, VerificationResult
+from repro.core.results import VerificationResult
+from repro.engine.cache import (  # noqa: F401  (compatibility re-exports)
+    FixpointCache,
+    RegionQuery,
+    TieredVerdictCache,
+    _config_signature,
+    build_verdict_cache,
+    config_fingerprint,
+    weights_hash,
+)
 from repro.engine.results import EngineReport
 from repro.exceptions import ConfigurationError
 from repro.mondeq.model import MonDEQ
-
-
-def weights_hash(model: MonDEQ) -> str:
-    """A stable hexadecimal digest of the model's parameters."""
-    digest = hashlib.sha256()
-    for name in sorted(model.parameters()):
-        array = np.ascontiguousarray(model.parameters()[name], dtype=float)
-        digest.update(name.encode())
-        digest.update(array.tobytes())
-    digest.update(repr(float(model.monotonicity)).encode())
-    return digest.hexdigest()
-
-
-def _config_signature(config: CraftConfig) -> str:
-    """The configuration fields that influence a certification verdict.
-
-    The library version is part of the signature: an upgrade that changes
-    certification behaviour (solver numerics, membership tolerances, …)
-    must invalidate on-disk verdicts by construction.
-    """
-    import repro  # late import: repro/__init__ imports this module's package
-
-    fields = (
-        repro.__version__,
-        config.domain, config.domains, config.solver1, config.alpha1, config.solver2,
-        config.alpha2, tuple(config.alpha2_grid), config.expansion,
-        config.w_mul, config.w_add, config.expansion_mul_growth,
-        config.expansion_add_growth, config.expansion_growth_every,
-        config.slope_optimization, tuple(config.slope_candidates_reduced),
-        tuple(config.slope_candidates_reference), config.slope_margin_threshold,
-        config.same_iteration_containment, config.use_box_component,
-        config.tighten_max_iterations, config.tighten_patience,
-        config.tighten_consolidate_every,
-        config.consolidation_basis, config.shared_basis_max_inflation,
-        config.stage_phase_one_budgets,
-        config.concrete_tol, config.concrete_max_iterations,
-        config.contraction.max_iterations, config.contraction.consolidate_every,
-        config.contraction.basis_recompute_every, config.contraction.history_size,
-        config.contraction.abort_width,
-    )
-    return repr(fields)
-
-
-def config_fingerprint(config: CraftConfig) -> str:
-    """Version stamp persisted inside every cache entry.
-
-    The query *key* already hashes the configuration, so a mismatched
-    config cannot hit by key alone; the stamp additionally travels inside
-    the payload so an entry can prove which configuration (and library
-    version) wrote it.  That makes corruption and key-collision scenarios
-    fail closed — and it is the hook a future quantised/nearest-neighbour
-    keying mode needs, where the key will no longer pin the exact config.
-    """
-    return hashlib.sha256(_config_signature(config).encode()).hexdigest()
-
-
-class FixpointCache:
-    """Directory-backed cache of certification verdicts.
-
-    One JSON file per query, named by the query key.  Values restore a
-    :class:`VerificationResult` without the abstraction elements (which are
-    only needed by the live certification path, never by cache consumers).
-
-    The cache is safe for concurrent writers *without file locking*: every
-    entry is its own file, written to a writer-unique temporary name and
-    published with the atomic ``os.replace`` — readers observe either the
-    previous entry or the complete new one, never a torn write.  When a
-    ``signature`` (see :func:`config_fingerprint`) is given, entries
-    stamped by a different configuration are rejected on load.
-    """
-
-    #: Scratch files older than this are presumed orphaned (a worker killed
-    #: between writing and publishing) and swept on cache construction; no
-    #: live writer holds a scratch file anywhere near this long.
-    STALE_TMP_SECONDS = 600.0
-
-    def __init__(self, directory: str, signature: Optional[str] = None):
-        self.directory = directory
-        self.signature = signature
-        os.makedirs(directory, exist_ok=True)
-        self._sweep_stale_scratch()
-
-    def _sweep_stale_scratch(self) -> None:
-        cutoff = time.time() - self.STALE_TMP_SECONDS
-        try:
-            names = os.listdir(self.directory)
-        except OSError:
-            return
-        for name in names:
-            if not name.endswith(".tmp"):
-                continue
-            path = os.path.join(self.directory, name)
-            try:
-                if os.path.getmtime(path) < cutoff:
-                    os.unlink(path)
-            except OSError:
-                continue
-
-    @staticmethod
-    def query_key(
-        model_digest: str,
-        center: np.ndarray,
-        epsilon: float,
-        target: int,
-        config: CraftConfig,
-        clip_min: Optional[float],
-        clip_max: Optional[float],
-    ) -> str:
-        digest = hashlib.sha256()
-        digest.update(model_digest.encode())
-        digest.update(np.ascontiguousarray(center, dtype=float).tobytes())
-        digest.update(repr((float(epsilon), clip_min, clip_max, int(target))).encode())
-        digest.update(_config_signature(config).encode())
-        return digest.hexdigest()
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.json")
-
-    def load(self, key: str) -> Optional[VerificationResult]:
-        path = self._path(key)
-        if not os.path.exists(path):
-            return None
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if self.signature is not None and data.get("signature") != self.signature:
-            # Version stamp mismatch: the entry was written by a different
-            # configuration or library version.  Treat it as a miss so the
-            # query is re-certified and the entry overwritten.
-            return None
-        return VerificationResult(
-            outcome=VerificationOutcome(data["outcome"]),
-            contained=bool(data["contained"]),
-            certified=bool(data["certified"]),
-            margin=float(data["margin"]),
-            iterations_phase1=int(data["iterations_phase1"]),
-            iterations_phase2=int(data["iterations_phase2"]),
-            time_seconds=float(data["time_seconds"]),
-            selected_alpha2=data.get("selected_alpha2"),
-            selected_solver2=data.get("selected_solver2"),
-            slope_optimized=bool(data.get("slope_optimized", False)),
-            notes=data.get("notes", "") + " [cached]",
-            # The resolving ladder stage travels with the verdict, so a
-            # cached escalation-sweep query replays at its final stage
-            # without re-climbing the ladder.
-            stage=data.get("stage"),
-            cached=True,
-            peak_error_terms=data.get("peak_error_terms"),
-        )
-
-    def store(self, key: str, result: VerificationResult) -> None:
-        payload = {
-            "outcome": result.outcome.value,
-            "contained": result.contained,
-            "certified": result.certified,
-            # json round-trips -Infinity natively, so -inf margins
-            # (misclassified / no-containment queries) survive unchanged.
-            "margin": float(result.margin),
-            "iterations_phase1": result.iterations_phase1,
-            "iterations_phase2": result.iterations_phase2,
-            "time_seconds": result.time_seconds,
-            "selected_alpha2": result.selected_alpha2,
-            "selected_solver2": result.selected_solver2,
-            "slope_optimized": result.slope_optimized,
-            "notes": result.notes,
-            "signature": self.signature,
-            "stage": result.stage,
-            "peak_error_terms": result.peak_error_terms,
-        }
-        path = self._path(key)
-        # The temporary name is writer-unique (pid + fresh uuid, so two
-        # cache instances or threads in one process cannot collide either);
-        # os.replace then publishes atomically on POSIX.
-        temporary = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:12]}.tmp"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temporary, path)
 
 
 class BatchCertificationScheduler:
@@ -226,9 +55,12 @@ class BatchCertificationScheduler:
     cache — see :mod:`repro.engine.working_set`; an integer pins the size
     for all stages (as does ``CraftConfig.engine_batch_size``).
 
-    Cache entries are keyed by the *ladder* configuration and record the
-    resolving stage, so a cached verdict replays at its final stage
-    without re-climbing the ladder.
+    ``cache_dir`` enables the tiered verdict cache
+    (:class:`~repro.engine.cache.TieredVerdictCache`): entries are keyed
+    by the *ladder* configuration and record the resolving stage, so a
+    cached verdict replays at its final stage without re-climbing the
+    ladder; dominance hits replay the serving entry's stage and are
+    counted per stage row (``cache_dominance_hits``).
     """
 
     def __init__(
@@ -250,11 +82,10 @@ class BatchCertificationScheduler:
         self.batch_size = self._ladder.batch_sizes[self.config.domain]
         self.stage_batch_sizes = dict(self._ladder.batch_sizes)
         self.cache = (
-            FixpointCache(cache_dir, signature=config_fingerprint(self.config))
+            build_verdict_cache(cache_dir, self.config, model)
             if cache_dir is not None
             else None
         )
-        self._model_digest = weights_hash(model) if self.cache is not None else None
 
     def certify(
         self,
@@ -265,26 +96,34 @@ class BatchCertificationScheduler:
         clip_max: Optional[float] = 1.0,
     ) -> EngineReport:
         """Certify every (row of ``xs``, label) query, using cache and batches."""
+        from repro.engine.escalation import fold_dominance_hits
+
         start = time.perf_counter()
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
         labels = np.asarray(labels, dtype=int).reshape(-1)
         total = xs.shape[0]
         results: List[Optional[VerificationResult]] = [None] * total
 
-        keys: List[Optional[str]] = [None] * total
+        queries: List[Optional[RegionQuery]] = [None] * total
         misses: List[int] = []
         cache_hits = 0
+        dominance_hits = 0
+        if self.cache is not None:
+            # One incremental scan per sweep picks up entries concurrent
+            # writers published since the last certify call.
+            self.cache.refresh()
         for index in range(total):
             if self.cache is not None:
-                key = FixpointCache.query_key(
-                    self._model_digest, xs[index], epsilon, int(labels[index]),
-                    self.config, clip_min, clip_max,
+                query = RegionQuery(
+                    center=xs[index], epsilon=epsilon, target=int(labels[index]),
+                    clip_min=clip_min, clip_max=clip_max,
                 )
-                keys[index] = key
-                cached = self.cache.load(key)
+                queries[index] = query
+                cached = self.cache.lookup(query)
                 if cached is not None:
                     results[index] = cached
                     cache_hits += 1
+                    dominance_hits += int(cached.cache_tier == "dominance")
                     continue
             misses.append(index)
 
@@ -299,11 +138,14 @@ class BatchCertificationScheduler:
             for index, result in zip(misses, miss_results):
                 results[index] = result
                 if self.cache is not None:
-                    self.cache.store(keys[index], result)
+                    self.cache.admit(queries[index], result)
 
+        if dominance_hits:
+            stage_rows = fold_dominance_hits(stage_rows, results)
         return EngineReport(
             results=results,
             cache_hits=cache_hits,
+            cache_dominance_hits=dominance_hits,
             num_batches=num_batches,
             elapsed_seconds=time.perf_counter() - start,
             stages=stage_rows,

@@ -28,15 +28,18 @@ cache.
 
 Cache sharing
 -------------
-All workers share one on-disk :class:`~repro.engine.scheduler.FixpointCache`
-directory.  No file locking is needed: every entry is its own file,
-written under a writer-unique temporary name and published with the atomic
+All workers share one on-disk :class:`~repro.engine.cache.FixpointCache`
+directory (each wrapped in its own
+:class:`~repro.engine.cache.TieredVerdictCache` — the LRU tier and
+dominance index are per-process views over the shared directory).  No
+file locking is needed: every entry is its own file, written under a
+writer-unique temporary name and published with the atomic
 ``os.replace``, so concurrent workers certifying overlapping regions never
 corrupt an entry — the regression tests in
 ``tests/engine/test_cache_concurrency.py`` pin this.  The parent answers
-cache hits before sharding; workers persist fresh verdicts themselves,
-stamped with the configuration fingerprint
-(:func:`~repro.engine.scheduler.config_fingerprint`).
+cache hits (including dominance hits) before sharding; workers persist
+fresh verdicts themselves, stamped with the configuration fingerprint
+(:func:`~repro.engine.cache.config_fingerprint`).
 
 Execution modes
 ---------------
@@ -71,11 +74,7 @@ from repro.core.results import VerificationResult
 from repro.engine.craft import BatchedCraft, ConsolidationStats
 from repro.engine.escalation import StageStats, should_escalate
 from repro.engine.results import EngineReport
-from repro.engine.scheduler import (
-    FixpointCache,
-    config_fingerprint,
-    weights_hash,
-)
+from repro.engine.cache import RegionQuery, TieredVerdictCache, build_verdict_cache
 from repro.exceptions import ConfigurationError, VerificationError
 from repro.mondeq.model import MonDEQ
 from repro.verify.specs import ClassificationSpec, LinfBall
@@ -110,7 +109,7 @@ class _WorkerState:
 
     model: MonDEQ
     config: CraftConfig
-    cache: Optional[FixpointCache]
+    cache: Optional[TieredVerdictCache]
     keep_abstractions: bool
     crafts: Dict[str, BatchedCraft] = field(default_factory=dict)
 
@@ -128,7 +127,7 @@ _WORKER: Optional[_WorkerState] = None
 def _build_worker_state(payload: bytes) -> _WorkerState:
     model, config, cache_dir, keep_abstractions = pickle.loads(payload)
     cache = (
-        FixpointCache(cache_dir, signature=config_fingerprint(config))
+        build_verdict_cache(cache_dir, config, model)
         if cache_dir is not None
         else None
     )
@@ -150,7 +149,6 @@ class _Shard:
     """One unit of work: a chunk of cache-miss queries at one ladder stage."""
 
     indices: List[int]
-    keys: List[Optional[str]]
     balls: List[LinfBall]
     specs: List[ClassificationSpec]
     anchors: Optional[np.ndarray]
@@ -178,13 +176,13 @@ def _execute_shard(
     # pool pipe as a plain dict (cheap, pickle-stable).
     consolidation = craft.consolidation_stats.as_dict()
     if state.cache is not None:
-        for key, result in zip(shard.keys, results):
+        for ball, spec, result in zip(shard.balls, shard.specs, results):
             # Only *final* verdicts may be persisted: a non-final stage's
             # unresolved result is about to be escalated, and caching it
             # would replay an interim Unknown as the sweep's answer if a
             # later run hits the entry before the ladder finishes.
-            if key is not None and (shard.final or not should_escalate(result)):
-                state.cache.store(key, result)
+            if shard.final or not should_escalate(result):
+                state.cache.admit(RegionQuery.from_ball(ball, spec), result)
     if not state.keep_abstractions:
         # Strip on the worker side, *before* the results cross the pool
         # pipe — avoiding the serialisation of the generator stacks is the
@@ -294,11 +292,10 @@ class ShardedScheduler:
         self.keep_abstractions = keep_abstractions
         self.cache_dir = cache_dir
         self.cache = (
-            FixpointCache(cache_dir, signature=config_fingerprint(self.config))
+            build_verdict_cache(cache_dir, self.config, model)
             if cache_dir is not None
             else None
         )
-        self._model_digest = weights_hash(model) if self.cache is not None else None
         self._pool = None
         self._inline_state: Optional[_WorkerState] = None
         # Spawn the pool eagerly: forking *before* the parent runs any BLAS
@@ -395,8 +392,12 @@ class ShardedScheduler:
             ClassificationSpec(target=int(label), num_classes=self.model.output_dim)
             for label in labels
         ]
-        results, keys, misses = self._cache_lookup(balls, specs)
+        results, queries, misses = self._cache_lookup(balls, specs)
         cache_hits = sum(result is not None for result in results)
+        dominance_hits = sum(
+            result is not None and result.cache_tier == "dominance"
+            for result in results
+        )
 
         # Same prediction pass as BatchedCraft.certify (one shared copy of
         # the short-circuit semantics), run over the cache misses only.
@@ -410,13 +411,18 @@ class ShardedScheduler:
                 if miss_results[row] is not None:
                     results[index] = miss_results[row]
                     if self.cache is not None:
-                        self.cache.store(keys[index], miss_results[row])
+                        self.cache.admit(queries[index], miss_results[row])
             queued = [misses[row] for row in miss_queued]
 
-        num_shards, stage_rows = self._dispatch(queued, keys, balls, specs, anchors, results)
+        num_shards, stage_rows = self._dispatch(queued, balls, specs, anchors, results)
+        if dominance_hits:
+            from repro.engine.escalation import fold_dominance_hits
+
+            stage_rows = fold_dominance_hits(stage_rows, results)
         return EngineReport(
             results=results,
             cache_hits=cache_hits,
+            cache_dominance_hits=dominance_hits,
             num_batches=num_shards,
             elapsed_seconds=time.perf_counter() - start,
             num_workers=1 if self._inline else self.num_workers,
@@ -438,53 +444,47 @@ class ShardedScheduler:
         specs = list(specs)
         if len(balls) != len(specs):
             raise VerificationError("balls and specs must have matching lengths")
-        results, keys, misses = self._cache_lookup(balls, specs)
+        results, _, misses = self._cache_lookup(balls, specs)
         anchors = (
             np.asarray(anchor_fixpoints)[misses]
             if anchor_fixpoints is not None and misses
             else None
         )
-        self._dispatch(misses, keys, balls, specs, anchors, results)
+        self._dispatch(misses, balls, specs, anchors, results)
         return results
 
     # ------------------------------------------------------------------
     # Core sharded execution
     # ------------------------------------------------------------------
 
-    def _query_key(self, ball: LinfBall, spec: ClassificationSpec) -> str:
-        return FixpointCache.query_key(
-            self._model_digest,
-            ball.center,
-            ball.epsilon,
-            spec.target,
-            self.config,
-            ball.clip_min,
-            ball.clip_max,
-        )
-
     def _cache_lookup(
         self, balls: Sequence[LinfBall], specs: Sequence[ClassificationSpec]
-    ) -> Tuple[List[Optional[VerificationResult]], List[Optional[str]], List[int]]:
-        """Answer what the cache can; return (results, keys, miss indices)."""
+    ) -> Tuple[
+        List[Optional[VerificationResult]], List[Optional[RegionQuery]], List[int]
+    ]:
+        """Answer what the cache can; return (results, queries, miss indices)."""
         total = len(balls)
         results: List[Optional[VerificationResult]] = [None] * total
-        keys: List[Optional[str]] = [None] * total
+        queries: List[Optional[RegionQuery]] = [None] * total
         misses: List[int] = []
+        if self.cache is not None:
+            # One incremental scan per sweep picks up entries concurrent
+            # writers (including this scheduler's own workers) published.
+            self.cache.refresh()
         for index in range(total):
             if self.cache is not None:
-                key = self._query_key(balls[index], specs[index])
-                keys[index] = key
-                cached = self.cache.load(key)
+                query = RegionQuery.from_ball(balls[index], specs[index])
+                queries[index] = query
+                cached = self.cache.lookup(query)
                 if cached is not None:
                     results[index] = cached
                     continue
             misses.append(index)
-        return results, keys, misses
+        return results, queries, misses
 
     def _build_shard(
         self,
         chunk: List[int],
-        keys: List[Optional[str]],
         balls: Sequence[LinfBall],
         specs: Sequence[ClassificationSpec],
         anchor_rows: Optional[Dict[int, np.ndarray]],
@@ -492,7 +492,6 @@ class ShardedScheduler:
     ) -> _Shard:
         return _Shard(
             indices=chunk,
-            keys=[keys[i] for i in chunk],
             balls=[balls[i] for i in chunk],
             specs=[specs[i] for i in chunk],
             anchors=(
@@ -507,7 +506,6 @@ class ShardedScheduler:
     def _make_stage0_shards(
         self,
         order: List[int],
-        keys: List[Optional[str]],
         balls: Sequence[LinfBall],
         specs: Sequence[ClassificationSpec],
         anchor_rows: Optional[Dict[int, np.ndarray]],
@@ -531,7 +529,7 @@ class ShardedScheduler:
         boundaries = np.array_split(np.arange(count), num_shards)
         return [
             self._build_shard(
-                [order[p] for p in positions], keys, balls, specs, anchor_rows, domain
+                [order[p] for p in positions], balls, specs, anchor_rows, domain
             )
             for positions in boundaries
         ]
@@ -539,7 +537,6 @@ class ShardedScheduler:
     def _dispatch(
         self,
         order: List[int],
-        keys: List[Optional[str]],
         balls: Sequence[LinfBall],
         specs: Sequence[ClassificationSpec],
         anchors: Optional[np.ndarray],
@@ -577,7 +574,7 @@ class ShardedScheduler:
             if anchors is not None
             else None
         )
-        shards = self._make_stage0_shards(order, keys, balls, specs, anchor_rows)
+        shards = self._make_stage0_shards(order, balls, specs, anchor_rows)
         stats[stages[0]].attempted = len(order)
         total_shards = len(shards)
         self._ensure_pool()
@@ -609,7 +606,7 @@ class ShardedScheduler:
                 for offset in range(0, len(escalated), next_batch):
                     shard = self._build_shard(
                         escalated[offset : offset + next_batch],
-                        keys, balls, specs, anchor_rows, next_domain,
+                        balls, specs, anchor_rows, next_domain,
                     )
                     total_shards += 1
                     pending.append(self._submit(shard))

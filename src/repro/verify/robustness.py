@@ -336,8 +336,12 @@ class SampleRecord:
     #: Resolving ladder stage (abstract domain) of the verdict; ``None``
     #: for misclassified samples (never enter the waterfall).
     stage: Optional[str] = None
-    #: Whether the verdict was replayed from the on-disk fixpoint cache.
+    #: Whether the verdict was replayed from the fixpoint cache.
     cached: bool = False
+    #: Which cache tier answered (``"lru"``/``"disk"``/``"dominance"``,
+    #: ``None`` for live verdicts); ``"dominance"`` marks verdicts served
+    #: from a dominating entry — this exact query was never computed.
+    cache_tier: Optional[str] = None
     #: Measured peak error-term count of the query (``None`` when the
     #: abstract analysis never ran — misclassification short-circuits).
     peak_error_terms: Optional[int] = None
@@ -390,6 +394,12 @@ class RobustnessReport:
     def cache_misses(self) -> int:
         """Verdicts computed live (including misclassification shortcuts)."""
         return self.num_samples - self.cache_hits
+
+    @property
+    def cache_dominance_hits(self) -> int:
+        """Verdicts answered by dominance (certified superset region or
+        falsifying point) — queries never literally computed."""
+        return sum(record.cache_tier == "dominance" for record in self.records)
 
     @property
     def stage_counts(self) -> dict:
@@ -447,6 +457,7 @@ class RobustnessReport:
             "samples": self.num_samples,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_dominance_hits": self.cache_dominance_hits,
             "stages": self.stage_counts,
             "error_terms": self.error_term_calibration,
         }
@@ -568,6 +579,7 @@ class RobustnessVerifier:
                     outcome=result.outcome.value,
                     stage=result.stage,
                     cached=result.from_cache,
+                    cache_tier=result.cache_tier,
                     peak_error_terms=result.peak_error_terms,
                 )
             )

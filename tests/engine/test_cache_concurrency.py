@@ -5,8 +5,12 @@ cache keys concurrently.  The cache design relies on atomic per-entry
 publication (writer-unique temporary file + ``os.replace``) instead of
 file locking; these tests pin that no interleaving corrupts an entry, and
 that the version stamp inside each entry rejects reads by a mismatched
-configuration — the invariant that protects the exact-center-bytes keying
-before any quantised keying mode lands (ROADMAP).
+configuration — the invariant that carries the entire burden of proof now
+that quantised keying and dominance lookups mean a key no longer pins the
+exact query (see :mod:`repro.engine.cache`).  The dominance test below
+additionally pins that concurrent admissions leave a *readable* dominance
+index: a fresh reader over the racing workers' directory must ingest
+every entry and serve contained child queries from it.
 
 All multiprocessing here is deterministically seeded through
 ``repro.utils.rng`` and guarded by join timeouts so a hung worker fails
@@ -96,6 +100,82 @@ class TestConcurrentCacheWrites:
             assert cached.contained == fresh.contained
             if np.isfinite(fresh.margin):
                 assert cached.margin == pytest.approx(fresh.margin, abs=1e-12)
+
+
+class TestConcurrentDominanceAdmissions:
+    def test_racing_admissions_leave_a_readable_dominance_index(
+        self, trained_mondeq, toy_data, config, tmp_path
+    ):
+        """Two workers admitting overlapping region sets concurrently must
+        produce a directory a fresh DominanceIndex can ingest whole — and
+        a fresh tiered cache must answer strictly-contained child queries
+        of the certified parents by dominance, with zero recomputation."""
+        from repro.engine.cache import (
+            RegionQuery,
+            build_verdict_cache,
+            payload_supports_dominance,
+        )
+        from repro.engine.cache_dominance import DominanceIndex
+
+        xs, ys = toy_data
+        rng = as_generator(99)
+        pool = rng.permutation(np.arange(120, 140))
+        first = np.sort(pool[:12])
+        second = np.sort(pool[4:16])
+        cache_dir = str(tmp_path / "dominance-cache")
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_certify_overlapping,
+                args=(trained_mondeq, config, xs[sel], ys[sel].astype(int), cache_dir, barrier),
+            )
+            for sel in (first, second)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=JOIN_TIMEOUT_SECONDS)
+            assert worker.exitcode == 0, "dominance-concurrency worker failed or hung"
+
+        # Every published entry carries the post-1.5.0 dominance shape and
+        # is ingested by a cold index — no torn or half-shaped entries.
+        payloads = []
+        for name in os.listdir(cache_dir):
+            with open(os.path.join(cache_dir, name), "r", encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        assert all(payload_supports_dominance(p) for p in payloads)
+        index = DominanceIndex(
+            cache_dir,
+            signature=config_fingerprint(config),
+            model_digest=weights_hash(trained_mondeq),
+        )
+        indexable = sum(
+            p["outcome"] == "misclassified" or p["certified"] for p in payloads
+        )
+        assert len(index) == indexable
+        assert index.skipped == 0
+
+        # Child queries strictly inside the certified parents answer by
+        # dominance from a fresh reader, without touching the engine.
+        union = np.union1d(first, second)
+        cache = build_verdict_cache(cache_dir, config, trained_mondeq)
+        served_dominance = 0
+        for row in union:
+            parent = RegionQuery(
+                center=xs[row], epsilon=0.05, target=int(ys[row])
+            )
+            verbatim = cache.lookup(parent)
+            assert verbatim is not None  # literal replay of the parents
+            child = RegionQuery(
+                center=xs[row], epsilon=0.02, target=int(ys[row])
+            )
+            child_served = cache.lookup(child)
+            if child_served is not None and child_served.cache_tier == "dominance":
+                served_dominance += 1
+        assert served_dominance > 0
+        assert cache.stats.dominance_hits == served_dominance
 
 
 class TestScratchFileHygiene:

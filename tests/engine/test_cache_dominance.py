@@ -1,0 +1,679 @@
+"""Property battery for the dominance-aware quantised fixpoint cache.
+
+The cache may now answer queries it was never literally asked — from a
+certified superset region, from a cached falsifying point, or from a
+quantised bucket entry — so its soundness contract is no longer "replay
+what was stored" but "never serve a verdict the cacheless engine could
+refute".  Hypothesis pins that contract directly against the cacheless
+:class:`~repro.engine.craft.BatchedCraft` and against concrete
+point-sampling oracles:
+
+* a cached *certified* outer region must never answer ``VERIFIED`` for a
+  contained query the cacheless engine falsifies — and every sampled
+  point of a dominance-served query must actually classify as the target;
+* the falsifying dual: a served ``MISCLASSIFIED`` must come with a
+  concrete witness point inside the query region that the network really
+  mislabels;
+* quantised keys must never let two regions with differing cacheless
+  verdicts answer each other — a bucket collision whose payload does not
+  provably dominate the query falls through to a miss.
+
+The deterministic classes below pin the supporting machinery: epsilon
+quantisation directions, clipped-region containment, the LRU tier's
+entry/byte eviction, the dominance index's incremental refresh, the
+legacy-payload (pre-1.5.0) fall-through, and the scheduler-level
+``cache_dominance_hits`` accounting.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import CacheConfig, ContractionSettings, CraftConfig
+from repro.core.results import VerificationOutcome
+from repro.engine import BatchCertificationScheduler, ShardedScheduler
+from repro.engine.cache import (
+    FixpointCache,
+    RegionQuery,
+    TieredVerdictCache,
+    config_fingerprint,
+    payload_region,
+    payload_supports_dominance,
+    quantize_epsilon,
+    snap_center,
+    weights_hash,
+)
+from repro.engine.cache_dominance import DominanceIndex
+from repro.engine.cache_lru import LRUTier, payload_bytes
+from repro.engine.craft import BatchedCraft
+from repro.exceptions import ConfigurationError
+from repro.verify.specs import ClassificationSpec, LinfBall
+
+from strategies import FINITE, epsilons, mondeq_models
+
+FUZZ = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: Small budgets: the battery wants many examples, not deep runs.
+FAST = CraftConfig(
+    slope_optimization="none",
+    contraction=ContractionSettings(max_iterations=50, history_size=4),
+    tighten_max_iterations=10,
+    tighten_patience=4,
+)
+
+
+def _unit_centers(dim):
+    """Centres inside the [0, 1] clip box (keeps clipping non-degenerate)."""
+    return arrays(np.float64, (dim,), elements=st.floats(0.05, 0.95, **FINITE))
+
+
+def _sample_oracle(model, query, target, count=24, seed=0):
+    """Concrete soundness oracle: every sampled point of the (clipped)
+    query region must classify as ``target``."""
+    lower, upper = query.bounds()
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(lower, upper, size=(count, query.dim))
+    return all(int(model.predict(point)) == target for point in points)
+
+
+class TestDominanceSoundness:
+    """The tentpole battery: dominance serves vs the cacheless engine."""
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        outer_epsilon=epsilons(),
+        shrink=st.floats(0.2, 0.8, **FINITE),
+        data=st.data(),
+    )
+    def test_certified_superset_serves_are_sound(
+        self, model, outer_epsilon, shrink, data
+    ):
+        """A cached certified outer region answers a contained query
+        VERIFIED — and that answer must survive both the point-sampling
+        oracle and the cacheless engine's own verdict on the subquery."""
+        center = data.draw(_unit_centers(model.input_dim))
+        target = int(model.predict(center))
+        outer = BatchedCraft(model, FAST).certify(
+            center[None, :], np.array([target]), outer_epsilon
+        )[0]
+
+        inner_epsilon = outer_epsilon * shrink
+        slack = (outer_epsilon - inner_epsilon) * 0.9
+        offset = data.draw(
+            arrays(
+                np.float64, (model.input_dim,),
+                elements=st.floats(-slack, slack, **FINITE),
+            )
+        )
+        inner = RegionQuery(
+            center=center + offset, epsilon=inner_epsilon, target=target
+        )
+
+        with tempfile.TemporaryDirectory() as directory:
+            cache = TieredVerdictCache(directory, FAST, weights_hash(model))
+            cache.admit(RegionQuery(center=center, epsilon=outer_epsilon,
+                                    target=target), outer)
+            served = cache.lookup(inner)
+
+        if outer.certified:
+            # Completeness: the index must find the superset certificate.
+            assert served is not None
+            assert served.certified
+            assert served.cache_tier == "dominance"
+            assert served.stage == outer.stage
+            # Soundness oracle 1: concrete points of the subquery.
+            assert _sample_oracle(model, inner, target)
+            # Soundness oracle 2: the cacheless engine never falsifies a
+            # query the cache marked VERIFIED.
+            fresh = BatchedCraft(model, FAST).certify(
+                inner.center[None, :], np.array([target]), inner_epsilon
+            )[0]
+            assert fresh.outcome != VerificationOutcome.MISCLASSIFIED
+        else:
+            # The centre classifies correctly, so the outer verdict is
+            # UNKNOWN-family — which dominates nothing: the contained
+            # query must miss, never replay an unresolved verdict.
+            assert served is None
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        point_epsilon=st.sampled_from([1e-4, 1e-3]),
+        query_epsilon=st.sampled_from([0.05, 0.15, 0.3]),
+        data=st.data(),
+    )
+    def test_falsifying_point_refutes_containing_regions(
+        self, model, point_epsilon, query_epsilon, data
+    ):
+        """The dual: a cached MISCLASSIFIED entry refutes every region
+        containing its witness point — with the witness checkable."""
+        center = data.draw(_unit_centers(model.input_dim))
+        target = (int(model.predict(center)) + 1) % model.output_dim
+        falsified = BatchedCraft(model, FAST).certify(
+            center[None, :], np.array([target]), point_epsilon
+        )[0]
+        assert falsified.outcome == VerificationOutcome.MISCLASSIFIED
+
+        slack = query_epsilon * 0.9
+        offset = data.draw(
+            arrays(
+                np.float64, (model.input_dim,),
+                elements=st.floats(-slack, slack, **FINITE),
+            )
+        )
+        query = RegionQuery(
+            center=center + offset, epsilon=query_epsilon, target=target
+        )
+
+        with tempfile.TemporaryDirectory() as directory:
+            cache = TieredVerdictCache(directory, FAST, weights_hash(model))
+            key = cache.admit(
+                RegionQuery(center=center, epsilon=point_epsilon, target=target),
+                falsified,
+            )
+            witness = np.asarray(
+                cache.disk.load_payload(key)["center"], dtype=float
+            )
+            served = cache.lookup(query)
+
+        assert served is not None
+        assert served.outcome == VerificationOutcome.MISCLASSIFIED
+        assert served.cache_tier == "dominance"
+        # The witness really is inside the query region, and the network
+        # really mislabels it — refutation by concrete counterexample.
+        assert query.contains_point(witness)
+        assert int(model.predict(witness)) != target
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        decimals=st.integers(1, 3),
+        epsilon=epsilons(),
+        data=st.data(),
+    )
+    def test_quantized_collisions_never_serve_unsound_verdicts(
+        self, model, decimals, epsilon, data
+    ):
+        """Two nearby regions sharing a quantised bucket: any served
+        answer must be provably dominated by the stored entry's exact
+        region, and must be consistent with the cacheless verdict of the
+        colliding query."""
+        center_a = data.draw(_unit_centers(model.input_dim))
+        # A sub-grid jitter: both centres snap to the same bucket, but the
+        # regions are distinct, so any serve is a genuine collision.
+        grid = 10.0 ** (-decimals)
+        jitter = data.draw(
+            arrays(
+                np.float64, (model.input_dim,),
+                elements=st.floats(grid * 0.01, grid * 0.4, **FINITE),
+            )
+        )
+        center_b = center_a + jitter
+        target = int(model.predict(center_a))
+        region_a = RegionQuery(center=center_a, epsilon=epsilon, target=target)
+        region_b = RegionQuery(center=center_b, epsilon=epsilon, target=target)
+
+        fresh_a = BatchedCraft(model, FAST).certify(
+            center_a[None, :], np.array([target]), epsilon
+        )[0]
+        with tempfile.TemporaryDirectory() as directory:
+            cache = TieredVerdictCache(
+                directory, FAST, weights_hash(model),
+                cache_config=CacheConfig(
+                    key_mode="quantized", quantize_decimals=decimals
+                ),
+            )
+            cache.admit(region_a, fresh_a)
+            served = cache.lookup(region_b)
+
+        if served is None:
+            return  # collision fell through to a miss: always sound
+        assert not region_a.same_region(region_b)
+        if served.certified:
+            # Only a provably dominating certificate may answer.
+            assert fresh_a.certified
+            assert region_a.contains(region_b)
+            assert _sample_oracle(model, region_b, target)
+        elif served.outcome == VerificationOutcome.MISCLASSIFIED:
+            assert fresh_a.outcome == VerificationOutcome.MISCLASSIFIED
+            assert region_b.contains_point(region_a.center)
+        else:
+            # Non-certified, non-falsified payloads may only replay for
+            # the literal region — which region_b is not.
+            pytest.fail(f"unresolved verdict served across buckets: {served}")
+
+
+class TestQuantisation:
+    def test_on_grid_epsilons_are_fixed_points(self):
+        """Grid-resident radii map to themselves in both directions — the
+        binary-artefact guard (0.05 * 1000 == 50.000000000000007)."""
+        for epsilon in (1e-4, 0.01, 0.05, 0.15, 0.3, 0.123):
+            for decimals in (3, 4, 6):
+                if round(epsilon * 10**decimals) != epsilon * 10**decimals:
+                    floor = quantize_epsilon(epsilon, decimals, "floor")
+                    ceil = quantize_epsilon(epsilon, decimals, "ceil")
+                    assert floor == pytest.approx(epsilon, abs=10.0**-decimals)
+                    assert ceil == pytest.approx(epsilon, abs=10.0**-decimals)
+                else:
+                    assert quantize_epsilon(epsilon, decimals, "floor") == (
+                        quantize_epsilon(epsilon, decimals, "ceil")
+                    )
+
+    def test_rounding_directions(self):
+        assert quantize_epsilon(0.0503, 2, "floor") == pytest.approx(0.05)
+        assert quantize_epsilon(0.0503, 2, "ceil") == pytest.approx(0.06)
+        assert quantize_epsilon(0.05, 2, "floor") == pytest.approx(0.05)
+        assert quantize_epsilon(0.05, 2, "ceil") == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            quantize_epsilon(0.05, 2, "round")
+
+    def test_snap_center_normalises_negative_zero(self):
+        snapped = snap_center(np.array([-1e-9, 1e-9, 0.0]), 3)
+        assert snapped.tobytes() == np.zeros(3).tobytes()
+
+    @FUZZ
+    @given(
+        epsilon=st.floats(1e-6, 1.0, **FINITE),
+        decimals=st.integers(0, 6),
+    )
+    def test_floor_below_ceil_brackets_epsilon(self, epsilon, decimals):
+        floor = quantize_epsilon(epsilon, decimals, "floor")
+        ceil = quantize_epsilon(epsilon, decimals, "ceil")
+        tick = 10.0**-decimals
+        assert floor <= ceil
+        assert epsilon - tick <= floor <= epsilon + 1e-12
+        assert epsilon - 1e-12 <= ceil <= epsilon + tick
+
+
+class TestRegionQuery:
+    def test_containment_uses_clipped_bounds(self):
+        """Dominance is decided on the region the engine actually
+        certifies — the clipped ball, not the raw one."""
+        outer = RegionQuery(center=np.array([0.9, 0.5]), epsilon=0.3, target=1)
+        inner = RegionQuery(center=np.array([0.95, 0.5]), epsilon=0.2, target=1)
+        # Unclipped, inner's upper edge (1.15) exceeds outer's (1.2)? No —
+        # but its right edge would poke out without the shared clip at 1.0.
+        assert outer.contains(inner)
+        unclipped_outer = RegionQuery(
+            center=np.array([0.9, 0.5]), epsilon=0.3, target=1,
+            clip_min=None, clip_max=None,
+        )
+        unclipped_inner = RegionQuery(
+            center=np.array([0.95, 0.5]), epsilon=0.3, target=1,
+            clip_min=None, clip_max=None,
+        )
+        assert not unclipped_outer.contains(unclipped_inner)
+
+    def test_target_mismatch_never_dominates(self):
+        outer = RegionQuery(center=np.zeros(2), epsilon=0.5, target=0)
+        inner = RegionQuery(center=np.zeros(2), epsilon=0.1, target=1)
+        assert not outer.contains(inner)
+        assert not outer.same_region(inner)
+
+    def test_from_ball_mirrors_linf_ball_bounds(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            center = rng.uniform(-0.5, 1.5, size=4)
+            epsilon = float(rng.uniform(0.0, 0.6))
+            ball = LinfBall(center=center, epsilon=epsilon)
+            spec = ClassificationSpec(target=2, num_classes=3)
+            query = RegionQuery.from_ball(ball, spec)
+            ball_lower, ball_upper = ball.bounds()
+            query_lower, query_upper = query.bounds()
+            np.testing.assert_array_equal(ball_lower, query_lower)
+            np.testing.assert_array_equal(ball_upper, query_upper)
+            assert query.target == 2
+
+    def test_same_region_is_bit_exact(self):
+        base = RegionQuery(center=np.array([0.25, 0.5]), epsilon=0.1, target=0)
+        assert base.same_region(
+            RegionQuery(center=np.array([0.25, 0.5]), epsilon=0.1, target=0)
+        )
+        nudged = RegionQuery(
+            center=np.array([0.25 + 1e-16, 0.5]), epsilon=0.1, target=0
+        )
+        assert base.same_region(nudged) == (
+            base.center.tobytes() == nudged.center.tobytes()
+        )
+        assert not base.same_region(
+            RegionQuery(center=np.array([0.25, 0.5]), epsilon=0.1, target=0,
+                        clip_max=None)
+        )
+
+
+class TestCacheConfigValidation:
+    def test_invalid_fields_raise(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(key_mode="fuzzy")
+        with pytest.raises(ConfigurationError):
+            CacheConfig(quantize_decimals=-1)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(quantize_decimals=13)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(lru_entries=-1)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(lru_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CraftConfig(cache={"key_mode": "exact"})
+
+    def test_cache_layout_never_invalidates_entries(self):
+        """Key mode, grid, LRU bounds and the dominance switch change how
+        verdicts are stored and found — never what they are — so the
+        config fingerprint must ignore all of them."""
+        base = CraftConfig(slope_optimization="none")
+        for cache in (
+            CacheConfig(key_mode="quantized", quantize_decimals=2),
+            CacheConfig(dominance=False),
+            CacheConfig(lru_entries=0),
+            CacheConfig(lru_entries=7, lru_bytes=1024),
+        ):
+            assert config_fingerprint(base) == config_fingerprint(
+                base.with_updates(cache=cache)
+            )
+
+
+class TestLRUTier:
+    def _payload(self, tag, pad=0):
+        return {"outcome": "verified", "tag": tag, "pad": "x" * pad}
+
+    def test_entry_capacity_evicts_least_recent(self):
+        tier = LRUTier(max_entries=2, max_bytes=1 << 20)
+        tier.put("a", self._payload("a"))
+        tier.put("b", self._payload("b"))
+        assert tier.get("a") is not None  # refresh a's recency
+        tier.put("c", self._payload("c"))
+        assert "b" not in tier  # least recent after the refresh
+        assert "a" in tier and "c" in tier
+        assert tier.evictions == 1
+
+    def test_byte_budget_evicts(self):
+        small = self._payload("s")
+        budget = payload_bytes(small) * 2 + 1
+        tier = LRUTier(max_entries=64, max_bytes=budget)
+        tier.put("a", small)
+        tier.put("b", self._payload("b"))
+        tier.put("c", self._payload("c"))
+        assert len(tier) == 2
+        assert tier.current_bytes <= budget
+
+    def test_oversized_payload_is_rejected_whole(self):
+        tier = LRUTier(max_entries=8, max_bytes=64)
+        assert not tier.put("huge", self._payload("huge", pad=4096))
+        assert len(tier) == 0
+        assert tier.current_bytes == 0
+
+    def test_replacement_updates_byte_accounting(self):
+        tier = LRUTier(max_entries=8, max_bytes=1 << 20)
+        tier.put("a", self._payload("a"))
+        first = tier.current_bytes
+        tier.put("a", self._payload("a", pad=100))
+        assert len(tier) == 1
+        assert tier.current_bytes == first + 100
+
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            LRUTier(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            LRUTier(max_bytes=0)
+
+
+def _store_entry(directory, config, model_digest, query, certified=True,
+                 outcome=None, legacy=False, signature=None):
+    """Hand-write one cache entry the way the engine would (or, with
+    ``legacy=True``, the way a pre-1.5.0 writer did: no region fields, no
+    stage/peak_error_terms calibration)."""
+    signature = signature if signature is not None else config_fingerprint(config)
+    outcome = outcome or ("verified" if certified else "unknown")
+    payload = {
+        "outcome": outcome,
+        "contained": True,
+        "certified": certified,
+        "margin": 0.5 if certified else float("-inf"),
+        "iterations_phase1": 3,
+        "iterations_phase2": 2,
+        "time_seconds": 0.01,
+        "selected_alpha2": None,
+        "selected_solver2": None,
+        "slope_optimized": False,
+        "notes": "",
+        "signature": signature,
+    }
+    if not legacy:
+        payload.update(
+            stage="chzonotope",
+            peak_error_terms=12,
+            model_digest=model_digest,
+            center=[float(v) for v in query.center],
+            epsilon=query.epsilon,
+            target=query.target,
+            clip_min=query.clip_min,
+            clip_max=query.clip_max,
+        )
+    key = FixpointCache.query_key(
+        model_digest, query.center, query.epsilon, query.target, config,
+        query.clip_min, query.clip_max,
+    )
+    with open(os.path.join(directory, f"{key}.json"), "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    return key, payload
+
+
+class TestDominanceIndex:
+    def test_refresh_ingests_foreign_writes_incrementally(self, tmp_path):
+        """Entries another worker publishes after construction are picked
+        up by refresh() without a rebuild; foreign scopes are skipped."""
+        config = FAST
+        digest = "modelA"
+        outer = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.2, target=1)
+        _store_entry(str(tmp_path), config, digest, outer)
+        index = DominanceIndex(
+            str(tmp_path), signature=config_fingerprint(config), model_digest=digest
+        )
+        assert len(index) == 1
+
+        late = RegionQuery(center=np.array([0.3, 0.3]), epsilon=0.25, target=1)
+        _store_entry(str(tmp_path), config, digest, late)
+        foreign = RegionQuery(center=np.array([0.7, 0.7]), epsilon=0.25, target=1)
+        _store_entry(str(tmp_path), config, "other-model", foreign)
+        assert index.refresh() == 1  # the foreign-model entry is skipped
+        assert len(index) == 2
+        assert index.skipped == 1
+        assert index.refresh() == 0  # nothing new: incremental, not a rescan
+
+        inner = RegionQuery(center=np.array([0.3, 0.3]), epsilon=0.1, target=1)
+        served = index.query(inner)
+        assert served is not None
+        assert np.allclose(payload_region(served[1]).center, late.center)
+
+    def test_falsifying_points_win_over_certificates(self, tmp_path):
+        """Fail-closed ordering: a region containing a known misclassified
+        input is refuted even when a certified entry claims to cover it."""
+        config = FAST
+        digest = "m"
+        big = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.4, target=0)
+        _store_entry(str(tmp_path), config, digest, big, certified=True)
+        point = RegionQuery(center=np.array([0.52, 0.52]), epsilon=1e-4, target=0)
+        _store_entry(
+            str(tmp_path), config, digest, point,
+            certified=False, outcome="misclassified",
+        )
+        index = DominanceIndex(
+            str(tmp_path), signature=config_fingerprint(config), model_digest=digest
+        )
+        served = index.query(
+            RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=0)
+        )
+        assert served is not None
+        assert served[1]["outcome"] == "misclassified"
+
+    def test_unresolved_verdicts_are_not_indexed(self, tmp_path):
+        config = FAST
+        query = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.2, target=1)
+        _store_entry(str(tmp_path), config, "m", query, certified=False)
+        index = DominanceIndex(
+            str(tmp_path), signature=config_fingerprint(config), model_digest="m"
+        )
+        assert len(index) == 0
+        assert index.query(
+            RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=1)
+        ) is None
+
+
+class TestLegacyPayloadFallThrough:
+    """Regression for the stale-entry edge: a dominance hit resolved from
+    an entry missing the 1.5.0 calibration fields must fall through to a
+    miss instead of KeyError-ing in report aggregation."""
+
+    def test_pre_150_payload_is_never_served_by_dominance(self, tmp_path):
+        config = FAST
+        digest = "legacy-model"
+        outer = RegionQuery(center=np.array([0.5, 0.5, 0.5]), epsilon=0.3, target=2)
+        key, payload = _store_entry(
+            str(tmp_path), config, digest, outer, legacy=True
+        )
+        assert not payload_supports_dominance(payload)
+        assert payload_region(payload) is None
+
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        inner = RegionQuery(center=np.array([0.5, 0.5, 0.5]), epsilon=0.1, target=2)
+        assert cache.lookup(inner) is None  # miss, not KeyError
+        assert cache.stats.misses == 1
+        assert cache.index.skipped == 1
+
+    def test_legacy_payload_still_replays_verbatim_by_exact_key(self, tmp_path):
+        """The pre-1.6 contract survives: an exact-key hit on a legacy
+        payload replays fine (the key pins the whole query)."""
+        config = FAST
+        digest = "legacy-model"
+        query = RegionQuery(center=np.array([0.5, 0.5, 0.5]), epsilon=0.3, target=2)
+        _store_entry(str(tmp_path), config, digest, query, legacy=True)
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        served = cache.lookup(query)
+        assert served is not None
+        assert served.certified
+        assert served.cache_tier == "disk"
+        assert served.stage is None
+        assert served.peak_error_terms is None
+
+    def test_region_fields_without_calibration_fall_through(self, tmp_path):
+        """A payload with region fields but no stage/peak_error_terms (a
+        hand-rolled or truncated entry) is likewise dominance-inert."""
+        config = FAST
+        digest = "m"
+        outer = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.3, target=1)
+        key, payload = _store_entry(str(tmp_path), config, digest, outer)
+        del payload["stage"], payload["peak_error_terms"]
+        with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as handle:
+            json.dump(payload, handle)
+        assert not payload_supports_dominance(payload)
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        inner = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=1)
+        assert cache.lookup(inner) is None
+
+
+class TestTieredLookup:
+    def test_dominance_answers_are_materialised_into_the_lru(self, tmp_path):
+        config = FAST
+        digest = "m"
+        outer = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.3, target=1)
+        _store_entry(str(tmp_path), config, digest, outer)
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        inner = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=1)
+
+        first = cache.lookup(inner)
+        assert first.cache_tier == "dominance"
+        assert cache.stats.dominance_hits == 1
+        # The replay is O(1) from the LRU — still accounted as dominance
+        # (the verdict was never computed for this query), but no second
+        # index walk and no disk read.
+        second = cache.lookup(inner)
+        assert second.cache_tier == "dominance"
+        assert cache.stats.dominance_hits == 2
+        assert cache.stats.lookups == 2
+        assert cache.stats.misses == 0
+        assert cache.stats.hit_rate == 1.0
+        # Derived payloads never reach disk.
+        disk_names = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+        assert len(disk_names) == 1
+
+    def test_disabled_tiers(self, tmp_path):
+        config = FAST.with_updates(
+            cache=CacheConfig(dominance=False, lru_entries=0)
+        )
+        digest = "m"
+        outer = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.3, target=1)
+        _store_entry(str(tmp_path), config, digest, outer)
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        assert cache.lru is None and cache.index is None
+        inner = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=1)
+        assert cache.lookup(inner) is None  # no dominance tier: a miss
+        assert cache.lookup(outer) is not None  # exact replay still works
+
+
+class TestSchedulerDominanceAccounting:
+    def test_children_served_by_dominance_with_stage_attribution(
+        self, trained_mondeq, toy_data, tmp_path
+    ):
+        xs, ys = toy_data
+        sel = np.arange(120, 126)
+        labels = ys[sel].astype(int)
+        config = CraftConfig(slope_optimization="none")
+        scheduler = BatchCertificationScheduler(
+            trained_mondeq, config, batch_size=4, cache_dir=str(tmp_path)
+        )
+        parents = scheduler.certify(xs[sel], labels, 0.05)
+        assert parents.cache_hits == 0
+        certified_parents = sum(r.certified for r in parents.results)
+        assert certified_parents > 0  # the trained model certifies these
+
+        children = scheduler.certify(xs[sel], labels, 0.02)
+        assert children.cache_dominance_hits >= certified_parents
+        assert children.cache_hits >= children.cache_dominance_hits
+        served = [r for r in children.results if r.cache_tier == "dominance"]
+        assert len(served) == children.cache_dominance_hits
+        for result in served:
+            # Two serve families: a certified superset parent, or — for
+            # the mislabelled samples — the parent's own falsifying point.
+            if result.certified:
+                assert result.stage is not None
+            else:
+                assert result.outcome == VerificationOutcome.MISCLASSIFIED
+            assert "[dominance" in result.notes
+        # Stage rows attribute the saved work to the serving stage (the
+        # stageless falsifying serves have no row to land in).
+        folded = sum(row["cache_dominance_hits"] for row in children.stages)
+        assert folded == sum(r.stage is not None for r in served)
+        assert children.as_row()["cache_dominance_hits"] == (
+            children.cache_dominance_hits
+        )
+
+    def test_sharded_scheduler_counts_dominance_hits(
+        self, trained_mondeq, toy_data, tmp_path
+    ):
+        xs, ys = toy_data
+        sel = np.arange(126, 132)
+        labels = ys[sel].astype(int)
+        config = CraftConfig(slope_optimization="none")
+        with ShardedScheduler(
+            trained_mondeq, config, num_workers=2, batch_size=3,
+            start_method="inline", cache_dir=str(tmp_path),
+        ) as scheduler:
+            parents = scheduler.certify(xs[sel], labels, 0.05)
+            children = scheduler.certify(xs[sel], labels, 0.02)
+        certified_parents = sum(r.certified for r in parents.results)
+        assert certified_parents > 0
+        assert children.cache_dominance_hits >= certified_parents
+        served = [r for r in children.results if r.cache_tier == "dominance"]
+        folded = sum(row["cache_dominance_hits"] for row in children.stages)
+        assert folded == sum(r.stage is not None for r in served)

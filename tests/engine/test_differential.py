@@ -13,7 +13,11 @@ pinned by the seeded test at the bottom and by
 
 Cold-cache vs cache-hit runs are fuzzed too: a second sweep over the same
 regions must answer entirely from the on-disk fixpoint cache with
-identical verdicts.  Escalation waterfalls are fuzzed over random ladders
+identical verdicts.  The cache *layout* is fuzzed on top — key mode
+(exact vs quantised) and LRU capacity are drawn per example, and the
+cache-on sweep must match the cacheless engine verdict-for-verdict, cold
+and on a permuted warm replay alike (``CacheConfig`` knobs trade lookup
+breadth for memory, never verdicts).  Escalation waterfalls are fuzzed over random ladders
 (ascending domain subsequences): the sequential per-sample climb, the
 batched ``EscalationLadder`` and the sharded per-(stage, batch) waterfall
 must agree on verdicts *and* resolving stages.
@@ -170,6 +174,70 @@ class TestDifferentialFuzzing:
             if np.isfinite(fresh.margin):
                 assert fresh.margin == pytest.approx(cached.margin, abs=1e-12)
             assert "[cached]" in cached.notes
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        config=craft_configs(),
+        epsilon=epsilons(),
+        key_mode=st.sampled_from(["exact", "quantized"]),
+        decimals=st.integers(1, 4),
+        lru_entries=st.sampled_from([0, 2, 64]),
+        permutation_seed=st.integers(0, 2**16),
+    )
+    def test_cache_layouts_never_change_verdicts(
+        self, model, config, epsilon, key_mode, decimals, lru_entries,
+        permutation_seed,
+    ):
+        """Fuzz the cache layout itself: for every drawn key mode / LRU
+        capacity, the cold cache-on sweep must equal the cacheless engine,
+        and a warm replay over a *permuted* query order must equal the
+        cold sweep.  Unclipped regions at one shared epsilon with
+        correctly-predicted labels never nest, so even with the dominance
+        index on, strict verdict equality is the right contract — any
+        deviation is a key collision or a torn tier."""
+        from repro.core.config import CacheConfig
+        from repro.engine import BatchCertificationScheduler
+
+        config = config.with_updates(
+            cache=CacheConfig(
+                key_mode=key_mode, quantize_decimals=decimals,
+                lru_entries=lru_entries,
+            )
+        )
+        rng = np.random.default_rng(23)
+        xs = rng.uniform(-1.0, 1.0, size=(4, model.input_dim))
+        labels = np.array([int(model.predict(x)) for x in xs])
+
+        cacheless = BatchedCraft(model, config).certify(
+            xs, labels, epsilon, clip_min=None, clip_max=None
+        )
+        with tempfile.TemporaryDirectory() as cache_dir:
+            scheduler = BatchCertificationScheduler(
+                model, config, batch_size=2, cache_dir=cache_dir
+            )
+            cold = scheduler.certify(
+                xs, labels, epsilon, clip_min=None, clip_max=None
+            )
+            order = np.random.default_rng(permutation_seed).permutation(len(xs))
+            warm = scheduler.certify(
+                xs[order], labels[order], epsilon, clip_min=None, clip_max=None
+            )
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(xs)
+        for fresh, cached in zip(cacheless, cold.results):
+            _assert_agree(fresh, cached)
+        for position, original in enumerate(order):
+            replayed = warm.results[position]
+            reference = cold.results[original]
+            assert reference.outcome == replayed.outcome
+            assert reference.contained == replayed.contained
+            assert reference.certified == replayed.certified
+            if np.isfinite(reference.margin):
+                assert reference.margin == pytest.approx(
+                    replayed.margin, abs=1e-12
+                )
+            assert "[cached]" in replayed.notes
 
 
 class TestStaggeredEarlyExit:

@@ -200,8 +200,8 @@ class TestLadderCache:
         mid-ladder would otherwise replay an interim Unknown as final."""
         import os
 
+        from repro.engine.cache import RegionQuery
         from repro.engine.sharded import _Shard, _build_worker_state
-        from repro.engine.scheduler import FixpointCache, weights_hash
         from repro.verify.specs import ClassificationSpec, LinfBall
         import pickle
 
@@ -214,25 +214,22 @@ class TestLadderCache:
         state = _build_worker_state(
             pickle.dumps((trained_mondeq, config, str(tmp_path), False))
         )
-        digest = weights_hash(trained_mondeq)
         balls = [LinfBall(center=x, epsilon=0.3) for x in xs]
         specs = [
             ClassificationSpec(target=int(y), num_classes=trained_mondeq.output_dim)
             for y in ys
         ]
-        keys = [
-            FixpointCache.query_key(digest, x, 0.3, int(y), config, None, None)
-            for x, y in zip(xs, ys)
-        ]
         from repro.engine.sharded import _execute_shard
 
         shard = _Shard(
-            indices=list(range(len(xs))), keys=keys, balls=balls, specs=specs,
+            indices=list(range(len(xs))), balls=balls, specs=specs,
             anchors=None, domain="box", final=False,
         )
         _, results, domain, _, _ = _execute_shard(state, shard)
         assert domain == "box"
-        for key, result in zip(keys, results):
+        for ball, spec, result in zip(balls, specs, results):
+            query = RegionQuery.from_ball(ball, spec)
+            key = state.cache.admission_key(query, result)
             entry_exists = os.path.exists(os.path.join(str(tmp_path), f"{key}.json"))
             assert entry_exists == (not should_escalate(result))
 
