@@ -699,16 +699,22 @@ class TieredVerdictCache:
         """Answer ``query`` from any tier, or ``None`` on a miss."""
         self.stats.lookups += 1
         for key in self.candidate_keys(query):
-            payload = self.lru.get(key) if self.lru is not None else None
-            tier = "lru"
-            if payload is None and f"{key}.json" in self._disk_names:
-                payload = self.disk.load_payload(key)
-                tier = "disk"
-                if payload is not None and self.lru is not None:
-                    self.lru.put(key, payload)
+            lru_payload = self.lru.get(key) if self.lru is not None else None
+            if lru_payload is not None:
+                result = self._answer_from_payload(lru_payload, query, "lru")
+                if result is not None:
+                    return result
+            # An LRU payload that cannot answer (a materialised derived
+            # entry, or a bucket overwrite) must not shadow the on-disk
+            # entry sharing its key: fall through to the disk tier.
+            if f"{key}.json" not in self._disk_names:
+                continue
+            payload = self.disk.load_payload(key)
             if payload is None:
                 continue
-            result = self._answer_from_payload(payload, query, tier)
+            if self.lru is not None and lru_payload is None:
+                self.lru.put(key, payload)
+            result = self._answer_from_payload(payload, query, "disk")
             if result is not None:
                 return result
         if self.index is not None:
@@ -743,7 +749,13 @@ class TieredVerdictCache:
                 self.stats.disk_hits += 1
             return result_from_payload(payload, cache_tier=tier)
         # A quantised bucket collision: the entry answers only if its
-        # recorded region provably dominates the query.
+        # recorded region provably dominates the query.  Derived
+        # (materialised) payloads are excluded: their recorded centre is
+        # the dominated query's centre, not a verified falsifying
+        # witness, so beyond verbatim replay they prove nothing — the
+        # source facts stay on disk and in the index for real dominance.
+        if payload.get("derived"):
+            return None
         if entry is None or not payload_supports_dominance(payload):
             return None
         if entry.target != query.target or entry.dim != query.dim:

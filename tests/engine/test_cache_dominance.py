@@ -253,6 +253,82 @@ class TestDominanceSoundness:
             # the literal region — which region_b is not.
             pytest.fail(f"unresolved verdict served across buckets: {served}")
 
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        decimals=st.integers(1, 3),
+        query_epsilon=st.sampled_from([0.05, 0.15, 0.3]),
+        data=st.data(),
+    )
+    def test_materialised_collisions_never_serve_unsound_verdicts(
+        self, model, decimals, query_epsilon, data
+    ):
+        """Bucket collisions against *derived* (materialised) LRU entries:
+        a derived payload records the dominated query's centre, which is
+        not a verified witness, so any MISCLASSIFIED the cache serves a
+        colliding query must still trace to the one genuinely falsifying
+        point ever admitted."""
+        center = data.draw(_unit_centers(model.input_dim))
+        target = (int(model.predict(center)) + 1) % model.output_dim
+        falsified = BatchedCraft(model, FAST).certify(
+            center[None, :], np.array([target]), 1e-4
+        )[0]
+        assert falsified.outcome == VerificationOutcome.MISCLASSIFIED
+
+        # Q1 contains the witness, so its lookup is served and
+        # materialised; Q2 sits a sub-grid jitter away — same buckets,
+        # but it need not contain the witness.
+        slack = query_epsilon * 0.9
+        offset = data.draw(
+            arrays(
+                np.float64, (model.input_dim,),
+                elements=st.floats(-slack, slack, **FINITE),
+            )
+        )
+        query_1 = RegionQuery(
+            center=center + offset, epsilon=query_epsilon, target=target
+        )
+        grid = 10.0 ** (-decimals)
+        jitter = data.draw(
+            arrays(
+                np.float64, (model.input_dim,),
+                elements=st.floats(grid * 0.01, grid * 0.4, **FINITE),
+            )
+        )
+        query_2 = RegionQuery(
+            center=query_1.center + jitter, epsilon=query_epsilon, target=target
+        )
+
+        with tempfile.TemporaryDirectory() as directory:
+            cache = TieredVerdictCache(
+                directory, FAST, weights_hash(model),
+                cache_config=CacheConfig(
+                    key_mode="quantized", quantize_decimals=decimals
+                ),
+            )
+            key = cache.admit(
+                RegionQuery(center=center, epsilon=1e-4, target=target),
+                falsified,
+            )
+            witness = np.asarray(
+                cache.disk.load_payload(key)["center"], dtype=float
+            )
+            first = cache.lookup(query_1)
+            assert first is not None
+            assert first.outcome == VerificationOutcome.MISCLASSIFIED
+            served = cache.lookup(query_2)
+
+        if served is None:
+            # Sound and complete only when the witness really is outside.
+            assert not query_2.contains_point(witness)
+            return
+        assert served.outcome == VerificationOutcome.MISCLASSIFIED
+        # Refutation by concrete counterexample, never by a materialised
+        # centre: the served verdict implies the admitted witness lies in
+        # the query region and the network really mislabels it.
+        assert query_2.contains_point(witness)
+        assert int(model.predict(witness)) != target
+
 
 class TestQuantisation:
     def test_on_grid_epsilons_are_fixed_points(self):
@@ -619,6 +695,81 @@ class TestTieredLookup:
         inner = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.1, target=1)
         assert cache.lookup(inner) is None  # no dominance tier: a miss
         assert cache.lookup(outer) is not None  # exact replay still works
+
+
+class TestMaterialisedEntryCollisions:
+    """Regressions for the REVIEW.md unsound-serve finding: a derived
+    (materialised) LRU payload carries the dominated query's centre with
+    the source's MISCLASSIFIED outcome, so letting it answer a
+    bucket-colliding query would report a possibly-robust region as
+    falsified by a point that was never a witness."""
+
+    def _falsifying_setup(self, tmp_path):
+        config = FAST
+        digest = "m"
+        # Witness sits just inside Q1's right edge; Q2 shares Q1's
+        # quantised bucket (grid 0.01) but excludes the witness.
+        witness = RegionQuery(
+            center=np.array([0.5499, 0.5]), epsilon=1e-4, target=0
+        )
+        _store_entry(
+            str(tmp_path), config, digest, witness,
+            certified=False, outcome="misclassified",
+        )
+        cache = TieredVerdictCache(
+            str(tmp_path), config, digest,
+            cache_config=CacheConfig(key_mode="quantized", quantize_decimals=2),
+        )
+        query_1 = RegionQuery(
+            center=np.array([0.503, 0.5]), epsilon=0.05, target=0
+        )
+        query_2 = RegionQuery(
+            center=np.array([0.497, 0.5]), epsilon=0.05, target=0
+        )
+        assert query_1.contains_point(witness.center)
+        assert query_2.contains_point(query_1.center)
+        assert not query_2.contains_point(witness.center)
+        assert cache.candidate_keys(query_1) == cache.candidate_keys(query_2)
+        return cache, witness, query_1, query_2
+
+    def test_derived_entries_answer_only_their_own_query(self, tmp_path):
+        cache, witness, query_1, query_2 = self._falsifying_setup(tmp_path)
+        first = cache.lookup(query_1)
+        assert first is not None
+        assert first.outcome == VerificationOutcome.MISCLASSIFIED
+        # The serve was materialised under the bucket key Q2 also probes…
+        derived = cache.lru.get(cache.candidate_keys(query_2)[0])
+        assert derived is not None and derived["derived"]
+        # …but Q2 holds no witness, so it must miss, not inherit the
+        # MISCLASSIFIED verdict from Q1's recorded centre.
+        assert cache.lookup(query_2) is None
+        assert cache.stats.misses == 1
+        # The derived entry still replays verbatim for Q1 itself.
+        again = cache.lookup(query_1)
+        assert again is not None
+        assert again.outcome == VerificationOutcome.MISCLASSIFIED
+        assert again.cache_tier == "dominance"
+
+    def test_failed_lru_payload_falls_through_to_disk_same_key(self, tmp_path):
+        """An LRU entry that cannot answer (here: a derived materialised
+        payload squatting on the bucket key) must not shadow the on-disk
+        entry under the same key."""
+        config = FAST
+        digest = "m"
+        query = RegionQuery(center=np.array([0.5, 0.5]), epsilon=0.2, target=1)
+        key, payload = _store_entry(str(tmp_path), config, digest, query)
+        cache = TieredVerdictCache(str(tmp_path), config, digest)
+        shadow = dict(payload)
+        shadow["epsilon"] = 0.05  # a different region: never exact for `query`
+        shadow["derived"] = True
+        cache.lru.put(cache.candidate_keys(query)[0], shadow)
+
+        served = cache.lookup(query)
+        assert served is not None
+        assert served.certified
+        assert served.cache_tier == "disk"
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.misses == 0
 
 
 class TestSchedulerDominanceAccounting:
