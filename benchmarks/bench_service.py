@@ -1,0 +1,175 @@
+"""Certification-service soak: sustained QPS, tail latency, verdicts under faults.
+
+The service PR's quantitative claims, measured end to end: jittered
+repeat traffic streams through the asyncio admission frontend into a
+real two-worker :class:`~repro.service.cluster.ClusterScheduler` over
+the TCP transport, while seeded faults (one scripted kill plus
+rate-based kills/delays/drops) take workers down mid-traffic.  The run
+records
+
+* sustained throughput (``qps``) and per-cell latency tails
+  (``p50_time`` / ``p99_time`` — the ``_time`` suffix arms the
+  ``--check`` trailing-median regression gate of
+  ``scripts/plot_bench_trajectory.py``),
+* the cache hit rate of repeat traffic (``hit_rate`` joins the graphed
+  trajectory),
+* ``verdict_flips`` against a fault-free inline reference sweep —
+  **hard-asserted zero**: faults may cost latency, never verdicts.
+
+Rows append to ``BENCH_service.json``.  Hard gates are counter- and
+verdict-based only; wall-clock columns are policed across runs by the
+trajectory gate, not in-test (shared CI runners are too noisy).
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from _harness import append_trajectory, run_once
+
+from repro.core.config import CraftConfig, ServiceConfig
+from repro.engine.sharded import ShardedScheduler
+from repro.service import CertificationFrontend, ClusterScheduler, FaultSpec
+
+BENCH_SECONDS = 8.0
+EPSILON = 0.03
+POOL = 24
+
+
+class _SerializedBackend:
+    """ClusterScheduler runs one sweep at a time; frontend executor
+    threads take turns."""
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self._lock = threading.Lock()
+
+    def certify(self, xs, labels, epsilon, clip_min=0.0, clip_max=1.0):
+        with self._lock:
+            return self.scheduler.certify(
+                xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
+            )
+
+
+def _workload():
+    from repro.mondeq.model import MonDEQ
+
+    model = MonDEQ.random(
+        input_dim=5, latent_dim=6, output_dim=3, monotonicity=8.0, seed=3
+    )
+    rng = np.random.default_rng(2023)
+    xs = rng.uniform(0.2, 0.8, size=(POOL, 5))
+    labels = np.array([int(p) for p in model.predict_batch(xs)])
+    config = CraftConfig(slope_optimization="none")
+    return model, xs, labels, config
+
+
+async def _drive(frontend, fingerprint, xs, labels):
+    handles, handle_rows = [], []
+    rng = np.random.default_rng(99)
+    deadline = time.monotonic() + BENCH_SECONDS
+    while time.monotonic() < deadline:
+        cells = int(rng.integers(2, 6))
+        rows = rng.choice(POOL, size=cells, replace=False)
+        handles.append(
+            await frontend.submit(fingerprint, xs[rows], labels[rows], EPSILON)
+        )
+        handle_rows.append(rows)
+        await asyncio.sleep(float(rng.uniform(0.05, 0.2)))
+    events, event_rows = [], []
+    for handle, rows in zip(handles, handle_rows):
+        for event in await handle.collect():
+            events.append(event)
+            event_rows.append(int(rows[event.index]))
+    stats = frontend.stats
+    await frontend.close()
+    return events, event_rows, stats
+
+
+def _service_soak_row(tmp_dir):
+    model, xs, labels, config = _workload()
+
+    # Fault-free reference verdicts: the flip baseline.
+    reference = [
+        r.outcome
+        for r in ShardedScheduler(
+            model, config, num_workers=1, start_method="inline"
+        ).certify(xs, labels, EPSILON).results
+    ]
+
+    service = ServiceConfig(
+        coalesce_window_seconds=0.02,
+        max_batch_cells=16,
+        shard_timeout_seconds=1.5,
+        retry_backoff_seconds=0.05,
+        retry_backoff_factor=1.5,
+        heartbeat_seconds=0.1,
+    )
+    faults = FaultSpec(
+        seed=7,
+        kill_rate=0.05,
+        delay_rate=0.03,
+        drop_rate=0.02,
+        delay_seconds=0.4,
+        scripted=((0, 0, "kill"),),
+    )
+
+    start = time.perf_counter()
+    with ClusterScheduler(
+        model, config, num_workers=2, batch_size=4, cache_dir=tmp_dir,
+        service=service, faults=faults, timeout_seconds=300.0,
+    ) as scheduler:
+        frontend = CertificationFrontend(service=service)
+        fingerprint = frontend.register_model(
+            model, config, backend=_SerializedBackend(scheduler), cache_dir=tmp_dir
+        )
+        events, event_rows, stats = asyncio.run(
+            _drive(frontend, fingerprint, xs, labels)
+        )
+        cluster = scheduler.cluster_stats
+    elapsed = time.perf_counter() - start
+
+    flips = sum(
+        1
+        for event, row in zip(events, event_rows)
+        if event.result is None or event.result.outcome != reference[row]
+    )
+    latencies = sorted(event.latency_seconds for event in events)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return {
+        "workload": f"{POOL}-region pool, jittered repeats, 2-worker cluster",
+        "soak_seconds": BENCH_SECONDS,
+        "submitted": stats.submitted,
+        "served": stats.served,
+        "lost": stats.submitted - stats.served,
+        "qps": round(stats.submitted / elapsed, 2),
+        "p50_time": round(p50, 4),
+        "p99_time": round(p99, 4),
+        "hit_rate": stats.hit_rate,
+        "cache_hits": stats.cache_hits,
+        "engine_batches": stats.engine_batches,
+        "verdict_flips": flips,
+        "worker_respawns": cluster.respawns,
+        "task_retries": cluster.retries,
+        "duplicates_dropped": cluster.duplicates_dropped,
+        "dead_workers": len(cluster.dead_workers),
+    }
+
+
+def test_service_soak(benchmark, record_rows, tmp_path):
+    def experiment():
+        return _service_soak_row(str(tmp_path / "cache"))
+
+    row = run_once(benchmark, experiment)
+    record_rows("Certification service under faults (2-worker cluster)", [row])
+    append_trajectory("service", row)
+
+    # Deterministic gates only; p50/p99 ride the trajectory --check gate.
+    assert row["verdict_flips"] == 0
+    assert row["lost"] == 0
+    assert row["submitted"] > 0
+    assert row["worker_respawns"] >= 1  # the scripted kill really landed
+    assert row["hit_rate"] > 0.0

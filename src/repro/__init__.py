@@ -35,6 +35,14 @@ substrates they need:
     multi-process sharded, both ladder-aware) with a shared on-disk
     fixpoint cache, and stage-aware cache-fitting batch sizing.
 
+``repro.service``
+    The long-lived certification service over the engines: an asyncio
+    admission frontend (cache-first, coalescing, deadlines/budgets,
+    streamed verdicts), multi-machine shard fan-out over
+    ``multiprocessing.managers`` TCP with work stealing and
+    exactly-once fault recovery, and deterministic seeded fault
+    injection for the test battery and soak benchmark.
+
 ``repro.datasets``
     Synthetic dataset substrate (MNIST/CIFAR-like generators, Gaussian
     mixtures, HCAS collision-avoidance MDP).
@@ -60,9 +68,16 @@ from repro.engine import (
     ShardedScheduler,
 )
 from repro.mondeq.model import MonDEQ
+from repro.service import (
+    CertificationFrontend,
+    ClusterScheduler,
+    FaultSpec,
+    ServiceConfig,
+    serve_sweep,
+)
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BatchCertificationScheduler",
@@ -72,15 +87,20 @@ __all__ = [
     "BatchedParallelotope",
     "BatchedZonotope",
     "EscalationLadder",
+    "CertificationFrontend",
     "CHZonotope",
     "ClassificationSpec",
+    "ClusterScheduler",
     "CraftConfig",
     "CraftVerifier",
+    "FaultSpec",
     "FixpointAbstraction",
     "Interval",
     "LinfBall",
     "MonDEQ",
+    "ServiceConfig",
     "ShardedScheduler",
+    "serve_sweep",
     "VerificationOutcome",
     "VerificationResult",
     "Zonotope",

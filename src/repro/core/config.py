@@ -63,6 +63,18 @@ class CacheConfig:
     lru_bytes:
         Byte budget of the LRU tier (approximate, measured on the JSON
         payload size).
+    refresh_seconds:
+        Staleness bound of the cache's directory snapshot.  ``None``
+        (default) preserves the sweep-runner contract: the snapshot only
+        moves when a scheduler calls
+        :meth:`~repro.engine.cache.TieredVerdictCache.refresh` (once per
+        sweep).  A float arms the **long-lived-process** mode the
+        certification service needs: any lookup older than this bound
+        stats the cache directory and, when its mtime moved (another
+        process published entries), rescans — so concurrent workers serve
+        each other's fresh verdicts without an explicit per-sweep refresh.
+        ``0.0`` checks on every lookup; the check is one ``stat`` call,
+        the rescan only runs when the directory actually changed.
     """
 
     key_mode: str = "exact"
@@ -70,6 +82,7 @@ class CacheConfig:
     dominance: bool = True
     lru_entries: int = 4096
     lru_bytes: int = 16 * 1024 * 1024
+    refresh_seconds: Optional[float] = None
 
     def __post_init__(self):
         if self.key_mode not in _VALID_CACHE_KEY_MODES:
@@ -90,6 +103,94 @@ class CacheConfig:
             )
         if not isinstance(self.lru_bytes, int) or self.lru_bytes < 1:
             raise ConfigurationError("lru_bytes must be a positive integer")
+        if self.refresh_seconds is not None and not (
+            isinstance(self.refresh_seconds, (int, float)) and self.refresh_seconds >= 0
+        ):
+            raise ConfigurationError(
+                "refresh_seconds must be None or a non-negative number"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the long-lived certification service (:mod:`repro.service`).
+
+    None of these fields influence verdicts — they trade latency,
+    coalescing breadth and fault-recovery aggressiveness against
+    throughput — so, like :class:`CacheConfig`, they are excluded from
+    the cache's config signature by construction (they are not part of
+    :class:`CraftConfig` at all).
+
+    Attributes
+    ----------
+    coalesce_window_seconds:
+        How long the frontend dispatcher holds a freshly admitted cell
+        before dispatching its batch, so compatible requests arriving
+        close together coalesce into one engine pass.  ``0`` dispatches
+        immediately (the property-test setting).
+    max_batch_cells:
+        Upper bound on the cells of one coalesced engine dispatch.
+    default_deadline_seconds / default_budget_cells:
+        Applied to requests that name no deadline / no budget.  ``None``
+        means unbounded.
+    heartbeat_seconds:
+        Cadence of idle-worker heartbeats on the cluster result channel.
+    shard_timeout_seconds:
+        Lease bound of one claimed shard: a worker that claimed a shard
+        and produced no result within this bound is marked dead and the
+        shard is reassigned (the per-shard timeout machinery of
+        :class:`~repro.engine.sharded.ShardedScheduler`, reused as the
+        cluster health-check).
+    retry_backoff_seconds / retry_backoff_factor / retry_max_attempts:
+        The deterministic reassignment schedule
+        (:func:`repro.service.faults.retry_backoff`): attempt ``k``
+        of a shard waits ``backoff * factor**(k-1)`` (seeded jitter)
+        before requeueing; more than ``retry_max_attempts`` attempts
+        fails the sweep instead of looping forever.
+    restart_workers:
+        Whether the cluster scheduler respawns a dead *local* worker
+        process (remote workers are never respawned — they belong to
+        their own machine's supervisor).
+    """
+
+    coalesce_window_seconds: float = 0.01
+    max_batch_cells: int = 256
+    default_deadline_seconds: Optional[float] = None
+    default_budget_cells: Optional[int] = None
+    heartbeat_seconds: float = 0.25
+    shard_timeout_seconds: float = 60.0
+    retry_backoff_seconds: float = 0.25
+    retry_backoff_factor: float = 2.0
+    retry_max_attempts: int = 5
+    restart_workers: bool = True
+
+    def __post_init__(self):
+        if self.coalesce_window_seconds < 0:
+            raise ConfigurationError("coalesce_window_seconds must be non-negative")
+        if not isinstance(self.max_batch_cells, int) or self.max_batch_cells < 1:
+            raise ConfigurationError("max_batch_cells must be a positive integer")
+        if (
+            self.default_deadline_seconds is not None
+            and self.default_deadline_seconds < 0
+        ):
+            raise ConfigurationError("default_deadline_seconds must be non-negative")
+        if self.default_budget_cells is not None and (
+            not isinstance(self.default_budget_cells, int)
+            or self.default_budget_cells < 0
+        ):
+            raise ConfigurationError(
+                "default_budget_cells must be None or a non-negative integer"
+            )
+        if self.heartbeat_seconds <= 0:
+            raise ConfigurationError("heartbeat_seconds must be positive")
+        if self.shard_timeout_seconds <= 0:
+            raise ConfigurationError("shard_timeout_seconds must be positive")
+        if self.retry_backoff_seconds <= 0:
+            raise ConfigurationError("retry_backoff_seconds must be positive")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError("retry_backoff_factor must be >= 1")
+        if not isinstance(self.retry_max_attempts, int) or self.retry_max_attempts < 1:
+            raise ConfigurationError("retry_max_attempts must be a positive integer")
 
 
 @dataclass(frozen=True)

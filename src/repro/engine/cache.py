@@ -566,6 +566,14 @@ class TieredVerdictCache:
     docstring for the soundness discipline.
     """
 
+    #: A directory mtime within this window of "now" may share its
+    #: timestamp tick with a publish the scan raced past (filesystem
+    #: timestamps are coarser than ``st_mtime_ns`` suggests), so such
+    #: snapshots are recorded as unstable and the next :meth:`refresh`
+    #: rescans regardless.  Stale serves are a soundness concern; an
+    #: extra scan of an active directory is only a few syscalls.
+    RACY_WINDOW_NS = 50_000_000
+
     def __init__(
         self,
         directory: str,
@@ -589,7 +597,13 @@ class TieredVerdictCache:
         # of never-stored keys into a set lookup instead of a stat call.
         self._signature_blob = _config_signature(config).encode()
         self._digest_blob = model_digest.encode()
+        #: Directory scans actually performed (observability: staleness
+        #: tests assert how often ``refresh`` really walked the directory).
+        self.scans = 0
+        self._snapshot_mtime_ns = self._stable_mtime_ns(self._dir_mtime_ns())
         self._disk_names = self._list_disk_names()
+        self.scans += 1
+        self._last_staleness_check = time.monotonic()
         self.lru = (
             LRUTier(
                 max_entries=self.cache_config.lru_entries,
@@ -616,6 +630,29 @@ class TieredVerdictCache:
             return set(os.listdir(self.disk.directory))
         except OSError:
             return set()
+
+    def _dir_mtime_ns(self) -> int:
+        """The cache directory's mtime, or ``-1`` when unreadable.
+
+        POSIX bumps a directory's mtime on every entry create/rename/
+        unlink, and ``FixpointCache.store`` publishes via ``os.replace``
+        into this directory — so an unchanged mtime proves no writer
+        (this process or any other) published since the last snapshot.
+        ``-1`` never equals a real ``st_mtime_ns``, so an unreadable
+        directory forces the rescan path (fail open, never stale).
+        """
+        try:
+            return os.stat(self.disk.directory).st_mtime_ns
+        except OSError:
+            return -1
+
+    def _stable_mtime_ns(self, mtime_ns: int) -> int:
+        """``mtime_ns`` if old enough to trust as a snapshot stamp, else
+        a sentinel that never matches a real mtime (forcing the next
+        :meth:`refresh` to rescan; see :attr:`RACY_WINDOW_NS`)."""
+        if mtime_ns != -1 and abs(time.time_ns() - mtime_ns) < self.RACY_WINDOW_NS:
+            return -2
+        return mtime_ns
 
     # -- keys ----------------------------------------------------------
 
@@ -683,20 +720,52 @@ class TieredVerdictCache:
 
     # -- lookup --------------------------------------------------------
 
-    def refresh(self) -> None:
+    def refresh(self, force: bool = False) -> bool:
         """Ingest entries other writers published since the last call.
 
-        Also re-snapshots the on-disk key set — lookups between refreshes
-        see entries at the snapshot's freshness (one ``listdir`` per
-        sweep instead of a stat per probed key), the same per-sweep
-        granularity as the dominance index.
+        Re-snapshots the on-disk key set and the dominance index —
+        lookups between refreshes see entries at the snapshot's freshness
+        (one ``listdir`` per sweep instead of a stat per probed key), the
+        same per-sweep granularity as the dominance index.
+
+        The scan is mtime-gated: the directory is ``stat``-ed first and,
+        when its mtime has not moved since the snapshot was taken, the
+        ``listdir`` + index rescan are skipped entirely — so the
+        schedulers' refresh-per-sweep habit costs one stat on an idle
+        directory, and a long-lived service process can refresh per
+        *epoch* (:attr:`CacheConfig.refresh_seconds`) without going stale
+        across sweeps from other workers.  Returns whether a scan
+        actually ran.  ``force=True`` bypasses the gate (used by tests
+        and recovery paths; correctness never requires it — the mtime is
+        read *before* the scan, so a write racing the ``listdir`` moves
+        the mtime past the snapshot and triggers the next refresh).
         """
+        mtime_ns = self._dir_mtime_ns()
+        if not force and mtime_ns == self._snapshot_mtime_ns and mtime_ns != -1:
+            self._last_staleness_check = time.monotonic()
+            return False
+        self._snapshot_mtime_ns = self._stable_mtime_ns(mtime_ns)
         self._disk_names = self._list_disk_names()
+        self.scans += 1
         if self.index is not None:
             self.index.refresh()
+        self._last_staleness_check = time.monotonic()
+        return True
+
+    def _maybe_auto_refresh(self) -> None:
+        """The long-lived-process staleness bound: when
+        ``cache_config.refresh_seconds`` is set and the snapshot is older
+        than the bound, re-check the directory (one stat; a rescan only
+        when the mtime actually moved)."""
+        bound = self.cache_config.refresh_seconds
+        if bound is None:
+            return
+        if time.monotonic() - self._last_staleness_check >= bound:
+            self.refresh()
 
     def lookup(self, query: RegionQuery) -> Optional[VerificationResult]:
         """Answer ``query`` from any tier, or ``None`` on a miss."""
+        self._maybe_auto_refresh()
         self.stats.lookups += 1
         for key in self.candidate_keys(query):
             lru_payload = self.lru.get(key) if self.lru is not None else None

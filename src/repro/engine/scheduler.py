@@ -110,7 +110,10 @@ class BatchCertificationScheduler:
         dominance_hits = 0
         if self.cache is not None:
             # One incremental scan per sweep picks up entries concurrent
-            # writers published since the last certify call.
+            # writers published since the last certify call.  Long-lived
+            # holders outside the sweep lifecycle (the service frontend)
+            # arm CacheConfig.refresh_seconds instead, which re-checks
+            # staleness on lookup between these per-sweep scans.
             self.cache.refresh()
         for index in range(total):
             if self.cache is not None:

@@ -578,11 +578,16 @@ class ShardedScheduler:
         stats[stages[0]].attempted = len(order)
         total_shards = len(shards)
         self._ensure_pool()
-        pending: deque = deque(self._submit(shard) for shard in shards)
-        while pending:
-            indices, shard_results, domain, elapsed, consolidation = self._collect(
-                pending.popleft()
+        self._begin_dispatch()
+        outstanding = 0
+        for shard in shards:
+            self._submit_one(shard)
+            outstanding += 1
+        while outstanding:
+            indices, shard_results, domain, elapsed, consolidation = (
+                self._next_completed()
             )
+            outstanding -= 1
             stage_stats = stats[domain]
             stage_stats.batches += 1
             stage_stats.elapsed_seconds += elapsed
@@ -609,8 +614,34 @@ class ShardedScheduler:
                         balls, specs, anchor_rows, next_domain,
                     )
                     total_shards += 1
-                    pending.append(self._submit(shard))
+                    self._submit_one(shard)
+                    outstanding += 1
         return total_shards, [stats[name].as_row() for name in stages]
+
+    # ------------------------------------------------------------------
+    # Transport hooks.  The waterfall above is execution-strategy
+    # agnostic: it only needs "hand this shard to the workers"
+    # (:meth:`_submit_one`) and "block until any submitted shard
+    # completes" (:meth:`_next_completed`).  The pool transport below
+    # collects in FIFO submission order; the TCP cluster transport
+    # (:class:`repro.service.cluster.ClusterScheduler`) overrides these
+    # three hooks with a lease-tracked work queue and inherits the
+    # waterfall, cache and accounting unchanged.
+    # ------------------------------------------------------------------
+
+    def _begin_dispatch(self) -> None:
+        """Reset per-dispatch transport state."""
+        self._pending: deque = deque()
+
+    def _submit_one(self, shard: _Shard) -> None:
+        """Hand one shard to the execution backend."""
+        self._pending.append(self._submit(shard))
+
+    def _next_completed(
+        self,
+    ) -> Tuple[List[int], List[VerificationResult], str, float, Dict]:
+        """Block until a submitted shard completes; return its payload."""
+        return self._collect(self._pending.popleft())
 
     def _submit(self, shard: _Shard):
         """Hand a shard to the pool (or keep it for inline execution)."""

@@ -1,0 +1,178 @@
+"""Deterministic seeded fault injection for the certification service.
+
+The service's soundness claim — every submitted cell resolves to exactly
+one verdict identical to the fault-free run — is only testable if faults
+are *reproducible*: the same seed must kill the same worker at the same
+task, every run, on every machine.  This module is that source of
+faults.  Both the test battery (``tests/service/test_faults.py``) and
+the soak benchmark (``benchmarks/bench_service.py``) drive the cluster
+through it; production deployments simply leave ``faults=None``.
+
+Fault model (three actions, applied per claimed task):
+
+``kill``
+    The worker process exits hard (``os._exit``) *after claiming* a task
+    and *before computing* it — the mid-batch crash.  The scheduler's
+    lease machinery must reassign the shard and, for local workers,
+    respawn the slot at the next generation.
+``delay``
+    The worker computes the shard, then sleeps ``delay_seconds`` before
+    reporting.  With a delay longer than the shard lease this *is* the
+    hung worker: the health-check must mark it dead within the lease
+    timeout, and its eventually-reported result must be deduplicated
+    against the reassigned attempt (exactly-once, first-wins).
+``drop``
+    The worker computes the shard and silently never reports it — the
+    dropped connection.  Indistinguishable from a hang to the scheduler;
+    recovery is identical.
+
+Determinism contract
+--------------------
+A :class:`FaultPlan` draws its actions from
+``np.random.default_rng((seed, worker_slot, generation))`` and consumes
+**exactly one draw per claimed task** regardless of the action taken, so
+the action at ``(slot, generation, task_seq)`` is a pure function of the
+spec — independent of scheduling races, wall-clock, or what other
+workers do.  ``scripted`` entries pin specific ``(slot, task_seq)``
+pairs to specific actions (generation 0 only: a respawned worker does
+not replay its predecessor's script) for tests that need a fault at an
+exact point rather than a rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: The recognised fault actions, in rate-band order.
+ACTIONS = ("kill", "delay", "drop", "none")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A reproducible fault schedule for a whole cluster.
+
+    Rates partition ``[0, 1)`` into ``kill | delay | drop | none`` bands
+    and must sum to at most 1.  ``scripted`` is a tuple of
+    ``(worker_slot, task_seq, action)`` triples overriding the drawn
+    action for that worker's ``task_seq``-th claimed task (0-based,
+    generation 0 only).  ``max_faults`` caps the injected faults per
+    worker plan, so a soak run cannot degenerate into a kill storm.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    delay_rate: float = 0.0
+    drop_rate: float = 0.0
+    delay_seconds: float = 0.05
+    scripted: Tuple[Tuple[int, int, str], ...] = ()
+    max_faults: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("kill_rate", "delay_rate", "drop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.kill_rate + self.delay_rate + self.drop_rate > 1.0 + 1e-12:
+            raise ConfigurationError("fault rates must sum to at most 1")
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be non-negative")
+        for entry in self.scripted:
+            if len(entry) != 3 or entry[2] not in ACTIONS:
+                raise ConfigurationError(
+                    f"scripted entries must be (slot, task_seq, action) with "
+                    f"action in {ACTIONS}, got {entry!r}"
+                )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ConfigurationError("max_faults must be None or non-negative")
+
+    def plan_for(self, worker_slot: int, generation: int) -> "FaultPlan":
+        """The deterministic per-worker schedule for one worker process."""
+        return FaultPlan(self, worker_slot, generation)
+
+
+class FaultPlan:
+    """One worker process's deterministic sequence of fault actions."""
+
+    def __init__(self, spec: FaultSpec, worker_slot: int, generation: int):
+        self.spec = spec
+        self.worker_slot = int(worker_slot)
+        self.generation = int(generation)
+        self._rng = np.random.default_rng(
+            (int(spec.seed), self.worker_slot, self.generation)
+        )
+        self._task_seq = 0
+        self.faults_injected = 0
+        self._scripted: Dict[int, str] = (
+            {seq: action for slot, seq, action in spec.scripted if slot == worker_slot}
+            if generation == 0
+            else {}
+        )
+
+    def next_action(self) -> Tuple[str, float]:
+        """The ``(action, delay_seconds)`` for this worker's next task.
+
+        Exactly one rng draw is consumed per call — the schedule never
+        shifts with which band (or scripted override) fired earlier.
+        """
+        seq = self._task_seq
+        self._task_seq += 1
+        draw = float(self._rng.random())
+        spec = self.spec
+        action = self._scripted.get(seq)
+        if action is None:
+            if draw < spec.kill_rate:
+                action = "kill"
+            elif draw < spec.kill_rate + spec.delay_rate:
+                action = "delay"
+            elif draw < spec.kill_rate + spec.delay_rate + spec.drop_rate:
+                action = "drop"
+            else:
+                action = "none"
+        if action != "none":
+            if spec.max_faults is not None and self.faults_injected >= spec.max_faults:
+                return "none", 0.0
+            self.faults_injected += 1
+        return action, (spec.delay_seconds if action == "delay" else 0.0)
+
+    def apply(self, action: str, delay: float) -> bool:
+        """Execute an action worker-side; returns whether to report.
+
+        ``kill`` never returns.  ``delay`` sleeps, then reports.
+        ``drop`` computes-but-never-reports (the caller skips the result
+        put when this returns ``False``).
+        """
+        if action == "kill":
+            # A crash, not an exit: skip atexit/finally machinery exactly
+            # like a SIGKILLed process would.
+            os._exit(17)
+        if action == "delay" and delay > 0:
+            time.sleep(delay)
+        return action != "drop"
+
+
+def retry_backoff(
+    attempt: int,
+    base_seconds: float,
+    factor: float,
+    seed: int = 0,
+    cap_seconds: float = 30.0,
+) -> float:
+    """The deterministic backoff before requeueing attempt ``attempt``.
+
+    Exponential in the (1-based) attempt number with a seeded jitter in
+    ``[0.8, 1.2)`` — jitter decorrelates retry bursts across shards, and
+    seeding it on ``(seed, attempt)`` keeps the whole schedule a pure
+    function of the spec (the property the retry-determinism test pins).
+    """
+    if attempt < 1:
+        raise ConfigurationError("attempt is 1-based and must be >= 1")
+    raw = base_seconds * factor ** (attempt - 1)
+    jitter = float(np.random.default_rng((int(seed), int(attempt))).uniform(0.8, 1.2))
+    return min(cap_seconds, raw * jitter)

@@ -259,6 +259,14 @@ def certify_local_robustness(
         * ``"sequential"`` maps :func:`certify_sample` over the queries —
           the reference implementation the engine's parity tests compare
           against.
+        * ``"service"`` admits the sweep through the long-lived
+          certification service's async frontend
+          (:func:`repro.service.serve_sweep`): cache-first admission,
+          coalescing, and per-cell verdict streaming, backed by a
+          batched scheduler.  Same verdicts as every other engine — this
+          is the parity entry point for the service stack; long-lived
+          deployments construct a
+          :class:`~repro.service.CertificationFrontend` directly.
     batch_size:
         Regions per batched pass.  ``None`` (default) sizes batches from
         the phase-two working-set estimate so one batch fits the
@@ -284,9 +292,10 @@ def certify_local_robustness(
         differential fuzzing suite).
     """
     config = config if config is not None else CraftConfig()
-    if engine not in ("batched", "sequential", "sharded"):
+    if engine not in ("batched", "sequential", "sharded", "service"):
         raise VerificationError(
-            f"unknown engine {engine!r}; choose 'batched', 'sharded' or 'sequential'"
+            f"unknown engine {engine!r}; choose 'batched', 'sharded', "
+            f"'sequential' or 'service'"
         )
     xs = np.atleast_2d(np.asarray(xs, dtype=float))
     labels = np.asarray(labels, dtype=int).reshape(-1)
@@ -306,6 +315,13 @@ def certify_local_robustness(
             return scheduler.certify(
                 xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
             ).results
+    if engine == "service":
+        from repro.service import serve_sweep
+
+        return serve_sweep(
+            model, xs, labels, epsilon, config=config,
+            clip_min=clip_min, clip_max=clip_max, cache_dir=cache_dir,
+        ).results
     if engine == "batched":
         from repro.engine.scheduler import BatchCertificationScheduler
 

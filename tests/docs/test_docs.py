@@ -44,7 +44,7 @@ def doc(request):
 class TestDocTree:
     def test_expected_files_exist(self):
         for name in ("README.md", "docs/architecture.md", "docs/engines.md",
-                     "docs/certification.md"):
+                     "docs/certification.md", "docs/service.md"):
             assert (REPO_ROOT / name).exists(), f"{name} is missing"
 
     def test_relative_links_resolve(self, doc):
@@ -76,14 +76,14 @@ class TestDocTree:
 
     def test_docs_are_cross_linked(self):
         """README links every docs page; every docs page links back."""
+        pages = ("architecture.md", "engines.md", "certification.md", "service.md")
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for name in ("docs/architecture.md", "docs/engines.md", "docs/certification.md"):
-            assert name in readme, f"README.md does not link {name}"
-        for name in ("architecture.md", "engines.md", "certification.md"):
+        for name in pages:
+            assert f"docs/{name}" in readme, f"README.md does not link docs/{name}"
+        for name in pages:
             text = (REPO_ROOT / "docs" / name).read_text(encoding="utf-8")
             assert "../README.md" in text, f"docs/{name} does not link the README"
-            others = {"architecture.md", "engines.md", "certification.md"} - {name}
-            for other in others:
+            for other in set(pages) - {name}:
                 assert other in text, f"docs/{name} does not link {other}"
 
 

@@ -178,6 +178,93 @@ class TestConcurrentDominanceAdmissions:
         assert cache.stats.dominance_hits == served_dominance
 
 
+def _serve_peer_then_admit(model, config, xs, ys, cache_dir, peer_row, own_row, out):
+    """Second-process body: a fresh cache view must serve the first
+    process's already-published entry, then publish its own."""
+    from repro.engine.cache import RegionQuery, build_verdict_cache
+
+    cache = build_verdict_cache(cache_dir, config, model)
+    peer = RegionQuery(center=xs[peer_row], epsilon=0.05, target=int(ys[peer_row]))
+    served_peer = cache.lookup(peer) is not None
+    BatchCertificationScheduler(
+        model, config, batch_size=2, cache_dir=cache_dir
+    ).certify(xs[own_row : own_row + 1], ys[own_row : own_row + 1].astype(int), 0.05)
+    out.put(served_peer)
+
+
+class TestCrossProcessStaleness:
+    """Regression for the long-lived-view staleness bug: a
+    ``TieredVerdictCache`` snapshotted its directory once and never saw
+    entries published afterwards by other processes.  With
+    ``CacheConfig.refresh_seconds`` armed, lookups re-check the directory
+    mtime and rescan when it moved — so two service processes admitting
+    interleaved entries serve *each other's* fresh verdicts."""
+
+    def test_interleaved_admits_serve_each_others_entries(
+        self, trained_mondeq, toy_data, config, tmp_path
+    ):
+        from dataclasses import replace
+
+        from repro.engine.cache import (
+            RegionQuery,
+            TieredVerdictCache,
+            build_verdict_cache,
+        )
+
+        xs, ys = toy_data
+        cache_dir = str(tmp_path / "shared")
+        first_row, second_row = 100, 101
+
+        # Both parent views snapshot the directory while it is EMPTY —
+        # everything below arrives after their snapshots.
+        auto = TieredVerdictCache(
+            cache_dir,
+            config,
+            weights_hash(trained_mondeq),
+            cache_config=replace(config.cache, refresh_seconds=0.0),
+        )
+        frozen = build_verdict_cache(cache_dir, config, trained_mondeq)
+
+        # Process 1 (this one) admits entry A ...
+        BatchCertificationScheduler(
+            trained_mondeq, config, batch_size=2, cache_dir=cache_dir
+        ).certify(
+            xs[first_row : first_row + 1], ys[first_row : first_row + 1].astype(int), 0.05
+        )
+        # ... process 2 serves A from a fresh view, then admits entry B.
+        context = multiprocessing.get_context("fork")
+        out = context.Queue()
+        worker = context.Process(
+            target=_serve_peer_then_admit,
+            args=(trained_mondeq, config, xs, ys, cache_dir, first_row, second_row, out),
+        )
+        worker.start()
+        worker.join(timeout=JOIN_TIMEOUT_SECONDS)
+        assert worker.exitcode == 0
+        assert out.get(timeout=10.0), "peer process missed the parent's entry"
+
+        # Step past the racy-mtime window so the next rescan snapshot is
+        # recorded as stable (see TieredVerdictCache.RACY_WINDOW_NS).
+        time.sleep(0.06)
+        second = RegionQuery(
+            center=xs[second_row], epsilon=0.05, target=int(ys[second_row])
+        )
+        # The armed view auto-refreshes on lookup and serves B.
+        assert auto.lookup(second) is not None
+        # The per-sweep view still holds its stale snapshot: no serve
+        # until its owner calls refresh() — the schedulers' contract.
+        assert frozen.lookup(second) is None
+        assert frozen.refresh() is True
+        assert frozen.lookup(second) is not None
+
+        # Unchanged directory: the mtime fast path answers without a
+        # rescan, and refresh() reports nothing moved.
+        scans_before = auto.scans
+        assert auto.refresh() is False
+        assert auto.lookup(second) is not None
+        assert auto.scans == scans_before
+
+
 class TestScratchFileHygiene:
     def test_stale_scratch_swept_fresh_scratch_kept(self, tmp_path):
         stale = tmp_path / "deadbeef.json.123.1.tmp"
