@@ -1,0 +1,176 @@
+"""Anderson/extrapolation acceleration of both fixpoint layers (PR 8 gate).
+
+Two deliverables per run:
+
+* **Abstract acceptance row** — the phase-one candidate-enclosure
+  proposer on the HCAS smoke sweep across three perturbation radii:
+  asserted **>=30% fewer phase-one iterations** at an **equal certified
+  count** with **zero verdict flips** (the soundness firewall's no-flip
+  contract — every accepted proposal was proven by exact containment
+  steps).  The iteration ledger is fully deterministic, so the reduction
+  is a hard gate, not a timing assertion.
+* **Concrete solver row** — safeguarded Anderson mixing in
+  ``solve_fixpoint_batch`` against the plain splitting iteration on the
+  same models: asserted >=30% fewer solver iterations at matching
+  fixpoints (1e-8), with the safeguard's fallback count reported.
+
+Wall-clock columns (``*_time``) ride along for the perf trajectory only —
+``scripts/plot_bench_trajectory.py --check`` polices them; the hard gates
+here are iteration counters.  Rows append to ``BENCH_acceleration.json``
+(``$BENCH_OUTPUT_DIR`` or the working directory) like the other engine
+benchmarks.
+"""
+
+import time
+
+import numpy as np
+
+from _harness import append_trajectory, run_once
+
+from repro.core.config import AccelerationConfig, CraftConfig
+from repro.engine.craft import BatchedCraft
+from repro.experiments.model_zoo import get_model
+from repro.mondeq.solvers import solve_fixpoint_batch
+
+#: The acceptance sweep: radii where the plain containment search works
+#: hardest (the proposer's savings grow with the search depth).
+EPSILONS = (0.3, 0.35, 0.4)
+
+
+def _configs():
+    plain = CraftConfig(slope_optimization="none")
+    accelerated = CraftConfig(
+        slope_optimization="none",
+        acceleration=AccelerationConfig(enabled=True),
+    )
+    return plain, accelerated
+
+
+def _count_flips(plain, accelerated):
+    """Any outcome or certification disagreement (must be zero)."""
+    return sum(
+        (p.outcome != a.outcome) or (p.certified != a.certified)
+        for p, a in zip(plain, accelerated)
+    )
+
+
+def _abstract_row():
+    """Phase-one iteration ledger, proposer on vs off, HCAS smoke sweep."""
+    model, dataset = get_model("HCAS-FCx100", "smoke")
+    xs = dataset.x_test
+    ys = dataset.y_test.astype(int)
+    plain_config, accel_config = _configs()
+
+    # Warm-up: first-touch BLAS initialisation must not bias either side.
+    BatchedCraft(model, plain_config).certify(xs[:2], ys[:2], EPSILONS[0])
+
+    totals = {"plain": 0, "accel": 0}
+    times = {"plain": 0.0, "accel": 0.0}
+    certified = {"plain": 0, "accel": 0}
+    flips = accepted = proposals = 0
+    per_epsilon = {}
+    for epsilon in EPSILONS:
+        start = time.perf_counter()
+        plain = BatchedCraft(model, plain_config).certify(xs, ys, epsilon)
+        times["plain"] += time.perf_counter() - start
+        start = time.perf_counter()
+        accel = BatchedCraft(model, accel_config).certify(xs, ys, epsilon)
+        times["accel"] += time.perf_counter() - start
+
+        p_iters = sum(r.iterations_phase1 for r in plain)
+        a_iters = sum(r.iterations_phase1 for r in accel)
+        totals["plain"] += p_iters
+        totals["accel"] += a_iters
+        certified["plain"] += sum(r.certified for r in plain)
+        certified["accel"] += sum(r.certified for r in accel)
+        flips += _count_flips(plain, accel)
+        accepted += sum(int(r.accelerated) for r in accel)
+        proposals += sum(r.accel_proposals for r in accel)
+        per_epsilon[str(epsilon)] = {
+            "plain_iterations": p_iters,
+            "accel_iterations": a_iters,
+        }
+
+    reduction = 1.0 - totals["accel"] / totals["plain"]
+    return {
+        "workload": "HCAS-FCx100 smoke sweep (phase-one proposer)",
+        "regions": len(xs) * len(EPSILONS),
+        "epsilons": list(EPSILONS),
+        "plain_iterations": totals["plain"],
+        "accel_iterations": totals["accel"],
+        "iteration_reduction": round(reduction, 3),
+        "plain_certified": certified["plain"],
+        "accel_certified": certified["accel"],
+        "verdict_flips": flips,
+        "accel_accepted": accepted,
+        "accel_proposals": proposals,
+        "per_epsilon": per_epsilon,
+        "plain_time": round(times["plain"], 3),
+        "accel_time": round(times["accel"], 3),
+    }
+
+
+def _concrete_row():
+    """Solver iteration ledger, safeguarded Anderson vs plain splitting."""
+    rows = {}
+    totals = {"plain": 0, "accel": 0}
+    times = {"plain": 0.0, "accel": 0.0}
+    worst_gap = 0.0
+    fallbacks = 0
+    for name in ("HCAS-FCx100", "FCx40"):
+        model, dataset = get_model(name, "smoke")
+        xs = dataset.x_test
+        for method in ("pr", "fb"):
+            start = time.perf_counter()
+            plain = solve_fixpoint_batch(model, xs, method=method, tol=1e-10)
+            times["plain"] += time.perf_counter() - start
+            start = time.perf_counter()
+            accel = solve_fixpoint_batch(
+                model, xs, method=method, tol=1e-10, accelerate="anderson"
+            )
+            times["accel"] += time.perf_counter() - start
+            assert bool(plain.converged.all()) and bool(accel.converged.all())
+            p_iters = int(plain.iterations.sum())
+            a_iters = int(accel.iterations.sum())
+            totals["plain"] += p_iters
+            totals["accel"] += a_iters
+            worst_gap = max(worst_gap, float(np.abs(plain.z - accel.z).max()))
+            fallbacks += int(accel.safeguard_fallbacks.sum())
+            rows[f"{name}/{method}"] = {
+                "plain_iterations": p_iters,
+                "accel_iterations": a_iters,
+            }
+    return {
+        "workload": "concrete solvers (safeguarded Anderson)",
+        "plain_iterations": totals["plain"],
+        "accel_iterations": totals["accel"],
+        "iteration_reduction": round(1.0 - totals["accel"] / totals["plain"], 3),
+        "max_fixpoint_gap": worst_gap,
+        "safeguard_fallbacks": fallbacks,
+        "per_solver": rows,
+        "plain_time": round(times["plain"], 3),
+        "accel_time": round(times["accel"], 3),
+    }
+
+
+def test_acceleration(benchmark, record_rows):
+    def experiment():
+        return _abstract_row(), _concrete_row()
+
+    abstract, concrete = run_once(benchmark, experiment)
+    record_rows("Phase-one proposer vs plain search (HCAS smoke)", [abstract])
+    record_rows("Concrete Anderson vs plain splitting", [concrete])
+    append_trajectory("acceleration", {"abstract": abstract, "concrete": concrete})
+
+    # The PR's acceptance criterion: >=30% fewer phase-one iterations on
+    # the HCAS smoke sweep at an equal certified count with zero verdict
+    # flips.  Iteration counts are deterministic — this gate is hard.
+    assert abstract["verdict_flips"] == 0
+    assert abstract["accel_certified"] == abstract["plain_certified"]
+    assert abstract["iteration_reduction"] >= 0.30
+    assert abstract["accel_accepted"] > 0
+
+    # The concrete layer must pay for itself the same way, landing on the
+    # same fixpoints the plain solver found.
+    assert concrete["iteration_reduction"] >= 0.30
+    assert concrete["max_fixpoint_gap"] < 1e-8

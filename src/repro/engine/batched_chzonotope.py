@@ -251,6 +251,29 @@ class BatchedCHZonotope:
         offset = np.asarray(offset, dtype=float)
         return type(self)(self._center + offset, self._generators, self._box)
 
+    def dilate(self, factors: np.ndarray) -> "BatchedCHZonotope":
+        """Scale each element about its own centre by a per-sample factor >= 1.
+
+        Dilation preserves properness (the generator matrix stays square and
+        invertible) and yields a superset of the original element, which is
+        what makes it a sound candidate-enclosure constructor for the
+        acceleration proposer.  Mirrors the sequential ``DomainOps.dilate``
+        arithmetic exactly: generators and box radii are multiplied, the
+        centre is untouched.
+        """
+        factors = np.asarray(factors, dtype=float)
+        if factors.shape != (self.batch_size,):
+            raise DomainError(
+                f"factors must have shape ({self.batch_size},), got {factors.shape}"
+            )
+        if np.any(factors < 1.0):
+            raise DomainError("dilation factors must be >= 1")
+        return type(self)(
+            self._center,
+            self._generators * factors[:, None, None],
+            self._box * factors[:, None],
+        )
+
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Sample ``count`` points per element, shape ``(B, count, n)``."""
         nu = rng.uniform(-1.0, 1.0, size=(self.batch_size, count, self.num_generators))

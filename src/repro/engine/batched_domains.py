@@ -277,6 +277,24 @@ class BatchedBox:
         offset = np.asarray(offset, dtype=float)
         return BatchedBox(self._lower + offset, self._upper + offset)
 
+    def dilate(self, factors: np.ndarray) -> "BatchedBox":
+        """Scale each interval about its own centre by a per-sample factor >= 1.
+
+        Matches ``Interval.from_center_radius(center, radius * f)`` in the
+        sequential ``DomainOps.dilate`` bit for bit, so the batched
+        acceleration proposer makes identical candidate enclosures.
+        """
+        factors = np.asarray(factors, dtype=float)
+        if factors.shape != (self.batch_size,):
+            raise DomainError(
+                f"factors must have shape ({self.batch_size},), got {factors.shape}"
+            )
+        if np.any(factors < 1.0):
+            raise DomainError("dilation factors must be >= 1")
+        center = 0.5 * (self._lower + self._upper)
+        radius = 0.5 * (self._upper - self._lower) * factors[:, None]
+        return BatchedBox(center - radius, center + radius)
+
     def relu_slopes(self, slope_delta: float) -> np.ndarray:
         """Minimum-area slopes shifted by ``slope_delta``.
 

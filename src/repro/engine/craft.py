@@ -29,7 +29,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import CraftConfig
+from repro.core.config import AccelerationConfig, CraftConfig
+from repro.core.contraction import proposal_factors
 from repro.core.expansion import ExpansionSchedule
 from repro.core.results import (
     FixpointAbstraction,
@@ -131,6 +132,12 @@ class _ContainmentRecord:
     consolidations: int
     width_trace: List[float] = field(default_factory=list)
     peak_error_terms: int = 0
+    #: Whether this sample exited phase one through an accepted
+    #: acceleration proposal (extrapolated candidate enclosure proven by
+    #: exact containment steps) rather than the plain history scan.
+    accelerated: bool = False
+    #: Acceleration proposals tried for this sample (accepted or not).
+    proposals: int = 0
 
 
 @dataclass
@@ -467,6 +474,17 @@ class BatchedCraft:
         basis: Optional[np.ndarray] = None
         consolidations = 0
         peak_error_terms = np.zeros(batch, dtype=int)
+        # Acceleration proposer bookkeeping, indexed by absolute sample id
+        # so it survives active-set shrinks.  The three rolling step-width
+        # slots feed the geometric-tail extrapolation with exactly the
+        # same scalars the sequential driver sees.
+        accel: Optional[AccelerationConfig] = (
+            self._config.acceleration if self._config.acceleration.enabled else None
+        )
+        proposals_used = np.zeros(batch, dtype=int)
+        step_w1 = np.full(batch, np.nan)
+        step_w2 = np.full(batch, np.nan)
+        step_w3 = np.full(batch, np.nan)
 
         for iteration in range(settings.max_iterations):
             if active.size == 0:
@@ -487,6 +505,38 @@ class BatchedCraft:
                 history.append(state)
                 consolidations += 1
 
+                if accel is not None:
+                    exit_rows = self._acceleration_proposals(
+                        accel,
+                        state,
+                        current_step,
+                        active,
+                        iteration,
+                        consolidations,
+                        proposals_used,
+                        peak_error_terms,
+                        step_w1,
+                        step_w2,
+                        step_w3,
+                        records,
+                    )
+                    if exit_rows.size:
+                        # Accepted samples leave the batch *before* the
+                        # plain step, so a sample's iteration count can
+                        # only shrink relative to the unaccelerated run.
+                        keep = np.setdiff1d(np.arange(active.size), exit_rows)
+                        active = active[keep]
+                        if active.size == 0:
+                            break
+                        state = state.select(keep)
+                        history = deque(
+                            (entry.select(keep) for entry in history),
+                            maxlen=settings.history_size,
+                        )
+                        if basis is not None and basis.ndim == 3:
+                            basis = basis[keep]
+                        current_step = current_step.select(keep)
+
             next_state = current_step(state)
             peak_error_terms[active] = np.maximum(
                 peak_error_terms[active], getattr(next_state, "num_generators", 0)
@@ -494,6 +544,10 @@ class BatchedCraft:
             widths = next_state.width
             if settings.track_trace:
                 trace_log.append((active, widths.mean(axis=1)))
+            if accel is not None:
+                step_w1[active] = step_w2[active]
+                step_w2[active] = step_w3[active]
+                step_w3[active] = widths.mean(axis=1)
 
             diverged = (widths.max(axis=1) > settings.abort_width) | ~np.isfinite(
                 widths
@@ -526,6 +580,7 @@ class BatchedCraft:
                     iterations=iteration + 1,
                     consolidations=consolidations,
                     peak_error_terms=int(peak_error_terms[sample]),
+                    proposals=int(proposals_used[sample]),
                 )
             if exit_mask.any():
                 keep = np.nonzero(~exit_mask)[0]
@@ -553,11 +608,102 @@ class BatchedCraft:
                 iterations=settings.max_iterations,
                 consolidations=consolidations,
                 peak_error_terms=int(peak_error_terms[int(sample)]),
+                proposals=int(proposals_used[int(sample)]),
             )
         for active_rows, means in trace_log:
             for row, sample in zip(active_rows.tolist(), means.tolist()):
                 records[row].width_trace.append(sample)
         return records
+
+    def _acceleration_proposals(
+        self,
+        accel: AccelerationConfig,
+        state: "BatchedDomain",
+        current_step,
+        active: np.ndarray,
+        iteration: int,
+        consolidations: int,
+        proposals_used: np.ndarray,
+        peak_error_terms: np.ndarray,
+        step_w1: np.ndarray,
+        step_w2: np.ndarray,
+        step_w3: np.ndarray,
+        records: List[Optional[_ContainmentRecord]],
+    ) -> np.ndarray:
+        """Run one round of extrapolated candidate-enclosure proposals.
+
+        Called at every consolidation event, right after ``state`` (the
+        just-consolidated stack) joined the history.  For each qualifying
+        row the last three *plain* step widths are fit to a geometric
+        tail (:func:`repro.core.contraction.proposal_factors` — the same
+        vectorised decision function the sequential driver routes its
+        scalars through, so both engines propose on identical rows with
+        identical factors); qualifying rows are dilated into candidate
+        enclosures and checked with up to ``consolidate_every`` *exact*
+        abstract steps — the Theorem B.1 proof obligation, untouched by
+        the extrapolation.  Accepted rows get their ``records`` entry
+        written here and their active-row indices returned so the caller
+        can gather them out of the batch before the plain step; rejected
+        proposals leave the plain trajectory untouched.
+        """
+        settings = self._config.contraction
+        cand = np.nonzero(proposals_used[active] < accel.max_proposals)[0]
+        if cand.size == 0:
+            return np.empty(0, dtype=int)
+        cand_ids = active[cand]
+        factors, mask = proposal_factors(
+            accel,
+            state.width.mean(axis=1)[cand],
+            step_w1[cand_ids],
+            step_w2[cand_ids],
+            step_w3[cand_ids],
+        )
+        prop = cand[mask]
+        if prop.size == 0:
+            return np.empty(0, dtype=int)
+        proposals_used[active[prop]] += 1
+        candidate = state.select(prop).dilate(factors[mask])
+        sub_step = current_step.select(prop)
+        trial = candidate
+        # Positions into ``prop`` still being stepped; accepted and
+        # non-finite rows are gathered out as the unroll proceeds.
+        alive = np.arange(prop.size)
+        exit_rows: List[int] = []
+        budget = min(settings.consolidate_every, settings.max_iterations - iteration)
+        for unrolled in range(1, budget + 1):
+            trial = sub_step(trial)
+            alive_ids = active[prop[alive]]
+            peak_error_terms[alive_ids] = np.maximum(
+                peak_error_terms[alive_ids], getattr(trial, "num_generators", 0)
+            )
+            finite = np.isfinite(trial.width).all(axis=1)
+            flags = candidate.contains(trial) & finite
+            if flags.any():
+                for pos in np.nonzero(flags)[0]:
+                    arow = int(prop[alive[pos]])
+                    sample = int(active[arow])
+                    records[sample] = _ContainmentRecord(
+                        contained=True,
+                        diverged=False,
+                        state=trial.element(pos),
+                        reference=candidate.element(pos),
+                        iterations=iteration + unrolled,
+                        consolidations=consolidations,
+                        peak_error_terms=int(peak_error_terms[sample]),
+                        accelerated=True,
+                        proposals=int(proposals_used[sample]),
+                    )
+                    exit_rows.append(arow)
+            drop = flags | ~finite
+            if drop.any():
+                keep = np.nonzero(~drop)[0]
+                if keep.size == 0:
+                    break
+                alive = alive[keep]
+                candidate = candidate.select(keep)
+                trial = trial.select(keep)
+                sub_step = sub_step.select(keep)
+        return np.asarray(sorted(exit_rows), dtype=int)
 
     # ------------------------------------------------------------------
     # Phase two: batched tightening and certification
@@ -834,6 +980,7 @@ class BatchedCraft:
                 notes="containment phase did not detect contraction",
                 stage=self._config.domain,
                 peak_error_terms=containment.peak_error_terms,
+                accel_proposals=containment.proposals,
             )
         outcome = (
             VerificationOutcome.VERIFIED
@@ -865,4 +1012,6 @@ class BatchedCraft:
             peak_error_terms=max(
                 containment.peak_error_terms, tightening.peak_error_terms
             ),
+            accelerated=containment.accelerated,
+            accel_proposals=containment.proposals,
         )

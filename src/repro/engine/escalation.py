@@ -120,6 +120,16 @@ class StageStats:
     #: (:mod:`repro.engine.cache_dominance`).  Attributed by the serving
     #: entry's resolving stage via :func:`fold_dominance_hits`.
     cache_dominance_hits: int = 0
+    #: Total phase-one iterations the stage's queries ran — the quantity
+    #: the acceleration proposer exists to shrink (compare sweeps with the
+    #: knob on and off at fixed ``attempted``).
+    phase1_iterations: int = 0
+    #: Queries of this stage that exited phase one through an accepted
+    #: acceleration proposal.
+    accel_accepted: int = 0
+    #: Acceleration proposals tried by this stage's queries (accepted or
+    #: rejected); each costs one extra exact abstract step.
+    accel_proposals: int = 0
 
     def record_consolidation(self, stats) -> None:
         """Fold one driver run's ``ConsolidationStats`` into this stage."""
@@ -139,6 +149,15 @@ class StageStats:
                     self.peak_error_terms, result.peak_error_terms
                 )
 
+    def record_acceleration(self, results) -> None:
+        """Fold phase-one iteration and acceleration counters of a batch."""
+        for result in results:
+            if result is None:
+                continue
+            self.phase1_iterations += result.iterations_phase1
+            self.accel_accepted += int(result.accelerated)
+            self.accel_proposals += result.accel_proposals
+
     def as_row(self) -> Dict:
         return {
             "domain": self.domain,
@@ -157,6 +176,9 @@ class StageStats:
             "peak_error_terms": self.peak_error_terms,
             "estimated_error_terms": self.estimated_error_terms,
             "cache_dominance_hits": self.cache_dominance_hits,
+            "phase1_iterations": self.phase1_iterations,
+            "accel_accepted": self.accel_accepted,
+            "accel_proposals": self.accel_proposals,
         }
 
 
@@ -342,6 +364,7 @@ class EscalationLadder:
                 self.num_batches += 1
                 stats.record_consolidation(craft.consolidation_stats)
                 stats.record_peaks(chunk_results)
+                stats.record_acceleration(chunk_results)
                 for index, result in zip(chunk, chunk_results):
                     if stage_index == last or not should_escalate(result):
                         results[index] = result

@@ -593,6 +593,7 @@ class ShardedScheduler:
             stage_stats.elapsed_seconds += elapsed
             stage_stats.record_consolidation(ConsolidationStats.from_dict(consolidation))
             stage_stats.record_peaks(shard_results)
+            stage_stats.record_acceleration(shard_results)
             position = stage_index[domain]
             final = position == len(stages) - 1
             escalated: List[int] = []

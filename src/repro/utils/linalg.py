@@ -248,3 +248,78 @@ def relative_difference(a: np.ndarray, b: np.ndarray) -> float:
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     return float(np.linalg.norm(a - b) / max(1.0, np.linalg.norm(b)))
+
+
+def anderson_mixing_batch(
+    iterates: np.ndarray,
+    images: np.ndarray,
+    regularization: float = 1e-10,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Type-II Anderson mixing over a batch of fixpoint-iteration histories.
+
+    Parameters
+    ----------
+    iterates, images:
+        ``(batch, m, dim)`` stacks of the last ``m`` iterates ``s_j`` and
+        their images ``g(s_j)`` under the fixpoint map, oldest first.
+    regularization:
+        Tikhonov term added to the normal equations (scaled by the Gram
+        trace) so near-collinear residual histories stay solvable.
+
+    Returns
+    -------
+    (mixed, ok):
+        ``mixed`` is the ``(batch, dim)`` extrapolated candidate
+        ``sum_j theta_j g(s_j)`` with ``sum_j theta_j = 1``, obtained by
+        minimising ``||sum_j theta_j r_j||`` over the affine combination of
+        window residuals ``r_j = g(s_j) - s_j`` (solved in the
+        residual-difference parametrisation).  ``ok`` is a ``(batch,)``
+        boolean mask; rows where the solve failed or produced non-finite
+        values carry the plain image ``g(s_{m-1})`` and ``ok=False`` so the
+        caller can fall back to the damped step.
+    """
+    iterates = np.asarray(iterates, dtype=float)
+    images = np.asarray(images, dtype=float)
+    if iterates.ndim != 3 or iterates.shape != images.shape:
+        raise ValueError(
+            "anderson mixing expects matching (batch, m, dim) stacks, got "
+            f"{iterates.shape} and {images.shape}"
+        )
+    batch, window, _ = iterates.shape
+    plain = images[:, -1, :]
+    if window < 2:
+        return plain.copy(), np.zeros(batch, dtype=bool)
+    residuals = images - iterates
+    dr = residuals[:, 1:, :] - residuals[:, :-1, :]  # (batch, m-1, dim)
+    gram = dr @ np.transpose(dr, (0, 2, 1))  # (batch, m-1, m-1)
+    trace = np.trace(gram, axis1=1, axis2=2)
+    scale = regularization * (trace / max(window - 1, 1) + 1.0)
+    gram = gram + scale[:, None, None] * np.eye(window - 1)[None, :, :]
+    rhs = np.einsum("bmd,bd->bm", dr, residuals[:, -1, :])
+    try:
+        gamma = np.linalg.solve(gram, rhs[:, :, None])[:, :, 0]
+    except np.linalg.LinAlgError:
+        return plain.copy(), np.zeros(batch, dtype=bool)
+    dg = images[:, 1:, :] - images[:, :-1, :]
+    mixed = plain - np.einsum("bm,bmd->bd", gamma, dg)
+    ok = np.isfinite(mixed).all(axis=1) & np.isfinite(gamma).all(axis=1)
+    mixed = np.where(ok[:, None], mixed, plain)
+    return mixed, ok
+
+
+def anderson_mixing(
+    iterates: np.ndarray,
+    images: np.ndarray,
+    regularization: float = 1e-10,
+) -> "tuple[np.ndarray, bool]":
+    """Single-history Anderson mixing; see :func:`anderson_mixing_batch`.
+
+    Runs the batched kernel with ``batch=1`` so the sequential and batched
+    solvers share bit-identical mixing arithmetic.
+    """
+    mixed, ok = anderson_mixing_batch(
+        np.asarray(iterates, dtype=float)[None, :, :],
+        np.asarray(images, dtype=float)[None, :, :],
+        regularization=regularization,
+    )
+    return mixed[0], bool(ok[0])

@@ -361,6 +361,13 @@ class SampleRecord:
     #: Measured peak error-term count of the query (``None`` when the
     #: abstract analysis never ran — misclassification short-circuits).
     peak_error_terms: Optional[int] = None
+    #: Phase-one containment-search iterations the verdict ran — the
+    #: quantity the acceleration proposer shrinks.
+    iterations_phase1: int = 0
+    #: Whether phase one exited through an accepted acceleration proposal.
+    accelerated: bool = False
+    #: Acceleration proposals tried for this query (accepted or not).
+    accel_proposals: int = 0
 
 
 @dataclass
@@ -416,6 +423,25 @@ class RobustnessReport:
         """Verdicts answered by dominance (certified superset region or
         falsifying point) — queries never literally computed."""
         return sum(record.cache_tier == "dominance" for record in self.records)
+
+    @property
+    def phase1_iterations(self) -> int:
+        """Total phase-one iterations across the evaluation set.
+
+        Compare rows with ``CraftConfig.acceleration`` on and off at equal
+        ``cert`` to read the proposer's savings directly off sweep output.
+        """
+        return sum(record.iterations_phase1 for record in self.records)
+
+    @property
+    def accel_accepted(self) -> int:
+        """Verdicts that exited phase one through an accepted proposal."""
+        return sum(record.accelerated for record in self.records)
+
+    @property
+    def accel_proposals(self) -> int:
+        """Acceleration proposals tried across the set (accepted or not)."""
+        return sum(record.accel_proposals for record in self.records)
 
     @property
     def stage_counts(self) -> dict:
@@ -476,6 +502,9 @@ class RobustnessReport:
             "cache_dominance_hits": self.cache_dominance_hits,
             "stages": self.stage_counts,
             "error_terms": self.error_term_calibration,
+            "phase1_iterations": self.phase1_iterations,
+            "accel_accepted": self.accel_accepted,
+            "accel_proposals": self.accel_proposals,
         }
 
 
@@ -597,6 +626,9 @@ class RobustnessVerifier:
                     cached=result.from_cache,
                     cache_tier=result.cache_tier,
                     peak_error_terms=result.peak_error_terms,
+                    iterations_phase1=result.iterations_phase1,
+                    accelerated=result.accelerated,
+                    accel_proposals=result.accel_proposals,
                 )
             )
         return report

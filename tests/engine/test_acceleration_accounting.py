@@ -1,0 +1,181 @@
+"""Iteration-accounting regressions for the acceleration proposer.
+
+The tentpole's ledger: acceleration must *pay for itself in iterations*
+on a pinned deterministic corpus without moving a single verdict, the
+measured error-term peaks must stay inside the analytic working-set bound
+(trial states included), cached accelerated verdicts must replay without
+re-iterating, and every accounting surface — ``StageStats`` rows,
+``RobustnessReport.as_row`` and the cache signature — must carry the new
+counters.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    AccelerationConfig,
+    ContractionSettings,
+    CraftConfig,
+)
+from repro.engine import BatchedCraft
+from repro.engine.cache import _config_signature
+from repro.engine.working_set import max_error_terms
+from repro.experiments.model_zoo import get_model
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _corpus():
+    """Pinned deterministic corpus where the proposer demonstrably fires."""
+    for name, epsilon, count in [("HCAS-FCx100", 0.3, 4), ("FCx40", 0.1, 4)]:
+        model, data = get_model(name, "smoke")
+        xs = data.x_test[:count]
+        labels = data.y_test[:count].astype(int)
+        yield name, model, xs, labels, epsilon
+
+
+def _config(enabled: bool) -> CraftConfig:
+    return CraftConfig(
+        domain="chzonotope",
+        slope_optimization="none",
+        acceleration=AccelerationConfig(enabled=enabled),
+    )
+
+
+class TestIterationAccounting:
+    def test_accelerated_iterations_never_exceed_plain(self):
+        """Per-sample phase-one iterations with the proposer on are bounded
+        by the plain run's, verdicts are identical, and the corpus is not
+        vacuous: at least one proposal is accepted on every model."""
+        for name, model, xs, labels, epsilon in _corpus():
+            plain = BatchedCraft(model, _config(False)).certify(xs, labels, epsilon)
+            fast = BatchedCraft(model, _config(True)).certify(xs, labels, epsilon)
+            accepted = 0
+            for off, on in zip(plain, fast):
+                assert off.outcome == on.outcome, name
+                assert off.contained == on.contained, name
+                assert off.certified == on.certified, name
+                # Accepted proposals leave the batch *before* the plain
+                # step of their consolidation event, so the accelerated
+                # trajectory can only be a prefix-plus-shortcut.
+                assert on.iterations_phase1 <= off.iterations_phase1, name
+                assert off.accelerated is False and off.accel_proposals == 0, name
+                accepted += int(on.accelerated)
+            assert accepted > 0, f"{name}: proposer never accepted — vacuous corpus"
+            total_off = sum(r.iterations_phase1 for r in plain)
+            total_on = sum(r.iterations_phase1 for r in fast)
+            assert total_on < total_off, f"{name}: no aggregate iteration saving"
+
+    def test_unaccelerated_results_carry_zero_counters(self):
+        """With the knob off the result encoding is the pre-acceleration
+        one: flags false, counters zero (the bit-identical off-path)."""
+        for _, model, xs, labels, epsilon in _corpus():
+            for result in BatchedCraft(model, _config(False)).certify(xs, labels, epsilon):
+                assert result.accelerated is False
+                assert result.accel_proposals == 0
+
+    def test_peak_error_terms_within_estimate_with_acceleration(self):
+        """Trial states of rejected/accepted proposals count toward the
+        measured peak, and the analytic working-set bound must still hold:
+        dilation adds no generator columns, so a proposal's unrolled steps
+        grow exactly like plain post-consolidation steps."""
+        for seed in range(3):
+            from repro.mondeq.model import MonDEQ
+
+            rng = np.random.default_rng(200 + seed)
+            model = MonDEQ.random(
+                input_dim=3 + seed % 3, latent_dim=4 + seed % 4, output_dim=3,
+                monotonicity=9.0 + seed, seed=seed,
+            )
+            xs = rng.uniform(-1.0, 1.0, size=(4, model.input_dim))
+            labels = np.array([int(model.predict(x)) for x in xs])
+            config = CraftConfig(
+                domain="chzonotope",
+                slope_optimization="none",
+                contraction=ContractionSettings(max_iterations=60, history_size=4),
+                tighten_max_iterations=12,
+                tighten_patience=5,
+                acceleration=AccelerationConfig(enabled=True),
+            )
+            results = BatchedCraft(model, config).certify(xs, labels, 0.03)
+            measured = max((r.peak_error_terms or 0) for r in results)
+            assert 0 < measured <= max_error_terms(model, config)
+
+
+class TestCachedReplay:
+    def test_accelerated_verdicts_replay_without_reiterating(self):
+        """A warm sweep answers entirely from the cache — no batches run —
+        and the replayed verdicts keep the acceleration provenance."""
+        from repro.engine import BatchCertificationScheduler
+
+        name, model, xs, labels, epsilon = next(iter(_corpus()))
+        config = _config(True)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            scheduler = BatchCertificationScheduler(
+                model, config, batch_size=2, cache_dir=cache_dir
+            )
+            cold = scheduler.certify(xs, labels, epsilon)
+            warm = scheduler.certify(xs, labels, epsilon)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(xs)
+        assert warm.num_batches == 0
+        accepted = 0
+        for fresh, cached in zip(cold.results, warm.results):
+            assert cached.cached and "[cached]" in cached.notes
+            assert cached.accelerated == fresh.accelerated
+            assert cached.accel_proposals == fresh.accel_proposals
+            assert cached.iterations_phase1 == fresh.iterations_phase1
+            accepted += int(fresh.accelerated)
+        assert accepted > 0, "replay test never exercised an accelerated verdict"
+
+    def test_acceleration_knobs_participate_in_cache_signature(self):
+        """Any knob that can change a proposal decision invalidates cached
+        verdicts by construction (the counters stored with a verdict
+        depend on it, even though the verdicts provably agree)."""
+        base = _config(False)
+        signatures = {_config_signature(base)}
+        for changed in [
+            base.with_updates(acceleration=AccelerationConfig(enabled=True)),
+            base.with_updates(
+                acceleration=AccelerationConfig(enabled=True, margin=2.0)
+            ),
+            base.with_updates(
+                acceleration=AccelerationConfig(enabled=True, max_proposals=1)
+            ),
+        ]:
+            signatures.add(_config_signature(changed))
+        assert len(signatures) == 4
+
+
+class TestAccountingSurfaces:
+    def test_stage_stats_fold_acceleration_counters(self):
+        from repro.engine import EscalationLadder
+
+        name, model, xs, labels, epsilon = next(iter(_corpus()))
+        config = _config(True).with_updates(domains=("chzonotope",))
+        ladder = EscalationLadder(model, config)
+        results = ladder.certify(xs, labels, epsilon)
+        rows = [stats.as_row() for stats in ladder.stage_stats]
+        assert rows, "ladder produced no stage rows"
+        row = rows[-1]
+        assert row["phase1_iterations"] == sum(
+            r.iterations_phase1 for r in results
+        )
+        assert row["accel_accepted"] == sum(int(r.accelerated) for r in results)
+        assert row["accel_proposals"] == sum(r.accel_proposals for r in results)
+        assert row["accel_accepted"] > 0
+        assert row["accel_proposals"] >= row["accel_accepted"]
+
+    def test_robustness_report_surfaces_counters(self):
+        from repro.verify.robustness import RobustnessVerifier
+
+        name, model, xs, labels, epsilon = next(iter(_corpus()))
+        report = RobustnessVerifier(model, _config(True)).evaluate(
+            xs, labels, epsilon, run_attack=False
+        )
+        row = report.as_row()
+        assert row["phase1_iterations"] == report.phase1_iterations > 0
+        assert row["accel_accepted"] == report.accel_accepted > 0
+        assert row["accel_proposals"] == report.accel_proposals >= row["accel_accepted"]

@@ -27,6 +27,15 @@ must agree on verdicts *and* resolving stages.
 so the strict parity contract is unaffected while the resolution logic is
 fuzzed); the batch-pooled ``shared`` mode is covered by its dedicated
 no-flip/enclosure suite in ``test_consolidation_basis.py``.
+
+``craft_configs`` also draws the ``acceleration`` knobs — enabled on/off,
+window, extrapolation margin and proposal budget — so every parity
+assertion below doubles as an acceleration-parity assertion: the
+sequential, batched and sharded engines must make identical proposal
+decisions (same ``iterations_phase1``, ``accelerated`` flag and
+``accel_proposals`` count per query) and the cache sweeps must replay
+accelerated verdicts verbatim.  The on-vs-off no-flip contract lives in
+``tests/engine/test_acceleration_accounting.py`` and the benchmark gate.
 """
 
 import tempfile
@@ -65,6 +74,14 @@ def _assert_agree(reference, candidate):
     assert reference.certified == candidate.certified
     assert reference.selected_solver2 == candidate.selected_solver2
     assert reference.selected_alpha2 == candidate.selected_alpha2
+    # Acceleration parity: every engine must take the *same* phase-one
+    # exit — plain scan or accepted proposal, after the same number of
+    # iterations and proposals.  ``craft_configs`` draws the acceleration
+    # knobs (on/off, window, margin, proposal budget), so this pins the
+    # proposer's engine-independence, not just the verdict's.
+    assert reference.iterations_phase1 == candidate.iterations_phase1
+    assert reference.accelerated == candidate.accelerated
+    assert reference.accel_proposals == candidate.accel_proposals
     if np.isfinite(reference.margin) or np.isfinite(candidate.margin):
         assert reference.margin == pytest.approx(candidate.margin, abs=BOUND_TOL)
     else:

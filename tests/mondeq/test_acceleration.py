@@ -1,0 +1,220 @@
+"""Convergence property-test battery for safeguarded Anderson acceleration.
+
+The acceleration contract (PR 8's soundness firewall) at the concrete
+level: mixing may propose any candidate it likes, but a candidate is only
+*accepted* after one exact operator-splitting evaluation confirms its
+measured residual beats the plain step's by the safeguard ratio.  The
+battery therefore checks three things on randomly drawn monotone DEQs:
+
+* accelerated and plain solves land on the *same* fixpoint (to solver
+  tolerance) — acceleration changes the path, never the destination;
+* the safeguard engages on adversarial ill-conditioned histories
+  (near-duplicate iterates, hostile safeguard ratios) and the solve still
+  converges;
+* with a safeguard ratio of at most one, the residual trace stays
+  monotone non-increasing — every accepted mixed step is measurably at
+  least as contractive as the plain step it replaced.
+
+The budget-validation tests pin the satellite fix: a zero/negative
+iteration budget is a configuration error in both solvers, not an
+``IndexError`` from an empty residual list.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.mondeq.solvers import solve_fixpoint, solve_fixpoint_batch
+from repro.utils.linalg import anderson_mixing, anderson_mixing_batch
+
+from strategies import FINITE, mondeq_models
+
+FUZZ = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _inputs(model, seed, count=1):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(count, model.input_dim))
+
+
+class TestAcceleratedEqualsPlain:
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        method=st.sampled_from(["pr", "fb"]),
+        window=st.sampled_from([2, 3, 5, 8]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_same_fixpoint_to_tolerance(self, model, method, window, seed):
+        """Accelerated and plain solves agree on the fixpoint itself."""
+        x = _inputs(model, seed)[0]
+        plain = solve_fixpoint(model, x, method=method, tol=1e-10)
+        fast = solve_fixpoint(
+            model, x, method=method, tol=1e-10,
+            accelerate="anderson", anderson_window=window,
+        )
+        assert plain.converged and fast.converged
+        assert np.allclose(plain.z, fast.z, atol=1e-7)
+        # The accepted state always went through one exact evaluation, so
+        # the fixpoint equation holds regardless of how it was proposed.
+        assert np.allclose(fast.z, model.implicit_layer(x, fast.z), atol=1e-7)
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        method=st.sampled_from(["pr", "fb"]),
+        window=st.sampled_from([2, 5]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_batch_matches_sequential_acceleration(self, model, method, window, seed):
+        """The batched solver is the sequential one run row-wise."""
+        xs = _inputs(model, seed, count=3)
+        batch = solve_fixpoint_batch(
+            model, xs, method=method, tol=1e-9,
+            accelerate="anderson", anderson_window=window,
+        )
+        for row in range(xs.shape[0]):
+            single = solve_fixpoint(
+                model, xs[row], method=method, tol=1e-9,
+                accelerate="anderson", anderson_window=window,
+            )
+            assert bool(batch.converged[row]) == single.converged
+            assert int(batch.iterations[row]) == single.iterations
+            assert int(batch.accelerated_steps[row]) == single.accelerated_steps
+            assert int(batch.safeguard_fallbacks[row]) == single.safeguard_fallbacks
+            assert np.allclose(batch.z[row], single.z, atol=1e-9)
+
+
+class TestSafeguard:
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        method=st.sampled_from(["pr", "fb"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_monotone_residuals_with_unit_safeguard(self, model, method, seed):
+        """ratio <= 1 keeps the residual trace monotone non-increasing.
+
+        Plain splitting steps on a strongly monotone DEQ are contractive,
+        and the safeguard only accepts a mixed step whose *measured*
+        residual is at most the plain step's — so no accepted step can
+        break monotonicity.
+        """
+        x = _inputs(model, seed)[0]
+        result = solve_fixpoint(
+            model, x, method=method, tol=1e-11,
+            accelerate="anderson", anderson_safeguard_ratio=1.0,
+        )
+        assert result.converged
+        trace = np.asarray(result.residuals)
+        assert np.all(np.diff(trace) <= 1e-9)
+
+    @FUZZ
+    @given(
+        model=mondeq_models(),
+        method=st.sampled_from(["pr", "fb"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_hostile_ratio_falls_back_and_converges(self, model, method, seed):
+        """A near-unsatisfiable safeguard degenerates to the plain solve.
+
+        With a ratio this tiny essentially every mixed candidate is
+        rejected; the solve must still converge to the plain fixpoint and
+        the fallback counter must show the safeguard actually engaged.
+        """
+        x = _inputs(model, seed)[0]
+        plain = solve_fixpoint(model, x, method=method, tol=1e-10)
+        guarded = solve_fixpoint(
+            model, x, method=method, tol=1e-10,
+            accelerate="anderson", anderson_safeguard_ratio=1e-12,
+        )
+        assert guarded.converged
+        assert np.allclose(plain.z, guarded.z, atol=1e-7)
+        assert guarded.accelerated_steps == 0
+        if plain.iterations >= 3:
+            # Enough plain iterations for at least one mixing attempt,
+            # every one of which the hostile ratio must have rejected.
+            assert guarded.safeguard_fallbacks > 0
+        # Rejected proposals cost their trial evaluation but nothing else:
+        # the trajectory is the plain one, iteration for iteration.
+        assert guarded.iterations == plain.iterations
+
+    @given(
+        dim=st.integers(2, 6),
+        window=st.integers(2, 6),
+        scale=st.floats(1e-14, 1e-8, **FINITE),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixing_survives_degenerate_histories(self, dim, window, scale, seed):
+        """Near-duplicate iterates (singular LS systems) never produce NaNs.
+
+        The history matrix is a rank-one perturbation of a constant stack —
+        the worst case for the normal equations — plus an exactly-constant
+        batch row.  Rows the kernel cannot mix must be flagged ``ok=False``
+        and carry the plain image, not garbage.
+        """
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=dim)
+        direction = rng.normal(size=dim)
+        iterates = np.stack(
+            [base + scale * step * direction for step in range(window)]
+        )
+        images = iterates * 0.5
+        stack_it = np.stack([iterates, np.repeat(base[None, :], window, axis=0)])
+        stack_im = np.stack([images, np.repeat(base[None, :] * 0.5, window, axis=0)])
+        mixed, ok = anderson_mixing_batch(stack_it, stack_im)
+        assert mixed.shape == (2, dim)
+        assert np.all(np.isfinite(mixed))
+        # ok=False rows must fall back to the newest plain image verbatim.
+        for row in range(2):
+            if not ok[row]:
+                assert np.array_equal(mixed[row], stack_im[row, -1])
+
+    def test_scalar_wrapper_matches_batch_kernel(self):
+        rng = np.random.default_rng(0)
+        iterates = rng.normal(size=(4, 5))
+        images = 0.6 * iterates + 0.1
+        mixed_scalar, ok_scalar = anderson_mixing(iterates, images)
+        mixed_batch, ok_batch = anderson_mixing_batch(
+            iterates[None, :, :], images[None, :, :]
+        )
+        assert bool(ok_scalar) == bool(ok_batch[0])
+        assert np.array_equal(mixed_scalar, mixed_batch[0])
+
+
+class TestBudgetValidation:
+    """Satellite fix: zero/negative budgets are configuration errors."""
+
+    @pytest.mark.parametrize("budget", [0, -1])
+    @pytest.mark.parametrize("raise_on_failure", [True, False])
+    def test_sequential_budget_rejected(self, small_mondeq, budget, raise_on_failure):
+        x = np.zeros(small_mondeq.input_dim)
+        with pytest.raises(ConfigurationError):
+            solve_fixpoint(
+                small_mondeq, x,
+                max_iterations=budget, raise_on_failure=raise_on_failure,
+            )
+
+    @pytest.mark.parametrize("budget", [0, -1])
+    def test_batch_budget_rejected(self, small_mondeq, budget):
+        xs = np.zeros((2, small_mondeq.input_dim))
+        with pytest.raises(ConfigurationError):
+            solve_fixpoint_batch(small_mondeq, xs, max_iterations=budget)
+
+    def test_invalid_acceleration_arguments(self, small_mondeq):
+        x = np.zeros(small_mondeq.input_dim)
+        with pytest.raises(ConfigurationError):
+            solve_fixpoint(small_mondeq, x, accelerate="aitken")
+        with pytest.raises(ConfigurationError):
+            solve_fixpoint(small_mondeq, x, accelerate="anderson", anderson_window=1)
+        with pytest.raises(ConfigurationError):
+            solve_fixpoint(
+                small_mondeq, x, accelerate="anderson", anderson_safeguard_ratio=0.0
+            )

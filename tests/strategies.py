@@ -120,6 +120,23 @@ def domain_ladders():
     return st.sampled_from(subsets)
 
 
+def acceleration_configs():
+    """Acceleration knobs for the differential fuzz: off half the time,
+    and when on, varied window / margin / proposal budgets so the fuzz
+    covers both the proposer firing and it staying silent.  Whatever is
+    drawn, verdicts must not move — acceleration may only shortcut the
+    search, never the proof."""
+    from repro.core.config import AccelerationConfig
+
+    return st.builds(
+        AccelerationConfig,
+        enabled=st.booleans(),
+        window=st.sampled_from([2, 3, 5]),
+        margin=st.sampled_from([0.25, 1.0, 2.0]),
+        max_proposals=st.sampled_from([1, 3]),
+    )
+
+
 def craft_configs():
     """Verifier configurations exercising the engines' distinct code paths.
 
@@ -144,7 +161,14 @@ def craft_configs():
     from repro.core.config import ContractionSettings, CraftConfig
 
     def build(
-        domain, solvers, consolidate_every, same_iteration, use_box, slope_mode, basis
+        domain,
+        solvers,
+        consolidate_every,
+        same_iteration,
+        use_box,
+        slope_mode,
+        basis,
+        acceleration,
     ):
         solver1, solver2 = solvers
         return CraftConfig(
@@ -164,6 +188,7 @@ def craft_configs():
             tighten_patience=5,
             tighten_consolidate_every=consolidate_every,
             consolidation_basis=basis,
+            acceleration=acceleration,
         )
 
     return st.builds(
@@ -176,4 +201,5 @@ def craft_configs():
         use_box=st.booleans(),
         slope_mode=st.sampled_from(["none", "none", "reduced"]),
         basis=st.sampled_from(["per_sample", "per_sample", "auto"]),
+        acceleration=acceleration_configs(),
     )
