@@ -1,0 +1,208 @@
+"""Pluggable array backend: numpy vs torch parity and throughput (PR 9 gate).
+
+Two workloads per backend:
+
+* **HCAS smoke sweep** — the standard certification workload
+  (``get_model("HCAS-FCx100", "smoke")`` across three perturbation
+  radii), end-to-end through :class:`BatchedCraft`.
+* **Batch-256 / input-dim-64 FCx40 sweep** — the throughput workload the
+  backend exists for: 256 perturbation regions around the FCx40 smoke
+  test set (8x8 inputs, so input dim 64) pushed through one batched
+  certification call per radius.
+
+Per-kernel columns time the three backend-dispatched linalg kernels
+(``pooled_gram_basis``, ``randomized_range_basis``,
+``anderson_mixing_batch``) at the sweep's own shapes, so a backend
+regression is attributable to a kernel rather than only visible
+end-to-end.
+
+Hard gates (deterministic, no timing):
+
+* torch (CPU or CUDA) must report the **same certified count** and
+  **zero verdict/stage flips** against the numpy reference on both
+  workloads — the cross-backend no-flip contract.
+* On CUDA hardware the batch-256 sweep must run **>=2x faster**
+  end-to-end than numpy.  Without a GPU that gate is *skipped, not
+  faked*: the row records ``cuda_speedup: null`` and the reason.
+
+Wall-clock columns (``*_time``) ride along for the perf trajectory only
+— ``scripts/plot_bench_trajectory.py --check`` polices them.  Rows
+append to ``BENCH_backend.json`` (``$BENCH_OUTPUT_DIR`` or the working
+directory) like the other engine benchmarks.  Without torch installed
+the numpy rows still append (the core matrix stays torch-less); the
+parity leg is a skip.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import append_trajectory, run_once
+
+from repro.backend import available_backends, resolve_backend
+from repro.core.config import CraftConfig
+from repro.engine.craft import BatchedCraft
+from repro.experiments.model_zoo import get_model
+from repro.utils.linalg import (
+    anderson_mixing_batch,
+    pooled_gram_basis,
+    randomized_range_basis,
+)
+
+EPSILONS = (0.3, 0.35, 0.4)
+
+#: The throughput workload: 256 regions over 64-dimensional inputs.
+SWEEP_BATCH = 256
+SWEEP_EPSILONS = (0.01, 0.05)
+
+TORCH_MISSING = "torch" not in available_backends()
+
+
+def _config(backend, device="cpu"):
+    return CraftConfig(
+        slope_optimization="none", backend=backend, backend_device=device
+    )
+
+
+def _count_flips(reference, candidate):
+    """Any outcome, certification or stage disagreement (must be zero)."""
+    return sum(
+        (r.outcome != c.outcome)
+        or (r.certified != c.certified)
+        or (r.stage != c.stage)
+        for r, c in zip(reference, candidate)
+    )
+
+
+def _hcas_workload():
+    model, dataset = get_model("HCAS-FCx100", "smoke")
+    return model, dataset.x_test, dataset.y_test.astype(int), EPSILONS
+
+
+def _sweep_workload():
+    """256 regions around the FCx40 smoke test set (input dim 64)."""
+    model, dataset = get_model("FCx40", "smoke")
+    assert model.input_dim == 64
+    rng = np.random.default_rng(7)
+    base = dataset.x_test
+    picks = rng.integers(0, len(base), size=SWEEP_BATCH)
+    xs = np.clip(base[picks] + rng.normal(0.0, 0.02, (SWEEP_BATCH, 64)), 0.0, 1.0)
+    ys = np.array([int(model.predict(x)) for x in xs])
+    return model, xs, ys, SWEEP_EPSILONS
+
+
+def _run_workload(workload, backend, device="cpu"):
+    """One backend's end-to-end pass: results, certified count, seconds."""
+    model, xs, ys, epsilons = workload
+    config = _config(backend, device)
+    # Warm-up: first-touch BLAS / device initialisation must not bias.
+    BatchedCraft(model, config).certify(xs[:2], ys[:2], epsilons[0])
+    results = []
+    start = time.perf_counter()
+    for epsilon in epsilons:
+        results.extend(BatchedCraft(model, config).certify(xs, ys, epsilon))
+    elapsed = time.perf_counter() - start
+    return results, sum(r.certified for r in results), elapsed
+
+
+def _kernel_times(backend_name, device="cpu", repeats=3):
+    """Per-kernel timings at the sweep's own stack shapes."""
+    backend = resolve_backend(backend_name, device, "float64")
+    rng = np.random.default_rng(11)
+    generator_stack = rng.standard_normal((SWEEP_BATCH, 40, 64))
+    iterates = rng.standard_normal((SWEEP_BATCH, 4, 40))
+    images = iterates + 0.1 * rng.standard_normal((SWEEP_BATCH, 4, 40))
+    kernels = {
+        "pooled_gram_basis": lambda xp: pooled_gram_basis(generator_stack, xp=xp),
+        "randomized_range_basis": lambda xp: randomized_range_basis(
+            generator_stack, xp=xp
+        ),
+        "anderson_mixing_batch": lambda xp: anderson_mixing_batch(
+            iterates, images, xp=xp
+        ),
+    }
+    times = {}
+    for name, kernel in kernels.items():
+        kernel(backend)  # warm-up / compilation
+        start = time.perf_counter()
+        for _ in range(repeats):
+            out = kernel(backend)
+            backend.to_numpy(out[0] if isinstance(out, tuple) else out)
+        times[f"{name}_time"] = round((time.perf_counter() - start) / repeats, 5)
+    return times
+
+
+def _backend_rows(backend, device="cpu"):
+    hcas = _hcas_workload()
+    sweep = _sweep_workload()
+    hcas_results, hcas_certified, hcas_time = _run_workload(hcas, backend, device)
+    sweep_results, sweep_certified, sweep_time = _run_workload(sweep, backend, device)
+    label = backend if device == "cpu" else f"{backend}:{device}"
+    row = {
+        "backend": label,
+        "hcas_regions": len(hcas[1]) * len(EPSILONS),
+        "hcas_certified": hcas_certified,
+        "hcas_time": round(hcas_time, 3),
+        "sweep_regions": SWEEP_BATCH * len(SWEEP_EPSILONS),
+        "sweep_certified": sweep_certified,
+        "sweep_time": round(sweep_time, 3),
+    }
+    row.update(_kernel_times(backend, device))
+    return row, hcas_results, sweep_results
+
+
+def test_backend_numpy(benchmark, record_rows):
+    """The reference leg: always runs, torch installed or not."""
+    row, _, _ = run_once(benchmark, lambda: _backend_rows("numpy"))
+    record_rows("Array backend: numpy reference", [row])
+    append_trajectory("backend", {"numpy": row})
+    assert row["hcas_certified"] > 0
+
+
+@pytest.mark.skipif(TORCH_MISSING, reason="torch not installed")
+def test_backend_torch_parity(benchmark, record_rows):
+    """Torch legs: parity hard-gated, CUDA speedup gated only on CUDA."""
+    from repro.backend.torch_backend import cuda_available
+
+    def experiment():
+        numpy_row, numpy_hcas, numpy_sweep = _backend_rows("numpy")
+        legs = [("cpu", *_backend_rows("torch", "cpu"))]
+        if cuda_available():
+            legs.append(("cuda", *_backend_rows("torch", "cuda")))
+        return numpy_row, numpy_hcas, numpy_sweep, legs
+
+    numpy_row, numpy_hcas, numpy_sweep, legs = run_once(benchmark, experiment)
+
+    rows = [numpy_row]
+    cuda_speedup = None
+    for device, row, hcas_results, sweep_results in legs:
+        row["hcas_flips"] = _count_flips(numpy_hcas, hcas_results)
+        row["sweep_flips"] = _count_flips(numpy_sweep, sweep_results)
+        if device == "cuda":
+            cuda_speedup = numpy_row["sweep_time"] / max(row["sweep_time"], 1e-9)
+            row["cuda_speedup"] = round(cuda_speedup, 2)
+        rows.append(row)
+    payload = {
+        "rows": rows,
+        "cuda_speedup": cuda_speedup,
+        "speedup_gate": (
+            "enforced" if cuda_speedup is not None else "skipped (no CUDA device)"
+        ),
+    }
+    record_rows("Array backend: torch parity", rows)
+    append_trajectory("backend", payload)
+
+    # Cross-backend no-flip contract: every torch leg must reproduce the
+    # numpy verdicts exactly.  These counters are deterministic — hard
+    # gates, no timing involved.
+    for _, row, _, _ in legs:
+        assert row["hcas_flips"] == 0
+        assert row["sweep_flips"] == 0
+        assert row["hcas_certified"] == numpy_row["hcas_certified"]
+        assert row["sweep_certified"] == numpy_row["sweep_certified"]
+
+    # The CUDA speedup gate runs only where CUDA exists — skipped, never
+    # faked, on CPU-only hosts (the payload records which happened).
+    if cuda_speedup is not None:
+        assert cuda_speedup >= 2.0

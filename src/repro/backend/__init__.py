@@ -1,0 +1,34 @@
+"""Pluggable array backends for the batched certification stack.
+
+See :mod:`repro.backend.base` for the :class:`ArrayBackend` contract and
+``docs/backends.md`` for the selection / device / dtype policy.
+"""
+
+from repro.backend.base import (
+    BACKEND_NAMES,
+    SEARCH_DTYPES,
+    ArrayBackend,
+    available_backends,
+    backend_of,
+    resolve_backend,
+)
+from repro.backend.numpy_backend import NUMPY_BACKEND, NumpyBackend
+from repro.backend.ops import (
+    BatchedReLURelaxation,
+    batched_default_slopes,
+    batched_relu_relaxation,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "SEARCH_DTYPES",
+    "NumpyBackend",
+    "NUMPY_BACKEND",
+    "BatchedReLURelaxation",
+    "available_backends",
+    "backend_of",
+    "batched_default_slopes",
+    "batched_relu_relaxation",
+    "resolve_backend",
+]

@@ -1,0 +1,196 @@
+"""The array-namespace abstraction behind the batched certification stack.
+
+An :class:`ArrayBackend` is a small, explicit namespace of array operations
+— construction, elementwise arithmetic helpers, reductions, ``einsum`` /
+``matmul``, and the dense factorisations (``svd`` / ``eigh`` / ``solve`` /
+``lstsq``) the CH-Zonotope machinery is built from — plus dtype and device
+handles and the two host-boundary conversions ``asarray`` / ``to_numpy``.
+The batched element stacks (:mod:`repro.engine.batched_chzonotope`,
+:mod:`repro.engine.batched_domains`) and the shared linear-algebra kernels
+(:mod:`repro.utils.linalg`) are written against this namespace, so the same
+transformer code advances a NumPy stack on the host or a torch stack on a
+GPU.
+
+Two implementations exist:
+
+* :class:`~repro.backend.numpy_backend.NumpyBackend` — the default.  Every
+  method delegates to the *identical* numpy call the pre-backend code used,
+  so the numpy path is bit-for-bit the old behaviour (the engine parity
+  tests pin this).
+* :class:`~repro.backend.torch_backend.TorchBackend` — optional, import
+  guarded.  Requesting it without torch installed (or ``cuda`` without a
+  visible GPU) raises :class:`~repro.exceptions.ConfigurationError` — never
+  an ``AttributeError`` and never a silent numpy fallback.
+
+Soundness/dtype policy (the "shortcut the search, never the proof"
+firewall): every backend computes in **float64** — proof-bearing
+comparisons (Theorem 4.2 containment, verdict margins, safeguard
+residuals) always run at full precision on every device.  A backend may
+additionally carry ``search_dtype="float32"``; the engines then downcast
+*search-only* work (consolidation-basis fitting, acceleration-proposal
+heuristics) to float32 and cast the results back, while every enclosure
+and every verdict-bearing comparison is still evaluated in float64.  See
+``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+from repro.exceptions import ConfigurationError
+
+#: Backend names accepted by :func:`resolve_backend` / ``CraftConfig.backend``.
+BACKEND_NAMES = ("numpy", "torch")
+
+#: Search-dtype policies accepted by ``CraftConfig.backend_search_dtype``.
+SEARCH_DTYPES = ("float64", "float32")
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Structural interface of an array namespace.
+
+    Implementations are stateless singletons per (name, device,
+    search_dtype) triple; the batched stacks keep a reference and route
+    every array operation through it.  Methods must reproduce numpy
+    broadcasting semantics; reductions return *values* (never
+    (values, indices) pairs) so generic code can treat the result like a
+    numpy reduction.
+    """
+
+    # Identity ----------------------------------------------------------
+    name: str
+    device: str
+    search_dtype: str
+
+    # Host boundary -----------------------------------------------------
+    def asarray(self, x): ...
+    def asarray_bool(self, x): ...
+    def asindex(self, x): ...
+    def to_numpy(self, x): ...
+    def is_backend_array(self, x) -> bool: ...
+
+    # Construction ------------------------------------------------------
+    def zeros(self, shape): ...
+    def full(self, shape, value): ...
+    def eye(self, n): ...
+    def arange(self, n): ...
+    def copy(self, x): ...
+
+    # Structure ---------------------------------------------------------
+    def stack(self, seq): ...
+    def concatenate(self, seq, axis=0): ...
+    def transpose(self, x, axes): ...
+    def broadcast_to(self, x, shape): ...
+    def ascontiguous(self, x): ...
+    def flip(self, x): ...
+    def nonzero1d(self, x): ...
+
+    # Elementwise -------------------------------------------------------
+    def where(self, condition, a, b): ...
+    def clip(self, x, lo, hi): ...
+    def abs(self, x): ...
+    def maximum(self, a, b): ...
+    def minimum(self, a, b): ...
+    def isfinite(self, x): ...
+
+    # Reductions --------------------------------------------------------
+    def any(self, x, axis=None): ...
+    def all(self, x, axis=None): ...
+    def sum(self, x, axis=None): ...
+    def mean(self, x, axis=None): ...
+    def amax(self, x, axis=None): ...
+    def amin(self, x, axis=None): ...
+    def argsort(self, x): ...
+    def trace(self, x, axis1, axis2): ...
+
+    # Linear algebra ----------------------------------------------------
+    def matmul(self, a, b): ...
+    def einsum(self, spec, *operands): ...
+    def inv(self, x): ...
+    def svd(self, x, full_matrices=True): ...
+    def eigh(self, x): ...
+    def solve(self, a, b): ...
+    def lstsq(self, a, b): ...
+
+    # Precision policy --------------------------------------------------
+    def f32(self, x): ...
+    def f64(self, x): ...
+    def to_search(self, x): ...
+    def from_search(self, x): ...
+
+    # Diagnostics -------------------------------------------------------
+    def errstate(self): ...
+    def synchronize(self) -> None: ...
+
+
+def _numpy_backend() -> "ArrayBackend":
+    from repro.backend.numpy_backend import NUMPY_BACKEND
+
+    return NUMPY_BACKEND
+
+
+def resolve_backend(
+    name: str = "numpy",
+    device: str = "cpu",
+    search_dtype: str = "float64",
+) -> ArrayBackend:
+    """Resolve a ``CraftConfig`` backend triple to an :class:`ArrayBackend`.
+
+    Raises
+    ------
+    ConfigurationError
+        For an unknown backend name or search dtype, for any non-``cpu``
+        device on the numpy backend, when ``"torch"`` is requested but
+        torch is not importable, or when a ``cuda`` device is requested
+        but no GPU is visible.  Failing loudly here is the contract: the
+        engines never fall back to numpy silently.
+    """
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"backend must be one of {BACKEND_NAMES}, got {name!r}"
+        )
+    if search_dtype not in SEARCH_DTYPES:
+        raise ConfigurationError(
+            f"backend_search_dtype must be one of {SEARCH_DTYPES}, "
+            f"got {search_dtype!r}"
+        )
+    if name == "numpy":
+        if device != "cpu":
+            raise ConfigurationError(
+                f"the numpy backend only supports backend_device='cpu', "
+                f"got {device!r} (use backend='torch' for GPU devices)"
+            )
+        if search_dtype == "float64":
+            return _numpy_backend()
+        from repro.backend.numpy_backend import NumpyBackend
+
+        return NumpyBackend(search_dtype=search_dtype)
+    from repro.backend.torch_backend import TorchBackend
+
+    return TorchBackend(device=device, search_dtype=search_dtype)
+
+
+def backend_of(array) -> ArrayBackend:
+    """The backend owning ``array``.
+
+    Anything that is not a live torch tensor — numpy arrays, python
+    scalars, lists — belongs to the numpy backend, which is what makes
+    the stacks' ``type(self)(center, ...)`` constructor chains
+    backend-stable without threading an explicit handle everywhere.
+    Device and search-dtype attribution for torch tensors follows the
+    tensor itself.
+    """
+    from repro.backend.torch_backend import torch_backend_for_tensor
+
+    resolved = torch_backend_for_tensor(array)
+    if resolved is not None:
+        return resolved
+    return _numpy_backend()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names usable in this process (torch only when importable)."""
+    from repro.backend.torch_backend import TORCH_AVAILABLE
+
+    return ("numpy", "torch") if TORCH_AVAILABLE else ("numpy",)

@@ -1,0 +1,175 @@
+"""The default :class:`ArrayBackend`: plain NumPy on the host.
+
+Every method delegates to the *identical* numpy call the pre-backend
+engine code used — same function, same arguments — so routing the
+batched stacks through this namespace changes nothing numerically: the
+numpy path is bit-for-bit the old behaviour.  ``to_numpy`` is the
+identity (no copy) and ``asarray`` adopts already-float64 arrays
+zero-copy, which is what makes the steady-state iteration loop
+allocation-free at the adoption boundary (the hot-path copy audit in
+``tests/backend/test_backend.py`` pins both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NumpyBackend:
+    """NumPy implementation of the :class:`~repro.backend.base.ArrayBackend`."""
+
+    name = "numpy"
+    device = "cpu"
+    linalg_error = np.linalg.LinAlgError
+
+    def __init__(self, search_dtype: str = "float64"):
+        self.search_dtype = search_dtype
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"NumpyBackend(search_dtype={self.search_dtype!r})"
+
+    # Host boundary -----------------------------------------------------
+    def asarray(self, x):
+        # np.asarray is already zero-copy for float64 ndarrays; the dtype
+        # kwarg only forces a copy when conversion is actually needed.
+        return np.asarray(x, dtype=float)
+
+    def asarray_bool(self, x):
+        return np.asarray(x, dtype=bool)
+
+    def asindex(self, x):
+        return np.asarray(x)
+
+    def to_numpy(self, x):
+        return x
+
+    def is_backend_array(self, x) -> bool:
+        return isinstance(x, np.ndarray)
+
+    # Construction ------------------------------------------------------
+    def zeros(self, shape):
+        return np.zeros(shape)
+
+    def full(self, shape, value):
+        return np.full(shape, value, dtype=float)
+
+    def eye(self, n):
+        return np.eye(n)
+
+    def arange(self, n):
+        return np.arange(n)
+
+    def copy(self, x):
+        return np.array(x, dtype=float)
+
+    # Structure ---------------------------------------------------------
+    def stack(self, seq):
+        return np.stack(seq)
+
+    def concatenate(self, seq, axis=0):
+        return np.concatenate(seq, axis=axis)
+
+    def transpose(self, x, axes):
+        return np.transpose(x, axes)
+
+    def broadcast_to(self, x, shape):
+        return np.broadcast_to(x, shape)
+
+    def ascontiguous(self, x):
+        return np.ascontiguousarray(x)
+
+    def flip(self, x):
+        return np.flip(x, axis=-1)
+
+    def nonzero1d(self, x):
+        return np.nonzero(x)[0]
+
+    # Elementwise -------------------------------------------------------
+    def where(self, condition, a, b):
+        return np.where(condition, a, b)
+
+    def clip(self, x, lo, hi):
+        return np.clip(x, lo, hi)
+
+    def abs(self, x):
+        return np.abs(x)
+
+    def maximum(self, a, b):
+        return np.maximum(a, b)
+
+    def minimum(self, a, b):
+        return np.minimum(a, b)
+
+    def isfinite(self, x):
+        return np.isfinite(x)
+
+    # Reductions --------------------------------------------------------
+    def any(self, x, axis=None):
+        return np.any(x, axis=axis)
+
+    def all(self, x, axis=None):
+        return np.all(x, axis=axis)
+
+    def sum(self, x, axis=None):
+        return np.sum(x, axis=axis)
+
+    def mean(self, x, axis=None):
+        return np.mean(x, axis=axis)
+
+    def amax(self, x, axis=None):
+        return np.max(x, axis=axis)
+
+    def amin(self, x, axis=None):
+        return np.min(x, axis=axis)
+
+    def argsort(self, x):
+        return np.argsort(x)
+
+    def trace(self, x, axis1, axis2):
+        return np.trace(x, axis1=axis1, axis2=axis2)
+
+    # Linear algebra ----------------------------------------------------
+    def matmul(self, a, b):
+        return a @ b
+
+    def einsum(self, spec, *operands):
+        return np.einsum(spec, *operands)
+
+    def inv(self, x):
+        return np.linalg.inv(x)
+
+    def svd(self, x, full_matrices=True):
+        return np.linalg.svd(x, full_matrices=full_matrices)
+
+    def eigh(self, x):
+        return np.linalg.eigh(x)
+
+    def solve(self, a, b):
+        return np.linalg.solve(a, b)
+
+    def lstsq(self, a, b):
+        return np.linalg.lstsq(a, b, rcond=None)[0]
+
+    # Precision policy --------------------------------------------------
+    def f32(self, x):
+        return np.asarray(x, dtype=np.float32)
+
+    def f64(self, x):
+        return np.asarray(x, dtype=float)
+
+    def to_search(self, x):
+        return self.f32(x) if self.search_dtype == "float32" else x
+
+    def from_search(self, x):
+        return self.f64(x)
+
+    # Diagnostics -------------------------------------------------------
+    def errstate(self):
+        return np.errstate(divide="ignore", invalid="ignore")
+
+    def synchronize(self) -> None:
+        return None
+
+
+#: Shared default instance (float64 search dtype — full precision everywhere).
+NUMPY_BACKEND = NumpyBackend()

@@ -1,0 +1,109 @@
+"""Backend-generic kernels shared by the batched abstract transformers.
+
+The sequential domains keep their numpy implementations in
+:mod:`repro.domains.relu`; the batched stacks route through the
+where-based twins here so the same code runs on any
+:class:`~repro.backend.base.ArrayBackend`.  On the numpy backend these
+are **bit-identical** to the masked-assignment originals: the crossing
+positions evaluate the exact same divisions on the exact same operands
+(``u / (u - l)``, ``max(-lam*l, (1-lam)*u) / 2``) and the where-selection
+merely routes stable neurons to the exact constants (0 and 1) the
+original wrote by assignment — the cross-implementation identity test in
+``tests/backend/test_backend.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import DomainError
+
+
+@dataclass(frozen=True)
+class BatchedReLURelaxation:
+    """Backend-array counterpart of :class:`repro.domains.relu.ReLURelaxation`.
+
+    All four fields live on the owning backend (possibly on a GPU); the
+    neuron dimension is the trailing axis, with arbitrary leading batch
+    axes.
+    """
+
+    slopes: object
+    offsets: object
+    new_errors: object
+    crossing: object
+
+
+def batched_default_slopes(xp, lower, upper):
+    """Minimum-area slopes ``u / (u - l)`` clipped to [0, 1], on ``xp``."""
+    lower = xp.asarray(lower)
+    upper = xp.asarray(upper)
+    span = upper - lower
+    positive = span > 0
+    with xp.errstate():
+        slopes = xp.where(
+            positive, upper / xp.where(positive, span, 1.0), 0.0
+        )
+    return xp.clip(slopes, 0.0, 1.0)
+
+
+def batched_relu_relaxation(
+    xp,
+    lower,
+    upper,
+    slopes=None,
+    pass_through: Optional[object] = None,
+) -> BatchedReLURelaxation:
+    """Sound affine ReLU relaxation of ``[lower, upper]`` on backend ``xp``.
+
+    Mirrors :func:`repro.domains.relu.relu_relaxation` (same band, same
+    default minimum-area slope, same pass-through semantics for the
+    joint-space monDEQ state) but computes with ``where`` instead of
+    boolean assignment so it runs unchanged on torch tensors.  ``slopes``
+    may be ``None`` (minimum-area default), a scalar, or an array
+    broadcastable over the bounds; ``pass_through`` is a length-``dim``
+    boolean mask on ``xp``.
+    """
+    lower = xp.asarray(lower)
+    upper = xp.asarray(upper)
+    if tuple(lower.shape) != tuple(upper.shape):
+        raise DomainError("lower and upper bounds must have the same shape")
+    if bool(xp.any(lower > upper + 1e-12)):
+        raise DomainError("lower bounds exceed upper bounds")
+
+    dim = lower.shape[-1]
+    inactive = upper <= 0.0
+    active = lower >= 0.0
+    if pass_through is not None:
+        pass_through = xp.asarray_bool(pass_through)
+        if tuple(pass_through.shape) != (dim,):
+            raise DomainError("pass_through mask must match the element dimension")
+        inactive = inactive & ~pass_through
+        active = active | pass_through
+    crossing = ~(inactive | active)
+
+    # Guarded division: crossing neurons have u > 0 > l so the true span
+    # is strictly positive; stable positions divide by 1 and are then
+    # discarded by the where — identical values to the masked original.
+    span = upper - lower
+    if slopes is None:
+        lam = upper / xp.where(crossing, span, 1.0)
+    else:
+        slopes = xp.asarray(slopes)
+        if tuple(slopes.shape) not in (tuple(lower.shape), (dim,), ()):
+            raise DomainError("slopes must be a scalar or match the element dimension")
+        lam = xp.clip(xp.broadcast_to(slopes, lower.shape), 0.0, 1.0)
+    gap = xp.maximum(-lam * lower, (1.0 - lam) * upper)
+    mu = gap / 2.0
+
+    zero = xp.zeros(lower.shape)
+    out_slopes = xp.where(crossing, lam, xp.where(active, 1.0, 0.0))
+    out_offsets = xp.where(crossing, mu, zero)
+    out_errors = xp.where(crossing, mu, zero)
+    return BatchedReLURelaxation(
+        slopes=out_slopes,
+        offsets=out_offsets,
+        new_errors=out_errors,
+        crossing=crossing,
+    )

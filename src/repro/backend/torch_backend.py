@@ -1,0 +1,257 @@
+"""Optional torch :class:`ArrayBackend` (CPU always, CUDA when visible).
+
+This module imports cleanly with torch **absent**: ``TORCH_AVAILABLE``
+is then ``False`` and constructing :class:`TorchBackend` raises
+:class:`~repro.exceptions.ConfigurationError` — the engines never fall
+back to numpy silently and the core CI matrix stays green without torch
+installed.
+
+Semantics notes (each mapped to the exact numpy behaviour the generic
+stack code expects):
+
+* everything runs in float64 (``torch.float64``) — proof-bearing
+  arithmetic is full precision on every device; ``to_search`` downcasts
+  to float32 only under the documented search-dtype policy,
+* reductions use ``amax``/``amin`` (values only, numpy-style — torch's
+  ``max(dim=...)`` returns a (values, indices) pair),
+* batched trace goes through ``diagonal(...).sum(-1)`` (torch's
+  ``trace`` is 2-D only),
+* ``nonzero1d``/``asindex`` give long tensors so fancy indexing works
+  where numpy code used ``np.nonzero(...)[0]`` / integer arrays,
+* ``errstate`` is a no-op context (torch propagates inf/nan without
+  warnings, which is the behaviour the guarded divisions want).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    TORCH_AVAILABLE = True
+except ImportError:  # pragma: no cover - the torch-less CI matrix
+    torch = None
+    TORCH_AVAILABLE = False
+
+
+def cuda_available() -> bool:
+    """True when torch is importable and sees at least one CUDA device."""
+    return bool(TORCH_AVAILABLE and torch.cuda.is_available())
+
+
+class TorchBackend:
+    """Torch implementation of the :class:`~repro.backend.base.ArrayBackend`."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu", search_dtype: str = "float64"):
+        if not TORCH_AVAILABLE:
+            raise ConfigurationError(
+                "backend='torch' requested but torch is not installed; "
+                "install torch or use backend='numpy'"
+            )
+        try:
+            resolved = torch.device(device)
+        except (RuntimeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"invalid backend_device {device!r}: {exc}"
+            ) from exc
+        if resolved.type == "cuda" and not torch.cuda.is_available():
+            raise ConfigurationError(
+                f"backend_device={device!r} requested but no CUDA device "
+                "is visible; use backend_device='cpu'"
+            )
+        self.device = device
+        self.search_dtype = search_dtype
+        self._device = resolved
+        self._dtype = torch.float64
+        self.linalg_error = getattr(
+            torch.linalg, "LinAlgError", RuntimeError
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"TorchBackend(device={self.device!r}, "
+            f"search_dtype={self.search_dtype!r})"
+        )
+
+    # Host boundary -----------------------------------------------------
+    def asarray(self, x):
+        # as_tensor adopts same-dtype same-device tensors zero-copy and
+        # shares memory with float64 numpy arrays on CPU.
+        return torch.as_tensor(x, dtype=self._dtype, device=self._device)
+
+    def asarray_bool(self, x):
+        return torch.as_tensor(x, dtype=torch.bool, device=self._device)
+
+    def asindex(self, x):
+        # Boolean masks stay boolean (mask indexing); everything else
+        # becomes a long tensor (fancy indexing), matching numpy's rules.
+        t = torch.as_tensor(x, device=self._device)
+        return t if t.dtype == torch.bool else t.to(torch.long)
+
+    def to_numpy(self, x):
+        if isinstance(x, torch.Tensor):
+            return x.detach().cpu().numpy()
+        return x
+
+    def is_backend_array(self, x) -> bool:
+        return isinstance(x, torch.Tensor)
+
+    # Construction ------------------------------------------------------
+    def zeros(self, shape):
+        return torch.zeros(shape, dtype=self._dtype, device=self._device)
+
+    def full(self, shape, value):
+        return torch.full(
+            shape, float(value), dtype=self._dtype, device=self._device
+        )
+
+    def eye(self, n):
+        return torch.eye(n, dtype=self._dtype, device=self._device)
+
+    def arange(self, n):
+        return torch.arange(n, device=self._device)
+
+    def copy(self, x):
+        return x.clone() if isinstance(x, torch.Tensor) else self.asarray(x).clone()
+
+    # Structure ---------------------------------------------------------
+    def stack(self, seq):
+        return torch.stack([self.asarray(s) for s in seq])
+
+    def concatenate(self, seq, axis=0):
+        return torch.cat(list(seq), dim=axis)
+
+    def transpose(self, x, axes):
+        return x.permute(axes)
+
+    def broadcast_to(self, x, shape):
+        return x.expand(shape)
+
+    def ascontiguous(self, x):
+        return x.contiguous()
+
+    def flip(self, x):
+        return torch.flip(x, dims=(-1,))
+
+    def nonzero1d(self, x):
+        return torch.nonzero(x, as_tuple=False).flatten()
+
+    # Elementwise -------------------------------------------------------
+    def where(self, condition, a, b):
+        return torch.where(condition, self._operand(a), self._operand(b))
+
+    def _operand(self, x):
+        if isinstance(x, torch.Tensor):
+            return x
+        return torch.as_tensor(x, dtype=self._dtype, device=self._device)
+
+    def clip(self, x, lo, hi):
+        return torch.clamp(x, min=lo, max=hi)
+
+    def abs(self, x):
+        return torch.abs(x)
+
+    def maximum(self, a, b):
+        return torch.maximum(self._operand(a), self._operand(b))
+
+    def minimum(self, a, b):
+        return torch.minimum(self._operand(a), self._operand(b))
+
+    def isfinite(self, x):
+        return torch.isfinite(x)
+
+    # Reductions --------------------------------------------------------
+    def any(self, x, axis=None):
+        return torch.any(x) if axis is None else torch.any(x, dim=axis)
+
+    def all(self, x, axis=None):
+        return torch.all(x) if axis is None else torch.all(x, dim=axis)
+
+    def sum(self, x, axis=None):
+        return torch.sum(x) if axis is None else torch.sum(x, dim=axis)
+
+    def mean(self, x, axis=None):
+        return torch.mean(x) if axis is None else torch.mean(x, dim=axis)
+
+    def amax(self, x, axis=None):
+        return torch.amax(x) if axis is None else torch.amax(x, dim=axis)
+
+    def amin(self, x, axis=None):
+        return torch.amin(x) if axis is None else torch.amin(x, dim=axis)
+
+    def argsort(self, x):
+        return torch.argsort(x, stable=True)
+
+    def trace(self, x, axis1, axis2):
+        return torch.diagonal(x, dim1=axis1, dim2=axis2).sum(-1)
+
+    # Linear algebra ----------------------------------------------------
+    def matmul(self, a, b):
+        return a @ b
+
+    def einsum(self, spec, *operands):
+        return torch.einsum(spec, *operands)
+
+    def inv(self, x):
+        return torch.linalg.inv(x)
+
+    def svd(self, x, full_matrices=True):
+        return torch.linalg.svd(x, full_matrices=full_matrices)
+
+    def eigh(self, x):
+        return torch.linalg.eigh(x)
+
+    def solve(self, a, b):
+        return torch.linalg.solve(a, b)
+
+    def lstsq(self, a, b):
+        return torch.linalg.lstsq(a, b).solution
+
+    # Precision policy --------------------------------------------------
+    def f32(self, x):
+        return x.to(torch.float32)
+
+    def f64(self, x):
+        return x.to(self._dtype)
+
+    def to_search(self, x):
+        return self.f32(x) if self.search_dtype == "float32" else x
+
+    def from_search(self, x):
+        return self.f64(x)
+
+    # Diagnostics -------------------------------------------------------
+    def errstate(self):
+        return nullcontext()
+
+    def synchronize(self) -> None:
+        if self._device.type == "cuda":  # pragma: no cover - GPU only
+            torch.cuda.synchronize(self._device)
+
+
+#: One shared TorchBackend per device string, for tensor → backend lookup.
+_CANONICAL = {}
+
+
+def torch_backend_for_tensor(array) -> Optional[TorchBackend]:
+    """The canonical backend owning ``array`` if it is a torch tensor.
+
+    Returns ``None`` for anything else (numpy arrays, scalars, lists), so
+    :func:`repro.backend.base.backend_of` can fall through to numpy.  The
+    canonical instance carries the default float64 search dtype — search
+    downcasting is driven by the engine's explicitly resolved backend,
+    never by type inference.
+    """
+    if not TORCH_AVAILABLE or not isinstance(array, torch.Tensor):
+        return None
+    device = str(array.device)
+    backend = _CANONICAL.get(device)
+    if backend is None:
+        backend = _CANONICAL[device] = TorchBackend(device=device)
+    return backend

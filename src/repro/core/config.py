@@ -25,6 +25,8 @@ _VALID_EXPANSIONS = ("const", "exp", "none")
 _VALID_SLOPE_MODES = ("none", "reduced", "reference")
 _VALID_CONSOLIDATION_BASES = ("per_sample", "shared", "auto")
 _VALID_CACHE_KEY_MODES = ("exact", "quantized")
+_VALID_BACKENDS = ("numpy", "torch")
+_VALID_SEARCH_DTYPES = ("float64", "float32")
 
 
 @dataclass(frozen=True)
@@ -428,6 +430,20 @@ class CraftConfig:
         acceleration can change which phase-one iterate a verdict is
         certified from, so these fields *are* part of the cache's config
         signature.
+    backend, backend_device, backend_search_dtype:
+        Array backend of the batched engines (``docs/backends.md``):
+        ``"numpy"`` (default, bit-identical to the pre-backend code) or
+        ``"torch"`` with a torch device string (``"cpu"``, ``"cuda"``,
+        ``"cuda:1"``, ...).  Requesting torch without torch installed, or
+        a CUDA device without a visible GPU, raises
+        :class:`ConfigurationError` at engine construction — never a
+        silent numpy fallback.  ``backend_search_dtype="float32"``
+        downcasts *search-only* work (consolidation-basis fitting,
+        acceleration-proposal heuristics) while every proof-bearing
+        comparison (containment, verdict margins, safeguard residuals)
+        stays float64 — shortcut the search, never the proof.  All three
+        fields are part of the cache's config signature: entries computed
+        under different backend policies never cross-serve.
     """
 
     domain: Optional[str] = None
@@ -460,6 +476,9 @@ class CraftConfig:
     cache_budget_bytes: Optional[int] = None
     cache: CacheConfig = field(default_factory=CacheConfig)
     acceleration: AccelerationConfig = field(default_factory=AccelerationConfig)
+    backend: str = "numpy"
+    backend_device: str = "cpu"
+    backend_search_dtype: str = "float64"
     concrete_tol: float = 1e-9
     concrete_max_iterations: int = 2000
     verbose: bool = False
@@ -537,6 +556,25 @@ class CraftConfig:
                 f"acceleration.stages must name one flag per ladder stage "
                 f"({len(self.domains)} stages {self.domains}), got "
                 f"{len(self.acceleration.stages)} entries"
+            )
+        if self.backend not in _VALID_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {_VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend_search_dtype not in _VALID_SEARCH_DTYPES:
+            raise ConfigurationError(
+                f"backend_search_dtype must be one of {_VALID_SEARCH_DTYPES}, "
+                f"got {self.backend_search_dtype!r}"
+            )
+        if not isinstance(self.backend_device, str) or not self.backend_device:
+            raise ConfigurationError(
+                f"backend_device must be a non-empty device string, "
+                f"got {self.backend_device!r}"
+            )
+        if self.backend == "numpy" and self.backend_device != "cpu":
+            raise ConfigurationError(
+                f"the numpy backend only supports backend_device='cpu', got "
+                f"{self.backend_device!r} (use backend='torch' for GPU devices)"
             )
         if not self.alpha2_grid:
             raise ConfigurationError("alpha2_grid must not be empty")

@@ -123,6 +123,12 @@ def _config_signature(config: CraftConfig) -> str:
         config.acceleration.safeguard_ratio, config.acceleration.margin,
         config.acceleration.rate_cap, config.acceleration.max_factor,
         config.acceleration.max_proposals, config.acceleration.stages,
+        # Backend policy: numpy and torch agree on every verdict by the
+        # cross-backend parity contract, but they are not bit-identical
+        # executions, and a float32 search policy can change which
+        # phase-one iterate a verdict is certified from — so entries
+        # written under one backend triple never serve another.
+        config.backend, config.backend_device, config.backend_search_dtype,
     )
     return repr(fields)
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.config import AccelerationConfig, CraftConfig
 from repro.core.contraction import proposal_factors
 from repro.core.expansion import ExpansionSchedule
@@ -112,7 +113,7 @@ def _scatter_rows(stack, rows: np.ndarray, replacement):
     generator payload differs.
     """
     generators = stack.generators
-    generators[rows] = replacement.generators
+    generators[stack.xp.asindex(rows)] = replacement.generators
     return type(stack)(stack.center, generators, stack.box)
 
 
@@ -240,7 +241,9 @@ class _TighteningStacks:
     states: "BatchedDomain"
     previous: "BatchedDomain"
     initial_states: List[AbstractElement]
-    differences: np.ndarray
+    #: Per-sample postcondition difference matrices, pre-parked on the
+    #: engine backend so the tightening loop never re-uploads them.
+    differences: object
 
 
 class BatchedCraft:
@@ -267,6 +270,18 @@ class BatchedCraft:
         # to per-sample; ladder stage configs arrive pre-resolved through
         # CraftConfig.stage_config().
         self._basis_mode = self._config.resolved_consolidation_basis()
+        # Resolve the array backend eagerly: an unusable request (torch not
+        # installed, cuda without a GPU) must raise ConfigurationError at
+        # construction, never fall back to numpy mid-run.
+        self._backend = resolve_backend(
+            self._config.backend,
+            self._config.backend_device,
+            self._config.backend_search_dtype,
+        )
+        # The float32 firewall: search-only work (consolidation-basis
+        # fitting, acceleration-proposal heuristics) may downcast;
+        # proof-bearing comparisons never do.
+        self._search = self._backend.search_dtype == "float32"
         #: Consolidation accounting of the most recent certify_regions run.
         self.consolidation_stats = ConsolidationStats()
         if self._config.solver1 == "fb" and self._config.solver2 == "pr":
@@ -275,7 +290,13 @@ class BatchedCraft:
                 "the auxiliary PR state was never computed (Section 6.3)"
             )
         self._layout = layout_for(model, self._config.solver1)
-        self._output_selector = model.v_weight @ self._layout.z_selector()
+        # Output-readout operands are parked on the backend once: the
+        # tightening loop applies them every iteration, and xp.asarray
+        # adopts an already-resident array zero-copy.
+        self._output_selector = self._backend.asarray(
+            model.v_weight @ self._layout.z_selector()
+        )
+        self._output_bias = self._backend.asarray(model.v_bias)
 
     @property
     def config(self) -> CraftConfig:
@@ -352,9 +373,13 @@ class BatchedCraft:
         batch = len(balls)
         self.consolidation_stats = ConsolidationStats()
 
+        # Admission boundary: the input stack crosses to the configured
+        # backend exactly once here; every derived stack (injections,
+        # iterates, histories) stays device-resident until verdict
+        # extraction.
         input_elements = self._domain_cls.from_elements(
             [ball.to_element(config.domain) for ball in balls]
-        )
+        ).to_backend(self._backend)
         if anchor_fixpoints is None:
             centers = np.stack([ball.center for ball in balls])
             anchor_fixpoints = solve_fixpoint_batch(
@@ -366,7 +391,9 @@ class BatchedCraft:
                 max_iterations=config.concrete_max_iterations,
             ).z
         blocks = 2 if self._layout.has_aux else 1
-        initial = self._domain_cls.from_points(np.tile(anchor_fixpoints, (1, blocks)))
+        initial = self._domain_cls.from_points(
+            np.tile(anchor_fixpoints, (1, blocks))
+        ).to_backend(self._backend)
         contraction_step = make_batched_abstract_step(
             self._model,
             self._layout,
@@ -405,8 +432,8 @@ class BatchedCraft:
         either way.
         """
         if self._basis_mode == "shared":
-            return state.shared_pca_basis()
-        return state.pca_basis()
+            return state.shared_pca_basis(search=self._search)
+        return state.pca_basis(search=self._search)
 
     def _consolidate(
         self, state: "BatchedDomain", w_mul: float, w_add: float, basis=None
@@ -447,7 +474,9 @@ class BatchedCraft:
             if np.any(bad):
                 rows = np.nonzero(bad)[0]
                 subset = state.select(rows)
-                repaired = subset.consolidate(subset.pca_basis(), w_mul, w_add)
+                repaired = subset.consolidate(
+                    subset.pca_basis(search=self._search), w_mul, w_add
+                )
                 result = _scatter_rows(result, rows, repaired)
                 stats.fallback_samples += int(rows.size)
         stats.seconds += time.perf_counter() - start
@@ -534,7 +563,7 @@ class BatchedCraft:
                             maxlen=settings.history_size,
                         )
                         if basis is not None and basis.ndim == 3:
-                            basis = basis[keep]
+                            basis = basis[self._backend.asindex(keep)]
                         current_step = current_step.select(keep)
 
             next_state = current_step(state)
@@ -594,7 +623,7 @@ class BatchedCraft:
                 # A shared (n, n) basis is row-independent; only per-sample
                 # basis stacks are gathered down with the batch.
                 if basis is not None and basis.ndim == 3:
-                    basis = basis[keep]
+                    basis = basis[self._backend.asindex(keep)]
                 current_step = current_step.select(keep)
             else:
                 state = next_state
@@ -651,13 +680,20 @@ class BatchedCraft:
         if cand.size == 0:
             return np.empty(0, dtype=int)
         cand_ids = active[cand]
+        # The proposal decision is pure *search*: an under- or over-eager
+        # proposal only costs/saves exact containment steps, never
+        # soundness (the Theorem B.1 unroll below always runs in float64).
+        # Under the float32 search policy the heuristic therefore sees
+        # float32-rounded widths.
+        f32 = (lambda a: a.astype(np.float32)) if self._search else (lambda a: a)
         factors, mask = proposal_factors(
             accel,
-            state.width.mean(axis=1)[cand],
-            step_w1[cand_ids],
-            step_w2[cand_ids],
-            step_w3[cand_ids],
+            f32(state.width.mean(axis=1)[cand]),
+            f32(step_w1[cand_ids]),
+            f32(step_w2[cand_ids]),
+            f32(step_w3[cand_ids]),
         )
+        factors = np.asarray(factors, dtype=float)
         prop = cand[mask]
         if prop.size == 0:
             return np.empty(0, dtype=int)
@@ -727,7 +763,7 @@ class BatchedCraft:
             inputs=input_elements.select(np.asarray(contained_samples)),
             states=self._domain_cls.from_elements(
                 [containment[s].state for s in contained_samples]
-            ),
+            ).to_backend(self._backend),
             previous=self._domain_cls.from_elements(
                 [
                     containment[s].reference
@@ -735,10 +771,10 @@ class BatchedCraft:
                     else containment[s].state
                     for s in contained_samples
                 ]
-            ),
+            ).to_backend(self._backend),
             initial_states=[containment[s].state for s in contained_samples],
-            differences=np.stack(
-                [specs[s].difference_matrix() for s in contained_samples]
+            differences=self._backend.asarray(
+                np.stack([specs[s].difference_matrix() for s in contained_samples])
             ),
         )
         count = len(contained_samples)
@@ -840,7 +876,7 @@ class BatchedCraft:
         )
         state = stacks.states if full_batch else stacks.states.select(rows)
         previous = stacks.previous if full_batch else stacks.previous.select(rows)
-        difference_stack = stacks.differences[rows]
+        difference_stack = stacks.differences[self._backend.asindex(rows)]
 
         best_margin = np.full(count, -np.inf)
         # Best states/outputs are tracked as (stack, row) references and only
@@ -888,8 +924,10 @@ class BatchedCraft:
             else:
                 usable = np.ones(active.size, dtype=bool)
 
-            outputs = new_state.affine(self._output_selector, self._model.v_bias)
-            differences = outputs.affine(difference_stack[active])
+            outputs = new_state.affine(self._output_selector, self._output_bias)
+            differences = outputs.affine(
+                difference_stack[self._backend.asindex(active)]
+            )
             lower, _ = differences.concretize_bounds()
             margins = lower.min(axis=1)
             holds = margins > 0.0

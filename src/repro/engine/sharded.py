@@ -71,6 +71,7 @@ import numpy as np
 
 from repro.core.config import CraftConfig
 from repro.core.results import VerificationResult
+from repro.backend import resolve_backend
 from repro.engine.craft import BatchedCraft, ConsolidationStats
 from repro.engine.escalation import StageStats, should_escalate
 from repro.engine.results import EngineReport
@@ -248,6 +249,15 @@ class ShardedScheduler:
 
         self.model = model
         self.config = config if config is not None else CraftConfig()
+        # Fail the backend request here, in the coordinator, before any
+        # worker forks: an unusable backend (torch absent, cuda without a
+        # GPU) must raise one ConfigurationError up front, not one per
+        # shard from inside the pool.
+        resolve_backend(
+            self.config.backend,
+            self.config.backend_device,
+            self.config.backend_search_dtype,
+        )
         if num_workers is None:
             num_workers = default_num_workers()
         if num_workers < 1:

@@ -57,6 +57,18 @@ _DOMAIN_CLASSES = {
 
 _logger = logging.getLogger(__name__)
 
+
+def backend_label(config: CraftConfig) -> str:
+    """Compact backend column for sweep rows: ``"numpy"``, ``"torch:cpu"``,
+    ``"torch:cuda"``, plus ``"/f32-search"`` under the float32 search
+    policy."""
+    label = config.backend
+    if config.backend != "numpy":
+        label = f"{config.backend}:{config.backend_device}"
+    if config.backend_search_dtype == "float32":
+        label = f"{label}/f32-search"
+    return label
+
 #: (engine, domain) pairs whose dispatch decision has already been logged —
 #: sweeps run thousands of queries, so the choice is announced once per
 #: process instead of once per call.
@@ -382,6 +394,11 @@ class RobustnessReport:
     #: surfaced next to the measured peaks by :meth:`as_row` so sweep
     #: output shows how tight the working-set model is on this workload.
     error_term_estimates: Dict[str, int] = field(default_factory=dict)
+    #: Array-backend triple the sweep ran on (``"numpy"``,
+    #: ``"torch:cpu"``, ``"torch:cuda"``, with ``"/f32-search"`` appended
+    #: under the float32 search policy) — rows from different backends
+    #: must be distinguishable in sweep output.
+    backend: str = "numpy"
 
     @property
     def num_samples(self) -> int:
@@ -505,6 +522,7 @@ class RobustnessReport:
             "phase1_iterations": self.phase1_iterations,
             "accel_accepted": self.accel_accepted,
             "accel_proposals": self.accel_proposals,
+            "backend": self.backend,
         }
 
 
@@ -602,6 +620,7 @@ class RobustnessVerifier:
             model_name=self.model.name,
             epsilon=epsilon,
             error_term_estimates=stage_error_term_estimates(self.model, self.config),
+            backend=backend_label(self.config),
         )
         for index, (x, label, result) in enumerate(zip(xs, labels, results)):
             prediction = int(predictions[index])

@@ -1,0 +1,459 @@
+"""The pluggable array backend: resolution, guards, zero-copy, bit-identity.
+
+Four contracts are pinned here:
+
+* **Resolution and guards** — ``resolve_backend`` / ``CraftConfig`` reject
+  unknown names, unknown search dtypes and impossible device combinations
+  with :class:`ConfigurationError`; requesting torch without torch (or
+  cuda without a GPU) fails loudly at construction, never silently falls
+  back to numpy.  The torch module itself must *import* cleanly without
+  torch — the core CI matrix runs torch-less.
+* **Zero-copy adoption** — the numpy backend adopts float64 C-contiguous
+  arrays without copying (``asarray`` is the identity, ``to_numpy`` is
+  the identity, ``to_backend`` on a matching stack returns ``self``), so
+  the steady-state iteration path performs no hidden copies.
+* **Bit-identity of the where-based kernels** — the backend-generic ReLU
+  relaxation and linalg kernels on the numpy backend are bit-for-bit the
+  sequential originals; this is what makes the numpy engine default
+  bit-identical to the pre-backend code.
+* **Cache separation** — the backend triple is part of the cache config
+  signature, so entries computed under different backend policies never
+  cross-serve.
+
+Torch-specific parity tests (kernels and stacks, numpy vs torch-CPU at
+1e-9) are skipped where torch is not importable and run in the CI torch
+leg; cross-backend *verdict* parity lives in
+``tests/engine/test_differential.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    available_backends,
+    backend_of,
+    batched_default_slopes,
+    batched_relu_relaxation,
+    resolve_backend,
+)
+from repro.backend.torch_backend import (
+    TORCH_AVAILABLE,
+    TorchBackend,
+    cuda_available,
+    torch_backend_for_tensor,
+)
+from repro.core.config import CraftConfig
+from repro.domains.relu import default_slopes, relu_relaxation
+from repro.exceptions import ConfigurationError
+
+needs_torch = pytest.mark.skipif(not TORCH_AVAILABLE, reason="torch not installed")
+torchless_only = pytest.mark.skipif(
+    TORCH_AVAILABLE, reason="guard only observable without torch"
+)
+
+
+class TestResolveBackend:
+    def test_default_is_the_numpy_singleton(self):
+        assert resolve_backend() is NUMPY_BACKEND
+        assert resolve_backend("numpy", "cpu", "float64") is NUMPY_BACKEND
+
+    def test_numpy_backend_satisfies_the_protocol(self):
+        assert isinstance(NUMPY_BACKEND, ArrayBackend)
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend must be one of"):
+            resolve_backend("cupy")
+
+    def test_unknown_search_dtype_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend_search_dtype"):
+            resolve_backend("numpy", "cpu", "float16")
+
+    def test_numpy_rejects_non_cpu_devices(self):
+        with pytest.raises(ConfigurationError, match="numpy backend only supports"):
+            resolve_backend("numpy", "cuda")
+
+    def test_numpy_float32_search_is_a_distinct_instance(self):
+        xp = resolve_backend("numpy", "cpu", "float32")
+        assert xp is not NUMPY_BACKEND
+        assert xp.search_dtype == "float32"
+        assert xp.to_search(np.ones(3)).dtype == np.float32
+        assert xp.from_search(np.ones(3, dtype=np.float32)).dtype == np.float64
+
+    def test_available_backends_always_contains_numpy(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert ("torch" in names) == TORCH_AVAILABLE
+
+    @torchless_only
+    def test_torch_without_torch_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="torch is not installed"):
+            resolve_backend("torch")
+
+    @needs_torch
+    def test_torch_cpu_resolves(self):
+        xp = resolve_backend("torch", "cpu")
+        assert xp.name == "torch"
+        assert xp.device == "cpu"
+        assert isinstance(xp, ArrayBackend)
+
+    @needs_torch
+    @pytest.mark.skipif(cuda_available(), reason="a GPU is visible")
+    def test_cuda_without_gpu_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no CUDA device"):
+            resolve_backend("torch", "cuda")
+
+
+class TestTorchImportGuard:
+    """The torch backend module must work *as a module* without torch."""
+
+    def test_module_imports_without_torch(self):
+        import repro.backend.torch_backend as module
+
+        assert isinstance(module.TORCH_AVAILABLE, bool)
+
+    @torchless_only
+    def test_constructor_raises_without_torch(self):
+        with pytest.raises(ConfigurationError, match="torch is not installed"):
+            TorchBackend()
+
+    @torchless_only
+    def test_cuda_available_is_false_without_torch(self):
+        assert cuda_available() is False
+
+    def test_tensor_lookup_passes_numpy_through(self):
+        assert torch_backend_for_tensor(np.zeros(3)) is None
+        assert torch_backend_for_tensor([1.0, 2.0]) is None
+
+
+class TestBackendOf:
+    def test_numpy_arrays_belong_to_the_numpy_backend(self):
+        assert backend_of(np.zeros((2, 3))) is NUMPY_BACKEND
+
+    def test_plain_python_sequences_belong_to_numpy(self):
+        assert backend_of([1.0, 2.0]) is NUMPY_BACKEND
+
+    @needs_torch
+    def test_torch_tensors_resolve_to_a_canonical_torch_backend(self):
+        import torch
+
+        xp = backend_of(torch.zeros(3, dtype=torch.float64))
+        assert xp.name == "torch"
+        # Canonical instances never carry a search downcast: search policy
+        # is driven by the engine's resolved backend, not type inference.
+        assert xp.search_dtype == "float64"
+        assert xp is backend_of(torch.ones(5, dtype=torch.float64))
+
+
+class TestConfigValidation:
+    def test_backend_fields_default_to_numpy_float64(self):
+        config = CraftConfig()
+        assert config.backend == "numpy"
+        assert config.backend_device == "cpu"
+        assert config.backend_search_dtype == "float64"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend must be one of"):
+            CraftConfig(backend="cupy")
+
+    def test_unknown_search_dtype_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend_search_dtype"):
+            CraftConfig(backend_search_dtype="bfloat16")
+
+    def test_numpy_with_cuda_device_rejected(self):
+        with pytest.raises(ConfigurationError, match="numpy backend only supports"):
+            CraftConfig(backend="numpy", backend_device="cuda")
+
+    def test_empty_device_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend_device"):
+            CraftConfig(backend_device="")
+
+    @torchless_only
+    def test_batched_craft_fails_at_construction_without_torch(self):
+        """The engine raises at *construction* — before any query runs —
+        and raises ConfigurationError, never AttributeError and never a
+        silent numpy fallback."""
+        from repro.engine import BatchedCraft
+        from repro.mondeq.model import MonDEQ
+
+        model = MonDEQ.random(
+            input_dim=3, latent_dim=4, output_dim=2, monotonicity=8.0, seed=0
+        )
+        with pytest.raises(ConfigurationError, match="torch is not installed"):
+            BatchedCraft(model, CraftConfig(backend="torch"))
+
+    @torchless_only
+    def test_sharded_scheduler_fails_in_the_coordinator_without_torch(self):
+        from repro.engine import ShardedScheduler
+        from repro.mondeq.model import MonDEQ
+
+        model = MonDEQ.random(
+            input_dim=3, latent_dim=4, output_dim=2, monotonicity=8.0, seed=0
+        )
+        with pytest.raises(ConfigurationError, match="torch is not installed"):
+            ShardedScheduler(model, CraftConfig(backend="torch"), num_workers=1)
+
+    def test_backend_triple_is_part_of_the_cache_signature(self):
+        from repro.engine.cache import _config_signature
+
+        base = _config_signature(CraftConfig())
+        assert _config_signature(CraftConfig(backend="torch")) != base
+        assert (
+            _config_signature(CraftConfig(backend="torch", backend_device="cuda"))
+            != _config_signature(CraftConfig(backend="torch"))
+        )
+        assert (
+            _config_signature(CraftConfig(backend_search_dtype="float32")) != base
+        )
+
+
+class TestNumpyZeroCopy:
+    """Satellite regression: the steady-state path performs no copies."""
+
+    def test_asarray_adopts_float64_arrays_identically(self):
+        arr = np.ascontiguousarray(np.random.default_rng(0).normal(size=(4, 5)))
+        adopted = NUMPY_BACKEND.asarray(arr)
+        assert adopted is arr
+
+    def test_asarray_converts_other_dtypes(self):
+        arr = np.ones((3, 2), dtype=np.float32)
+        adopted = NUMPY_BACKEND.asarray(arr)
+        assert adopted.dtype == np.float64
+        assert not np.shares_memory(adopted, arr)
+
+    def test_to_numpy_is_the_identity(self):
+        arr = np.zeros((2, 2))
+        assert NUMPY_BACKEND.to_numpy(arr) is arr
+
+    def test_to_backend_on_matching_stack_returns_self(self):
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+
+        stack = BatchedCHZonotope(
+            np.zeros((2, 3)), np.zeros((2, 3, 4)), np.zeros((2, 3))
+        )
+        assert stack.to_backend(NUMPY_BACKEND) is stack
+
+    def test_stack_construction_adopts_owner_arrays_without_copy(self):
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+
+        center = np.zeros((2, 3))
+        generators = np.zeros((2, 3, 4))
+        box = np.zeros((2, 3))
+        stack = BatchedCHZonotope(center, generators, box)
+        lower, upper = stack.concretize_bounds()
+        # Bounds on the numpy backend are host arrays already — to_numpy
+        # must not have copied them on the way out.
+        assert lower.base is not None or lower.flags.owndata
+
+    def test_abstract_step_operands_are_parked_once(self):
+        """make_batched_abstract_step pre-converts the state matrix, so
+        per-iteration ``xp.asarray`` calls adopt it with zero copies."""
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+        from repro.mondeq.abstract_solvers import (
+            layout_for,
+            make_batched_abstract_step,
+        )
+        from repro.mondeq.model import MonDEQ
+
+        model = MonDEQ.random(
+            input_dim=3, latent_dim=4, output_dim=2, monotonicity=8.0, seed=1
+        )
+        layout = layout_for(model, "pr")
+        batched_input = BatchedCHZonotope(
+            np.zeros((2, 3)), np.zeros((2, 3, 3)), 0.1 * np.ones((2, 3))
+        )
+        step = make_batched_abstract_step(model, layout, batched_input, "pr", 0.1)
+        parked = step._state_matrix
+        assert NUMPY_BACKEND.asarray(parked) is parked
+
+
+class TestReLUBitIdentity:
+    """The where-based batched ReLU relaxation is bit-for-bit the
+    sequential masked-assignment original on the numpy backend."""
+
+    def _bounds(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        lower = rng.normal(size=shape)
+        upper = lower + rng.uniform(0.0, 2.0, size=shape)
+        return lower, upper
+
+    @pytest.mark.parametrize("shape", [(7,), (3, 5), (4, 2, 6)])
+    def test_default_slopes_identical(self, shape):
+        lower, upper = self._bounds(shape, 11)
+        batched = batched_default_slopes(NUMPY_BACKEND, lower, upper)
+        flat = default_slopes(lower.reshape(-1), upper.reshape(-1))
+        assert np.array_equal(batched.reshape(-1), flat)
+
+    @pytest.mark.parametrize("shape", [(7,), (3, 5)])
+    @pytest.mark.parametrize("explicit_slopes", [False, True])
+    def test_relaxation_identical(self, shape, explicit_slopes):
+        lower, upper = self._bounds(shape, 13)
+        slopes = 0.4 if explicit_slopes else None
+        batched = batched_relu_relaxation(NUMPY_BACKEND, lower, upper, slopes=slopes)
+        rows = lower.reshape(-1, shape[-1])
+        cols = upper.reshape(-1, shape[-1])
+        b_slopes = batched.slopes.reshape(-1, shape[-1])
+        b_offsets = batched.offsets.reshape(-1, shape[-1])
+        b_errors = batched.new_errors.reshape(-1, shape[-1])
+        for i in range(rows.shape[0]):
+            reference = relu_relaxation(rows[i], cols[i], slopes=slopes)
+            assert np.array_equal(b_slopes[i], reference.slopes)
+            assert np.array_equal(b_offsets[i], reference.offsets)
+            assert np.array_equal(b_errors[i], reference.new_errors)
+
+    def test_pass_through_identical(self):
+        lower, upper = self._bounds((6,), 17)
+        mask = np.array([False, True, False, True, False, False])
+        batched = batched_relu_relaxation(
+            NUMPY_BACKEND, lower, upper, pass_through=mask
+        )
+        reference = relu_relaxation(lower, upper, pass_through=mask)
+        assert np.array_equal(batched.slopes, reference.slopes)
+        assert np.array_equal(batched.offsets, reference.offsets)
+        assert np.array_equal(batched.new_errors, reference.new_errors)
+        assert np.array_equal(batched.crossing, reference.crossing)
+
+
+class TestKernelDispatch:
+    """utils.linalg kernels: xp=None and xp=NUMPY_BACKEND are the same
+    code path, and the search flag round-trips through float32."""
+
+    def _stack(self, seed, shape=(3, 4, 6)):
+        return np.random.default_rng(seed).normal(size=shape)
+
+    def test_pooled_gram_basis_numpy_dispatch_identity(self):
+        from repro.utils.linalg import pooled_gram_basis
+
+        stack = self._stack(3)
+        assert np.array_equal(
+            pooled_gram_basis(stack), pooled_gram_basis(stack, xp=NUMPY_BACKEND)
+        )
+
+    def test_pooled_gram_basis_search_returns_float64(self):
+        from repro.utils.linalg import pooled_gram_basis
+
+        basis = pooled_gram_basis(self._stack(5), xp=NUMPY_BACKEND, search=True)
+        assert basis.dtype == np.float64
+        # A float32-fitted basis is still a basis: orthonormal columns.
+        np.testing.assert_allclose(basis.T @ basis, np.eye(4), atol=1e-5)
+
+    def test_randomized_range_basis_deterministic_across_dispatch(self):
+        from repro.utils.linalg import randomized_range_basis
+
+        stack = self._stack(7, shape=(2, 5, 9))
+        assert np.array_equal(
+            randomized_range_basis(stack, seed=3),
+            randomized_range_basis(stack, seed=3, xp=NUMPY_BACKEND),
+        )
+
+    def test_anderson_mixing_batch_numpy_dispatch_identity(self):
+        from repro.utils.linalg import anderson_mixing_batch
+
+        rng = np.random.default_rng(9)
+        iterates = rng.normal(size=(4, 3, 5))
+        images = iterates + 0.1 * rng.normal(size=(4, 3, 5))
+        mixed_a, ok_a = anderson_mixing_batch(iterates, images)
+        mixed_b, ok_b = anderson_mixing_batch(iterates, images, xp=NUMPY_BACKEND)
+        assert np.array_equal(mixed_a, mixed_b)
+        assert np.array_equal(ok_a, ok_b)
+
+
+@needs_torch
+class TestTorchParity:
+    """numpy vs torch-CPU at 1e-9: kernels and stack transformers."""
+
+    def _stack(self, seed, shape=(3, 4, 6)):
+        return np.random.default_rng(seed).normal(size=shape)
+
+    def test_pooled_gram_basis_matches(self):
+        from repro.utils.linalg import pooled_gram_basis
+
+        xp = resolve_backend("torch", "cpu")
+        stack = self._stack(21)
+        on_numpy = pooled_gram_basis(stack)
+        on_torch = xp.to_numpy(pooled_gram_basis(xp.asarray(stack), xp=xp))
+        # Eigenvector signs are convention; compare the projectors.
+        np.testing.assert_allclose(
+            on_numpy @ on_numpy.T, on_torch @ on_torch.T, atol=1e-9
+        )
+
+    def test_randomized_range_basis_matches(self):
+        from repro.utils.linalg import randomized_range_basis
+
+        xp = resolve_backend("torch", "cpu")
+        stack = self._stack(23, shape=(2, 5, 9))
+        on_numpy = randomized_range_basis(stack, seed=3)
+        on_torch = xp.to_numpy(
+            randomized_range_basis(xp.asarray(stack), seed=3, xp=xp)
+        )
+        np.testing.assert_allclose(
+            np.matmul(on_numpy, np.transpose(on_numpy, (0, 2, 1))),
+            np.matmul(on_torch, np.transpose(on_torch, (0, 2, 1))),
+            atol=1e-9,
+        )
+
+    def test_anderson_mixing_batch_matches(self):
+        from repro.utils.linalg import anderson_mixing_batch
+
+        xp = resolve_backend("torch", "cpu")
+        rng = np.random.default_rng(25)
+        iterates = rng.normal(size=(4, 3, 5))
+        images = iterates + 0.1 * rng.normal(size=(4, 3, 5))
+        mixed_np, ok_np = anderson_mixing_batch(iterates, images)
+        mixed_t, ok_t = anderson_mixing_batch(
+            xp.asarray(iterates), xp.asarray(images), xp=xp
+        )
+        np.testing.assert_allclose(mixed_np, xp.to_numpy(mixed_t), atol=1e-9)
+        assert np.array_equal(ok_np, xp.to_numpy(ok_t))
+
+    def test_stack_round_trip_is_bit_exact(self):
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+
+        xp = resolve_backend("torch", "cpu")
+        rng = np.random.default_rng(27)
+        stack = BatchedCHZonotope(
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4, 5)),
+            rng.uniform(0.0, 0.5, size=(3, 4)),
+        )
+        back = stack.to_backend(xp).to_backend(NUMPY_BACKEND)
+        assert np.array_equal(stack.center, back.center)
+        assert np.array_equal(stack.generators, back.generators)
+        assert np.array_equal(stack.box, back.box)
+
+    def test_affine_relu_pipeline_matches(self):
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+
+        xp = resolve_backend("torch", "cpu")
+        rng = np.random.default_rng(31)
+        stack = BatchedCHZonotope(
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4, 4)),
+            rng.uniform(0.0, 0.3, size=(3, 4)),
+        )
+        weight = rng.normal(size=(4, 4))
+        bias = rng.normal(size=4)
+        on_numpy = stack.affine(weight, bias).relu()
+        on_torch = stack.to_backend(xp).affine(weight, bias).relu()
+        np_lower, np_upper = on_numpy.concretize_bounds()
+        t_lower, t_upper = on_torch.concretize_bounds()
+        np.testing.assert_allclose(np_lower, t_lower, atol=1e-9)
+        np.testing.assert_allclose(np_upper, t_upper, atol=1e-9)
+
+    def test_containment_agrees(self):
+        from repro.engine.batched_chzonotope import BatchedCHZonotope
+
+        xp = resolve_backend("torch", "cpu")
+        rng = np.random.default_rng(33)
+        outer = BatchedCHZonotope(
+            rng.normal(size=(3, 4)),
+            np.tile(np.eye(4), (3, 1, 1)) * 2.0,
+            0.5 * np.ones((3, 4)),
+        )
+        inner = BatchedCHZonotope(
+            outer.center, outer.generators * 0.25, outer.box * 0.25
+        )
+        flags_np = outer.contains(inner)
+        flags_t = outer.to_backend(xp).contains(inner.to_backend(xp))
+        assert np.array_equal(flags_np, flags_t)

@@ -120,6 +120,19 @@ def domain_ladders():
     return st.sampled_from(subsets)
 
 
+def backends():
+    """Array backends usable in this process, for cross-backend fuzzing.
+
+    Always contains ``"numpy"``; ``"torch"`` joins when torch is
+    importable (the CI torch leg), so the differential suite fuzzes
+    torch-CPU configurations exactly where they can run and the core
+    matrix stays green without torch.
+    """
+    from repro.backend import available_backends
+
+    return st.sampled_from(available_backends())
+
+
 def acceleration_configs():
     """Acceleration knobs for the differential fuzz: off half the time,
     and when on, varied window / margin / proposal budgets so the fuzz
@@ -169,6 +182,7 @@ def craft_configs():
         slope_mode,
         basis,
         acceleration,
+        backend,
     ):
         solver1, solver2 = solvers
         return CraftConfig(
@@ -189,6 +203,7 @@ def craft_configs():
             tighten_consolidate_every=consolidate_every,
             consolidation_basis=basis,
             acceleration=acceleration,
+            backend=backend,
         )
 
     return st.builds(
@@ -202,4 +217,9 @@ def craft_configs():
         slope_mode=st.sampled_from(["none", "none", "reduced"]),
         basis=st.sampled_from(["per_sample", "per_sample", "auto"]),
         acceleration=acceleration_configs(),
+        # The batched engines run on every available array backend; the
+        # sequential reference is backend-independent, so the parity
+        # assertions double as cross-backend verdict-parity assertions
+        # wherever torch is importable (torch-CPU in CI).
+        backend=backends(),
     )
