@@ -21,7 +21,6 @@ mid-traffic and the cluster recover without losing a verdict.
 
 import asyncio
 import tempfile
-import threading
 import time
 
 import numpy as np
@@ -37,20 +36,6 @@ INJECT_FAULTS = False
 TRAFFIC_SECONDS = 6.0
 EPSILON = 0.03
 POOL = 24
-
-
-class SerializedBackend:
-    """One cluster sweep at a time; frontend executor threads take turns."""
-
-    def __init__(self, scheduler):
-        self.scheduler = scheduler
-        self._lock = threading.Lock()
-
-    def certify(self, xs, labels, epsilon, clip_min=0.0, clip_max=1.0):
-        with self._lock:
-            return self.scheduler.certify(
-                xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
-            )
 
 
 async def drive(frontend, fingerprint, xs, labels):
@@ -85,6 +70,9 @@ def main() -> None:
         coalesce_window_seconds=0.02, max_batch_cells=16,
         shard_timeout_seconds=1.5, retry_backoff_seconds=0.05,
         retry_backoff_factor=1.5, heartbeat_seconds=0.1,
+        # The cluster scheduler is concurrent-caller-safe: let the
+        # frontend run two engine passes against it at once.
+        max_concurrent_batches=2,
     )
     faults = (
         FaultSpec(seed=7, scripted=((0, 0, "kill"),)) if INJECT_FAULTS else None
@@ -99,8 +87,7 @@ def main() -> None:
             print(f"cluster listening on {scheduler.address}")
             frontend = CertificationFrontend(service=service)
             fingerprint = frontend.register_model(
-                model, config, backend=SerializedBackend(scheduler),
-                cache_dir=cache_dir,
+                model, config, backend=scheduler, cache_dir=cache_dir,
             )
             print(f"registered model {fingerprint}")
 

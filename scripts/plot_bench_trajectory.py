@@ -17,9 +17,12 @@ The script doubles as the **bench regression gate**: ``--check`` compares
 every time-like trajectory point against the median of its trailing
 window and exits nonzero when a point is slower by more than the noise
 band (1.5x the trailing inter-quartile range, with a 10% relative floor
-so a run of identical timings does not flag measurement jitter).  The CI
-``bench-engines`` job runs the gate after the benchmarks, so a
-regression shows up as a failing step next to the uploaded trajectory.
+so a run of identical timings does not flag measurement jitter).
+Throughput metrics (``qps`` / ``aggregate_qps``) are gated the same way
+in the opposite direction — a point *below* the trailing median by more
+than the noise band flags.  The CI ``bench-engines`` job runs the gate
+after the benchmarks, so a regression shows up as a failing step next to
+the uploaded trajectory.
 
 Usage::
 
@@ -39,12 +42,17 @@ from typing import Dict, List
 
 #: Metric-name substrings graphed by default; override with --keys.
 DEFAULT_KEYS = (
-    "speedup", "regions_per_second", "certified", "hit_rate", "_time", "time"
+    "speedup", "regions_per_second", "certified", "hit_rate", "qps",
+    "_time", "time"
 )
 
 #: Metric-name substrings the regression gate treats as "lower is better"
 #: wall-clock measurements.
 CHECK_KEYS = ("time",)
+
+#: Metric-name substrings gated as "higher is better" throughput — a
+#: point *below* the trailing median by more than the noise band flags.
+CHECK_KEYS_HIGHER = ("qps",)
 
 #: Trailing-window length, IQR multiplier, relative noise floor and the
 #: minimum history before the gate arms (young trajectories have no
@@ -137,39 +145,62 @@ def check_regressions(
     min_history: int = CHECK_MIN_HISTORY,
     latest_only: bool = False,
 ) -> List[str]:
-    """Flag time-like trajectory points slower than their trailing median.
+    """Flag trajectory points regressed against their trailing median.
 
-    For every metric whose name matches :data:`CHECK_KEYS`, each point
-    with at least ``min_history`` predecessors is compared against the
-    median of its trailing ``window``: a point is a regression when it
-    exceeds ``median + max(band * IQR, relative_floor * median)`` — the
-    IQR term models the trajectory's own run-to-run noise, the relative
-    floor keeps a perfectly steady history from flagging harmless jitter.
+    For every metric whose name matches :data:`CHECK_KEYS` (wall-clock,
+    lower is better) or :data:`CHECK_KEYS_HIGHER` (throughput, higher is
+    better), each point with at least ``min_history`` predecessors is
+    compared against the median of its trailing ``window``: a point is a
+    regression when it lands on the wrong side of ``median ± max(band *
+    IQR, relative_floor * median)`` — the IQR term models the
+    trajectory's own run-to-run noise, the relative floor keeps a
+    perfectly steady history from flagging harmless jitter.
 
-    ``latest_only`` restricts the scan to each series' newest point —
-    what the CI gate uses, so a transient regression that has since
-    healed does not keep every future gate run red.  Returns
-    human-readable descriptions, one per flagged point.
+    ``latest_only`` restricts the scan to each series' newest *present*
+    point — what the CI gate uses, so a transient regression that has
+    since healed does not keep every future gate run red, and a history
+    whose runs alternate between scenarios (each contributing its own
+    metric names) still gates every series on its own latest sample.
+    Returns human-readable descriptions, one per flagged point.
     """
     flags: List[str] = []
     for name, runs in trajectories.items():
-        series = select_series(runs, CHECK_KEYS)
-        for metric, values in series.items():
-            indices = [len(values) - 1] if latest_only else range(len(values))
-            for index in indices:
-                value = values[index]
-                if value != value:  # nan: run missing this metric
-                    continue
-                trailing = [v for v in values[max(0, index - window) : index] if v == v]
-                if len(trailing) < min_history:
-                    continue
-                baseline = median(trailing)
-                noise = max(band * _iqr(trailing), relative_floor * abs(baseline))
-                if value > baseline + noise:
-                    flags.append(
-                        f"{name}: {metric} run {index + 1} took {value:g} "
-                        f"(trailing median {baseline:g}, allowed {baseline + noise:g})"
+        for key_filters, lower_is_better in (
+            (CHECK_KEYS, True),
+            (CHECK_KEYS_HIGHER, False),
+        ):
+            series = select_series(runs, key_filters)
+            for metric, values in series.items():
+                if latest_only:
+                    present = [i for i, v in enumerate(values) if v == v]
+                    indices = present[-1:]
+                else:
+                    indices = range(len(values))
+                for index in indices:
+                    value = values[index]
+                    if value != value:  # nan: run missing this metric
+                        continue
+                    trailing = [
+                        v for v in values[max(0, index - window) : index] if v == v
+                    ]
+                    if len(trailing) < min_history:
+                        continue
+                    baseline = median(trailing)
+                    noise = max(
+                        band * _iqr(trailing), relative_floor * abs(baseline)
                     )
+                    if lower_is_better and value > baseline + noise:
+                        flags.append(
+                            f"{name}: {metric} run {index + 1} took {value:g} "
+                            f"(trailing median {baseline:g}, "
+                            f"allowed {baseline + noise:g})"
+                        )
+                    elif not lower_is_better and value < baseline - noise:
+                        flags.append(
+                            f"{name}: {metric} run {index + 1} dropped to "
+                            f"{value:g} (trailing median {baseline:g}, "
+                            f"allowed {baseline - noise:g})"
+                        )
     return flags
 
 
@@ -228,8 +259,8 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help="regression gate: exit nonzero when a time-like trajectory "
-        "point is slower than its trailing median by more than the noise "
-        "band (1.5x IQR with a 10%% floor)",
+        "point is slower — or a qps point lower — than its trailing "
+        "median by more than the noise band (1.5x IQR with a 10%% floor)",
     )
     args = parser.parse_args(argv)
     key_filters = tuple(token for token in args.keys.split(",") if token)

@@ -69,6 +69,7 @@ from repro.engine import (
 )
 from repro.mondeq.model import MonDEQ
 from repro.service import (
+    AutoscaleConfig,
     CertificationFrontend,
     ClusterScheduler,
     FaultSpec,
@@ -77,9 +78,10 @@ from repro.service import (
 )
 from repro.verify.specs import ClassificationSpec, LinfBall
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
+    "AutoscaleConfig",
     "BatchCertificationScheduler",
     "BatchedBox",
     "BatchedCHZonotope",

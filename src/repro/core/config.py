@@ -114,6 +114,61 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class AutoscaleConfig:
+    """Queue-depth worker autoscaling of the cluster scheduler.
+
+    The policy is deliberately simple and fully deterministic given the
+    observed queue depths: the shared task queue staying at or above
+    ``high_watermark`` for ``dwell_seconds`` grows the local pool by one
+    worker (up to ``max_workers``); staying at or below
+    ``low_watermark`` for the same dwell retires one idle worker (down
+    to ``min_workers``).  The dwell requirement filters transient
+    spikes — a single deep poll never scales anything.  Scaling never
+    touches verdicts: a retired worker finishes nothing mid-shard (it
+    only consumes the retire pill when idle), and a grown worker joins
+    at the next generation exactly like a fault respawn.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` (the default) keeps the pool at its
+        constructed size — today's behaviour, bit for bit.
+    min_workers / max_workers:
+        Inclusive bounds of the local worker pool under scaling.
+    high_watermark:
+        Queue depth (pending, unclaimed tasks) at or above which the
+        pool is considered under-provisioned.
+    low_watermark:
+        Queue depth at or below which the pool is considered
+        over-provisioned.
+    dwell_seconds:
+        How long a watermark breach must persist before acting; also
+        the re-arm delay between consecutive scale events.
+    """
+
+    enabled: bool = False
+    min_workers: int = 1
+    max_workers: int = 4
+    high_watermark: int = 4
+    low_watermark: int = 0
+    dwell_seconds: float = 1.0
+
+    def __post_init__(self):
+        if not isinstance(self.min_workers, int) or self.min_workers < 1:
+            raise ConfigurationError("min_workers must be a positive integer")
+        if not isinstance(self.max_workers, int) or self.max_workers < self.min_workers:
+            raise ConfigurationError("max_workers must be an integer >= min_workers")
+        if not isinstance(self.high_watermark, int) or self.high_watermark < 1:
+            raise ConfigurationError("high_watermark must be a positive integer")
+        if not isinstance(self.low_watermark, int) or self.low_watermark < 0:
+            raise ConfigurationError("low_watermark must be a non-negative integer")
+        if self.low_watermark >= self.high_watermark:
+            raise ConfigurationError("low_watermark must be below high_watermark")
+        if self.dwell_seconds <= 0:
+            raise ConfigurationError("dwell_seconds must be positive")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the long-lived certification service (:mod:`repro.service`).
 
@@ -153,6 +208,20 @@ class ServiceConfig:
         Whether the cluster scheduler respawns a dead *local* worker
         process (remote workers are never respawned — they belong to
         their own machine's supervisor).
+    max_concurrent_batches:
+        How many coalesced engine passes may run simultaneously *per
+        backend*.  ``1`` (the default) serialises batches behind one
+        engine pass — today's behaviour — while larger values let
+        distinct coalescing groups (different models, epsilons or clip
+        ranges) certify in parallel.  Purely a scheduling knob: verdicts
+        are identical at any setting.
+    dispatch_log_limit:
+        Upper bound on retained ``dispatch_log`` rows (the frontend's
+        per-batch audit trail).  Older rows are evicted FIFO so a
+        long-lived frontend stays bounded; ``None`` keeps every row.
+    autoscale:
+        Queue-depth worker autoscaling of the cluster scheduler
+        (:class:`AutoscaleConfig`); disabled by default.
     """
 
     coalesce_window_seconds: float = 0.01
@@ -165,6 +234,9 @@ class ServiceConfig:
     retry_backoff_factor: float = 2.0
     retry_max_attempts: int = 5
     restart_workers: bool = True
+    max_concurrent_batches: int = 1
+    dispatch_log_limit: Optional[int] = 1024
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
 
     def __post_init__(self):
         if self.coalesce_window_seconds < 0:
@@ -193,6 +265,21 @@ class ServiceConfig:
             raise ConfigurationError("retry_backoff_factor must be >= 1")
         if not isinstance(self.retry_max_attempts, int) or self.retry_max_attempts < 1:
             raise ConfigurationError("retry_max_attempts must be a positive integer")
+        if (
+            not isinstance(self.max_concurrent_batches, int)
+            or self.max_concurrent_batches < 1
+        ):
+            raise ConfigurationError(
+                "max_concurrent_batches must be a positive integer"
+            )
+        if self.dispatch_log_limit is not None and (
+            not isinstance(self.dispatch_log_limit, int) or self.dispatch_log_limit < 1
+        ):
+            raise ConfigurationError(
+                "dispatch_log_limit must be None or a positive integer"
+            )
+        if not isinstance(self.autoscale, AutoscaleConfig):
+            raise ConfigurationError("autoscale must be an AutoscaleConfig")
 
 
 @dataclass(frozen=True)

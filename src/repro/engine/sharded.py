@@ -62,6 +62,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -308,6 +309,16 @@ class ShardedScheduler:
         )
         self._pool = None
         self._inline_state: Optional[_WorkerState] = None
+        # Concurrent-caller safety: certify()/certify_regions() may be
+        # invoked from several threads at once (the service frontend's
+        # max_concurrent_batches does exactly that).  The transport hooks
+        # below are sweep-scoped, so dispatch state never aliases; the
+        # remaining shared mutable state is the cache view (not
+        # thread-safe), the inline worker state and the pool lifecycle —
+        # each serialised by its own lock.
+        self._cache_lock = threading.Lock()
+        self._inline_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
         # Spawn the pool eagerly: forking *before* the parent runs any BLAS
         # work (the prediction pass) sidesteps the classic
         # fork-after-threaded-BLAS deadlock with OpenBLAS/MKL thread pools.
@@ -328,18 +339,19 @@ class ShardedScheduler:
         )
 
     def _ensure_pool(self):
-        if self._inline:
-            if self._inline_state is None:
-                self._inline_state = _build_worker_state(self._payload())
-            return None
-        if self._pool is None:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(
-                processes=self.num_workers,
-                initializer=_init_worker,
-                initargs=(self._payload(),),
-            )
-        return self._pool
+        with self._lifecycle_lock:
+            if self._inline:
+                if self._inline_state is None:
+                    self._inline_state = _build_worker_state(self._payload())
+                return None
+            if self._pool is None:
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = context.Pool(
+                    processes=self.num_workers,
+                    initializer=_init_worker,
+                    initargs=(self._payload(),),
+                )
+            return self._pool
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent).
@@ -351,10 +363,11 @@ class ShardedScheduler:
         fresh scheduler (or ``"forkserver"``) if the host's BLAS is known
         to be fork-unsafe.
         """
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        with self._lifecycle_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
 
     def __enter__(self) -> "ShardedScheduler":
         return self
@@ -421,7 +434,8 @@ class ShardedScheduler:
                 if miss_results[row] is not None:
                     results[index] = miss_results[row]
                     if self.cache is not None:
-                        self.cache.admit(queries[index], miss_results[row])
+                        with self._cache_lock:
+                            self.cache.admit(queries[index], miss_results[row])
             queued = [misses[row] for row in miss_queued]
 
         num_shards, stage_rows = self._dispatch(queued, balls, specs, anchors, results)
@@ -477,19 +491,20 @@ class ShardedScheduler:
         results: List[Optional[VerificationResult]] = [None] * total
         queries: List[Optional[RegionQuery]] = [None] * total
         misses: List[int] = []
-        if self.cache is not None:
-            # One incremental scan per sweep picks up entries concurrent
-            # writers (including this scheduler's own workers) published.
-            self.cache.refresh()
-        for index in range(total):
+        with self._cache_lock:
             if self.cache is not None:
-                query = RegionQuery.from_ball(balls[index], specs[index])
-                queries[index] = query
-                cached = self.cache.lookup(query)
-                if cached is not None:
-                    results[index] = cached
-                    continue
-            misses.append(index)
+                # One incremental scan per sweep picks up entries concurrent
+                # writers (including this scheduler's own workers) published.
+                self.cache.refresh()
+            for index in range(total):
+                if self.cache is not None:
+                    query = RegionQuery.from_ball(balls[index], specs[index])
+                    queries[index] = query
+                    cached = self.cache.lookup(query)
+                    if cached is not None:
+                        results[index] = cached
+                        continue
+                misses.append(index)
         return results, queries, misses
 
     def _build_shard(
@@ -588,71 +603,86 @@ class ShardedScheduler:
         stats[stages[0]].attempted = len(order)
         total_shards = len(shards)
         self._ensure_pool()
-        self._begin_dispatch()
-        outstanding = 0
-        for shard in shards:
-            self._submit_one(shard)
-            outstanding += 1
-        while outstanding:
-            indices, shard_results, domain, elapsed, consolidation = (
-                self._next_completed()
-            )
-            outstanding -= 1
-            stage_stats = stats[domain]
-            stage_stats.batches += 1
-            stage_stats.elapsed_seconds += elapsed
-            stage_stats.record_consolidation(ConsolidationStats.from_dict(consolidation))
-            stage_stats.record_peaks(shard_results)
-            stage_stats.record_acceleration(shard_results)
-            position = stage_index[domain]
-            final = position == len(stages) - 1
-            escalated: List[int] = []
-            for index, result in zip(indices, shard_results):
-                if final or not should_escalate(result):
-                    results[index] = result
-                    stage_stats.resolved += 1
-                    stage_stats.certified += int(result.certified)
-                else:
-                    escalated.append(index)
-            stage_stats.escalated += len(escalated)
-            if escalated:
-                next_domain = stages[position + 1]
-                stats[next_domain].attempted += len(escalated)
-                next_batch = self.stage_batch_sizes[next_domain]
-                for offset in range(0, len(escalated), next_batch):
-                    shard = self._build_shard(
-                        escalated[offset : offset + next_batch],
-                        balls, specs, anchor_rows, next_domain,
-                    )
-                    total_shards += 1
-                    self._submit_one(shard)
-                    outstanding += 1
+        sweep = self._begin_dispatch()
+        try:
+            outstanding = 0
+            for shard in shards:
+                self._submit_one(sweep, shard)
+                outstanding += 1
+            while outstanding:
+                indices, shard_results, domain, elapsed, consolidation = (
+                    self._next_completed(sweep)
+                )
+                outstanding -= 1
+                stage_stats = stats[domain]
+                stage_stats.batches += 1
+                stage_stats.elapsed_seconds += elapsed
+                stage_stats.record_consolidation(
+                    ConsolidationStats.from_dict(consolidation)
+                )
+                stage_stats.record_peaks(shard_results)
+                stage_stats.record_acceleration(shard_results)
+                position = stage_index[domain]
+                final = position == len(stages) - 1
+                escalated: List[int] = []
+                for index, result in zip(indices, shard_results):
+                    if final or not should_escalate(result):
+                        results[index] = result
+                        stage_stats.resolved += 1
+                        stage_stats.certified += int(result.certified)
+                    else:
+                        escalated.append(index)
+                stage_stats.escalated += len(escalated)
+                if escalated:
+                    next_domain = stages[position + 1]
+                    stats[next_domain].attempted += len(escalated)
+                    next_batch = self.stage_batch_sizes[next_domain]
+                    for offset in range(0, len(escalated), next_batch):
+                        shard = self._build_shard(
+                            escalated[offset : offset + next_batch],
+                            balls, specs, anchor_rows, next_domain,
+                        )
+                        total_shards += 1
+                        self._submit_one(sweep, shard)
+                        outstanding += 1
+        finally:
+            self._finish_dispatch(sweep)
         return total_shards, [stats[name].as_row() for name in stages]
 
     # ------------------------------------------------------------------
     # Transport hooks.  The waterfall above is execution-strategy
-    # agnostic: it only needs "hand this shard to the workers"
-    # (:meth:`_submit_one`) and "block until any submitted shard
-    # completes" (:meth:`_next_completed`).  The pool transport below
-    # collects in FIFO submission order; the TCP cluster transport
-    # (:class:`repro.service.cluster.ClusterScheduler`) overrides these
-    # three hooks with a lease-tracked work queue and inherits the
-    # waterfall, cache and accounting unchanged.
+    # agnostic: it only needs "open a sweep" (:meth:`_begin_dispatch`,
+    # which returns an opaque per-sweep token), "hand this shard to the
+    # workers" (:meth:`_submit_one`), "block until any of *this sweep's*
+    # shards completes" (:meth:`_next_completed`) and "close the sweep"
+    # (:meth:`_finish_dispatch`, always called, success or failure).
+    # Because all dispatch state hangs off the token, any number of
+    # sweeps may interleave on one scheduler — the pool transport below
+    # collects each sweep's shards in FIFO submission order; the TCP
+    # cluster transport (:class:`repro.service.cluster.ClusterScheduler`)
+    # overrides these hooks with per-sweep lease tables over a shared
+    # work queue and inherits the waterfall, cache and accounting
+    # unchanged.
     # ------------------------------------------------------------------
 
-    def _begin_dispatch(self) -> None:
-        """Reset per-dispatch transport state."""
-        self._pending: deque = deque()
+    def _begin_dispatch(self) -> deque:
+        """Open one sweep; returns its transport token."""
+        return deque()
 
-    def _submit_one(self, shard: _Shard) -> None:
-        """Hand one shard to the execution backend."""
-        self._pending.append(self._submit(shard))
+    def _submit_one(self, sweep: deque, shard: _Shard) -> None:
+        """Hand one of ``sweep``'s shards to the execution backend."""
+        sweep.append(self._submit(shard))
 
     def _next_completed(
-        self,
+        self, sweep: deque
     ) -> Tuple[List[int], List[VerificationResult], str, float, Dict]:
-        """Block until a submitted shard completes; return its payload."""
-        return self._collect(self._pending.popleft())
+        """Block until one of ``sweep``'s shards completes; return its
+        payload."""
+        return self._collect(sweep.popleft())
+
+    def _finish_dispatch(self, sweep: deque) -> None:
+        """Tear down one sweep's transport state (pool: nothing to do —
+        an abandoned ``AsyncResult`` is garbage collected)."""
 
     def _submit(self, shard: _Shard):
         """Hand a shard to the pool (or keep it for inline execution)."""
@@ -664,7 +694,10 @@ class ShardedScheduler:
         """Wait for one submitted shard's
         ``(indices, results, domain, elapsed, consolidation stats)``."""
         if self._inline:
-            return _execute_shard(self._inline_state, handle)
+            # The inline worker state (per-stage crafts + cache) is shared
+            # across sweeps; concurrent callers serialise here.
+            with self._inline_lock:
+                return _execute_shard(self._inline_state, handle)
         try:
             return handle.get(timeout=self.timeout_seconds)
         except multiprocessing.TimeoutError:

@@ -4,9 +4,9 @@
 machine: its transport is a fork/spawn pool.  This module extends the
 same escalation waterfall across machines by overriding only the
 transport hooks (``_begin_dispatch`` / ``_submit_one`` /
-``_next_completed``) with a TCP work queue — the shard protocol has been
-pickle-clean since PR 2, so a shard crosses a socket exactly as it
-crossed a pool pipe.
+``_next_completed`` / ``_finish_dispatch``) with a TCP work queue — the
+shard protocol has been pickle-clean since PR 2, so a shard crosses a
+socket exactly as it crossed a pool pipe.
 
 Topology
 --------
@@ -20,7 +20,7 @@ server (in a daemon thread — no extra process) exposing three proxies:
     straggler.  Nobody is assigned anything.
 ``result_queue``
     Upstream channel for ``claim`` / ``result`` / ``heartbeat`` /
-    ``error`` messages.
+    ``error`` / ``retired`` messages.
 ``control``
     One-shot distribution of the pickled ``(model, config, cache_dir,
     keep_abstractions)`` payload — each worker fetches the weights once
@@ -32,6 +32,22 @@ workers on other machines join the same server by address/authkey via
 Both speak the identical protocol — the fault-injection tests exercise
 the TCP path even for local workers.
 
+Sweep multiplexing
+------------------
+Any number of ``certify()`` / ``certify_regions()`` sweeps may run
+concurrently on one scheduler (the service frontend's
+``max_concurrent_batches`` does exactly that).  Every task is stamped
+with a ``(sweep_id, task_id)`` pair — sweep ids are monotone across the
+scheduler's lifetime, task ids monotone within a sweep — and a single
+long-lived **router thread** drains the result queue, maintains the
+per-sweep lease tables and hands each completed shard to the owning
+sweep's completion queue.  Workers treat the stamp as an opaque token
+they echo in claims and results, so multiplexing needs no worker-side
+protocol change.  The exactly-once, work-stealing and fault-recovery
+guarantees below hold *per sweep* under arbitrary interleaving, and a
+failing sweep (retries exhausted, worker exception, timeout) fails
+alone — concurrent sweeps on the same cluster keep running.
+
 Exactly-once verdicts under faults
 ----------------------------------
 Three mechanisms compose, none of which trusts the workers:
@@ -42,19 +58,35 @@ Three mechanisms compose, none of which trusts the workers:
   reused as the health-check) and requeues the task.
 * **Retry with deterministic backoff**: each reassignment waits
   :func:`repro.service.faults.retry_backoff` before requeueing; more
-  than ``service.retry_max_attempts`` attempts fails the sweep loudly
-  rather than looping.
-* **First-wins dedupe**: results carry their task id; the first result
-  for a task resolves it and every later duplicate (a hung worker
-  finally reporting after its shard was reassigned) is counted and
-  dropped — no double-counted verdicts.  Shard execution is
+  than ``service.retry_max_attempts`` attempts fails the owning sweep
+  loudly rather than looping.
+* **First-wins dedupe**: results carry their ``(sweep_id, task_id)``
+  stamp; the first result for a task resolves it and every later
+  duplicate (a hung worker finally reporting after its shard was
+  reassigned, or a straggler from an already finished sweep) is counted
+  and dropped — no double-counted verdicts.  Shard execution is
   deterministic, so which attempt wins never changes a verdict.
 
-Verdict-losing faults are impossible by construction: a task leaves the
-lease table only when its result is returned to the waterfall (or the
-sweep fails).  Dead *local* workers are detected early via process
+Verdict-losing faults are impossible by construction: a task leaves its
+sweep's lease table only when its result is routed to the waterfall (or
+the sweep fails).  Dead *local* workers are detected early via process
 liveness (no need to wait out the lease) and respawned at the next
 generation when ``service.restart_workers``.
+
+Queue-depth autoscaling
+-----------------------
+With ``service.autoscale.enabled`` the router also runs a
+:class:`QueueDepthAutoscaler` tick: the shared task queue staying at or
+above ``high_watermark`` for ``dwell_seconds`` grows the local pool by
+one worker (bounded by ``max_workers``); staying at or below
+``low_watermark`` for the dwell retires one idle worker down to
+``min_workers``.  Retirement is a **pill**: a ``("retire",)`` message on
+the task queue, consumed by exactly one idle worker, which acknowledges
+(``retired``) and exits cleanly — a busy worker never abandons a shard
+to retire, so scaling cannot lose or flip verdicts.  Grown and
+fault-respawned workers share the per-slot generation counter, so
+worker ids stay unique across scale churn.  Scale events surface in
+:meth:`ClusterStats.as_row`.
 """
 
 from __future__ import annotations
@@ -66,11 +98,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from multiprocessing.managers import BaseManager, Server
 
-from repro.core.config import CraftConfig, ServiceConfig
+from repro.core.config import AutoscaleConfig, CraftConfig, ServiceConfig
 from repro.core.results import VerificationResult
 from repro.engine.sharded import (
     ShardedScheduler,
@@ -187,11 +219,13 @@ def run_cluster_worker(
     ``address``.
 
     Fetches the weights payload once, then pulls tasks until the stop
-    sentinel: claim, (maybe) fault, compute via the same
-    :func:`~repro.engine.sharded._execute_shard` the pool workers run
-    (including worker-side cache admission of final verdicts), report.
-    Idle periods emit heartbeats so the scheduler can tell "no work"
-    from "dead worker".
+    sentinel (or a retire pill): claim, (maybe) fault, compute via the
+    same :func:`~repro.engine.sharded._execute_shard` the pool workers
+    run (including worker-side cache admission of final verdicts),
+    report.  Task ids are opaque to the worker — it echoes whatever
+    stamp the scheduler attached, which is how one worker serves many
+    interleaved sweeps without knowing it.  Idle periods emit heartbeats
+    so the scheduler can tell "no work" from "dead worker".
     """
     # BaseManager authenticates with the *process* authkey on the worker
     # side of the handshake as well; align it before connecting.
@@ -217,6 +251,13 @@ def run_cluster_worker(
         if message[0] == "stop":
             # Re-publish the sentinel so sibling workers drain too.
             tasks.put(message)
+            return 0
+        if message[0] == "retire":
+            # A scale-down pill: consumed by exactly one idle worker
+            # (never re-published), acknowledged so the scheduler can
+            # tell a retirement from a crash, then a clean exit.  A busy
+            # worker cannot reach this branch mid-shard.
+            results.put(("retired", None, worker_id, time.time()))
             return 0
         _, task_id, attempt, shard = message
         results.put(("claim", task_id, worker_id, time.time()))
@@ -244,14 +285,77 @@ class _TaskState:
 
 
 @dataclass
+class _SweepDispatch:
+    """Router-side state of one in-flight sweep: its lease table plus
+    the completion queue ``_next_completed`` blocks on.  Everything a
+    sweep owns hangs off this token, which is how two sweeps interleave
+    on one cluster without sharing any retry state."""
+
+    sweep_id: int
+    leases: Dict[int, _TaskState] = field(default_factory=dict)
+    completions: "queue.Queue" = field(default_factory=queue.Queue)
+    next_task_id: int = 0
+    failed: bool = False
+
+
+class QueueDepthAutoscaler:
+    """The pure scaling policy: watermarks + dwell over observed depth.
+
+    Stateless apart from the two dwell timers, and fully deterministic
+    given the ``observe`` call sequence — the unit battery drives it
+    with an injected clock and no cluster at all.  ``observe`` returns
+    ``"grow"``, ``"shrink"`` or ``None``; after an action the timers
+    re-arm, so consecutive scale events are at least ``dwell_seconds``
+    apart.
+    """
+
+    def __init__(
+        self,
+        config: AutoscaleConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config
+        self.clock = clock
+        self._high_since: Optional[float] = None
+        self._low_since: Optional[float] = None
+
+    def observe(self, depth: int, workers: int) -> Optional[str]:
+        """Fold in one (queue depth, live workers) sample."""
+        config = self.config
+        if not config.enabled:
+            return None
+        now = self.clock()
+        if depth >= config.high_watermark and workers < config.max_workers:
+            self._low_since = None
+            if self._high_since is None:
+                self._high_since = now
+            elif now - self._high_since >= config.dwell_seconds:
+                self._high_since = None
+                return "grow"
+        elif depth <= config.low_watermark and workers > config.min_workers:
+            self._high_since = None
+            if self._low_since is None:
+                self._low_since = now
+            elif now - self._low_since >= config.dwell_seconds:
+                self._low_since = None
+                return "shrink"
+        else:
+            self._high_since = None
+            self._low_since = None
+        return None
+
+
+@dataclass
 class ClusterStats:
-    """Fault-recovery accounting of one :class:`ClusterScheduler`."""
+    """Fault-recovery and scaling accounting of one :class:`ClusterScheduler`."""
 
     tasks: int = 0
     retries: int = 0
     duplicates_dropped: int = 0
     respawns: int = 0
     heartbeats: int = 0
+    scale_up_events: int = 0
+    scale_down_events: int = 0
     dead_workers: Set[str] = field(default_factory=set)
 
     def as_row(self) -> Dict:
@@ -261,6 +365,8 @@ class ClusterStats:
             "duplicates_dropped": self.duplicates_dropped,
             "respawns": self.respawns,
             "workers_marked_dead": len(self.dead_workers),
+            "scale_up_events": self.scale_up_events,
+            "scale_down_events": self.scale_down_events,
         }
 
 
@@ -274,10 +380,15 @@ class ClusterScheduler(ShardedScheduler):
     pass ``spawn_local_workers=False`` to host a server that waits for
     remote machines only.
 
+    ``certify``/``certify_regions`` are safe to call from any number of
+    threads at once: each call is one *sweep*, multiplexed over the
+    shared worker pool by the router thread (see the module docstring).
+
     ``timeout_seconds`` keeps its pool meaning — the bound on waiting
-    for *any* shard to complete — but here expiry first exhausts the
-    lease/retry machinery; it fires only when retries are exhausted or
-    no worker makes progress at all.
+    for *any* shard of one sweep to complete — but here expiry first
+    exhausts the lease/retry machinery; it fires only when retries are
+    exhausted or no worker makes progress at all, and it fails only the
+    sweep that timed out.
     """
 
     def __init__(
@@ -312,7 +423,12 @@ class ClusterScheduler(ShardedScheduler):
         self._local_workers: Dict[int, multiprocessing.Process] = {}
         self._generations: Dict[int, int] = {}
         self._worker_ids: Dict[int, str] = {}
-        self._leases: Dict[int, _TaskState] = {}
+        #: Guards every piece of router-shared state below (sweeps,
+        #: leases, workers, requeues, stats).  RLock: router helpers
+        #: call each other.
+        self._lock = threading.RLock()
+        self._sweeps: Dict[int, _SweepDispatch] = {}
+        self._next_sweep_id = 0
         #: Worker ids whose *process* is confirmed gone (reaped), as
         #: opposed to merely lease-suspected: a suspected-hung worker may
         #: recover and keep contributing — rejecting its future claims
@@ -320,8 +436,11 @@ class ClusterScheduler(ShardedScheduler):
         #: pid can never claim again, so its in-flight claim is stale by
         #: construction.
         self._crashed: Set[str] = set()
-        self._requeue: List[Tuple[float, int]] = []
-        self._next_task_id = 0
+        self._requeue: List[Tuple[float, int, int]] = []
+        self._router_thread: Optional[threading.Thread] = None
+        self._router_error: Optional[BaseException] = None
+        self._workers_started = False
+        self._retires_pending = 0
         self._closing = False
         self.cluster_stats = ClusterStats()
         if start_method == "inline":
@@ -329,6 +448,7 @@ class ClusterScheduler(ShardedScheduler):
                 "ClusterScheduler has no inline mode — its subject is the "
                 "transport; use ShardedScheduler for inline runs"
             )
+        self._autoscaler = QueueDepthAutoscaler(self.service.autoscale)
         super().__init__(
             model,
             config=config,
@@ -353,27 +473,44 @@ class ClusterScheduler(ShardedScheduler):
     def _ensure_pool(self):
         if self._closing:
             raise VerificationError("ClusterScheduler is closed")
-        if self._server is None:
-            control = _ClusterControl(self._payload())
-            self._manager = _make_server_manager(
-                self._task_queue, self._result_queue, control,
-                self._requested_address, self.authkey,
-            )
-            # In-thread server (get_server), not manager.start(): no
-            # extra process, and the queues stay plain local objects the
-            # scheduler reads without a proxy round-trip.
-            self._server = self._manager.get_server()
-            self.address = tuple(self._server.address)
-            self._server_thread = threading.Thread(
-                target=_serve_forever,
-                args=(self._server,),
-                name="repro-cluster-server",
-                daemon=True,
-            )
-            self._server_thread.start()
-        if self.spawn_local_workers:
-            for slot in range(self.num_workers):
-                if slot not in self._local_workers:
+        with self._lock:
+            if self._server is None:
+                control = _ClusterControl(self._payload())
+                self._manager = _make_server_manager(
+                    self._task_queue, self._result_queue, control,
+                    self._requested_address, self.authkey,
+                )
+                # In-thread server (get_server), not manager.start(): no
+                # extra process, and the queues stay plain local objects the
+                # scheduler reads without a proxy round-trip.
+                self._server = self._manager.get_server()
+                self.address = tuple(self._server.address)
+                self._server_thread = threading.Thread(
+                    target=_serve_forever,
+                    args=(self._server,),
+                    name="repro-cluster-server",
+                    daemon=True,
+                )
+                self._server_thread.start()
+            if self._router_thread is None:
+                self._router_thread = threading.Thread(
+                    target=self._router_loop,
+                    name="repro-cluster-router",
+                    daemon=True,
+                )
+                self._router_thread.start()
+            if self.spawn_local_workers and not self._workers_started:
+                # Spawn the initial pool exactly once; afterwards the
+                # router owns the population (fault respawns and scaling)
+                # — re-filling here would undo a deliberate scale-down.
+                self._workers_started = True
+                initial = self.num_workers
+                if self.service.autoscale.enabled:
+                    initial = min(
+                        max(initial, self.service.autoscale.min_workers),
+                        self.service.autoscale.max_workers,
+                    )
+                for slot in range(initial):
                     self._spawn_worker(slot)
         return None
 
@@ -395,8 +532,11 @@ class ClusterScheduler(ShardedScheduler):
         self._worker_ids[slot] = f"{slot}:{generation}:{process.pid}"
 
     def close(self) -> None:
-        """Stop workers and the TCP server (idempotent, like the pool)."""
+        """Stop workers, the router and the TCP server (idempotent)."""
         self._closing = True
+        if self._router_thread is not None:
+            self._router_thread.join(timeout=5.0)
+            self._router_thread = None
         try:
             self._task_queue.put(("stop",))
         except Exception:  # pragma: no cover - queue dead at shutdown
@@ -420,75 +560,166 @@ class ClusterScheduler(ShardedScheduler):
             self._server_thread = None
 
     # ------------------------------------------------------------------
-    # Transport hooks (the waterfall in the base class drives these)
+    # Transport hooks (the waterfall in the base class drives these;
+    # each concurrent certify() call holds its own _SweepDispatch token)
     # ------------------------------------------------------------------
 
-    def _begin_dispatch(self) -> None:
-        # Task ids are monotone across the scheduler's lifetime, so a
-        # straggler result from a *previous* sweep can never alias a
-        # fresh lease — it lands in the duplicate bin.
-        self._leases.clear()
-        self._requeue.clear()
+    def _begin_dispatch(self) -> _SweepDispatch:
+        with self._lock:
+            self._check_router()
+            sweep = _SweepDispatch(sweep_id=self._next_sweep_id)
+            # Sweep ids are monotone across the scheduler's lifetime, so
+            # a straggler result from a finished sweep can never alias a
+            # fresh one — it lands in the duplicate bin.
+            self._next_sweep_id += 1
+            self._sweeps[sweep.sweep_id] = sweep
+        return sweep
 
-    def _submit_one(self, shard: _Shard) -> None:
-        task_id = self._next_task_id
-        self._next_task_id += 1
-        self._leases[task_id] = _TaskState(shard=shard)
-        self.cluster_stats.tasks += 1
-        self._task_queue.put(("task", task_id, 1, shard))
+    def _submit_one(self, sweep: _SweepDispatch, shard: _Shard) -> None:
+        with self._lock:
+            task_id = sweep.next_task_id
+            sweep.next_task_id += 1
+            sweep.leases[task_id] = _TaskState(shard=shard)
+            self.cluster_stats.tasks += 1
+            self._task_queue.put(("task", (sweep.sweep_id, task_id), 1, shard))
 
     def _next_completed(
-        self,
+        self, sweep: _SweepDispatch
     ) -> Tuple[List[int], List[VerificationResult], str, float, Dict]:
         deadline = time.monotonic() + self.timeout_seconds
         while True:
-            self._flush_requeues()
-            self._expire_leases()
-            self._reap_local_workers()
             try:
-                message = self._result_queue.get(timeout=_POLL_SECONDS)
+                kind, payload = sweep.completions.get(timeout=_POLL_SECONDS)
             except queue.Empty:
-                if time.monotonic() >= deadline:
-                    self.close()
+                self._check_router()
+                if self._closing:
                     raise VerificationError(
-                        f"cluster certification timed out: no shard completed "
-                        f"within {self.timeout_seconds}s "
-                        f"({self.num_workers} local workers) — cluster stopped"
+                        "ClusterScheduler closed while a sweep was in flight"
+                    )
+                if time.monotonic() >= deadline:
+                    with self._lock:
+                        sweep.failed = True
+                        sweep.leases.clear()
+                    raise VerificationError(
+                        f"cluster certification timed out: no shard of sweep "
+                        f"{sweep.sweep_id} completed within "
+                        f"{self.timeout_seconds}s "
+                        f"({len(self._local_workers)} local workers)"
                     ) from None
                 continue
-            kind = message[0]
-            if kind == "heartbeat":
-                self.cluster_stats.heartbeats += 1
-                continue
-            if kind == "claim":
-                _, task_id, worker_id, _stamp = message
-                state = self._leases.get(task_id)
-                if state is not None:
-                    if worker_id in self._crashed:
-                        # The claimer was reaped before its claim drained
-                        # (a crash right after claiming): reassign now
-                        # instead of waiting out a lease nobody holds.
-                        self._schedule_retry(task_id, state)
-                    else:
-                        state.claimed_by = worker_id
-                        state.claim_expires = (
-                            time.monotonic() + self.service.shard_timeout_seconds
-                        )
-                continue
-            if kind == "error":
-                _, task_id, worker_id, detail = message
-                self.close()
-                raise VerificationError(
-                    f"cluster worker {worker_id} failed shard {task_id}: {detail}"
-                )
-            _, task_id, worker_id, outcome = message
-            state = self._leases.pop(task_id, None)
+            if kind == "result":
+                return payload
+            # A routed failure: retries exhausted or a worker exception.
+            # Only this sweep dies; the cluster keeps serving the others.
+            raise VerificationError(payload)
+
+    def _finish_dispatch(self, sweep: _SweepDispatch) -> None:
+        with self._lock:
+            self._sweeps.pop(sweep.sweep_id, None)
+            sweep.leases.clear()
+
+    def _check_router(self) -> None:
+        if self._router_error is not None:
+            raise VerificationError(
+                f"cluster router crashed: {self._router_error!r}"
+            )
+        if (
+            self._router_thread is not None
+            and not self._router_thread.is_alive()
+            and not self._closing
+        ):  # pragma: no cover - defensive
+            raise VerificationError("cluster router thread died")
+
+    # ------------------------------------------------------------------
+    # The router: one long-lived loop owning leases, health and scaling
+    # ------------------------------------------------------------------
+
+    def _router_loop(self) -> None:
+        try:
+            while not self._closing:
+                with self._lock:
+                    self._flush_requeues()
+                    self._expire_leases()
+                    self._reap_local_workers()
+                    self._autoscale_tick()
+                try:
+                    message = self._result_queue.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    continue
+                with self._lock:
+                    self._route_message(message)
+        except BaseException as error:  # pragma: no cover - defensive
+            with self._lock:
+                self._router_error = error
+                for sweep in self._sweeps.values():
+                    sweep.completions.put(
+                        ("failure", f"cluster router crashed: {error!r}")
+                    )
+
+    def _route_message(self, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "heartbeat":
+            self.cluster_stats.heartbeats += 1
+            return
+        if kind == "retired":
+            self._finish_retirement(message[2])
+            return
+        if kind == "claim":
+            _, key, worker_id, _stamp = message
+            sweep, state = self._lease_for(key)
             if state is None:
-                # A reassigned shard's original owner finally reported
-                # (hang/drop recovery): first result won, drop this one.
-                self.cluster_stats.duplicates_dropped += 1
-                continue
-            return outcome
+                return
+            if worker_id in self._crashed:
+                # The claimer was reaped before its claim drained
+                # (a crash right after claiming): reassign now
+                # instead of waiting out a lease nobody holds.
+                self._schedule_retry(sweep, key[1], state)
+            else:
+                state.claimed_by = worker_id
+                state.claim_expires = (
+                    time.monotonic() + self.service.shard_timeout_seconds
+                )
+            return
+        if kind == "error":
+            _, key, worker_id, detail = message
+            sweep, state = self._lease_for(key)
+            if sweep is None:
+                return
+            self._fail_sweep(
+                sweep,
+                f"cluster worker {worker_id} failed shard {key[1]} of sweep "
+                f"{sweep.sweep_id}: {detail}",
+            )
+            return
+        # "result"
+        _, key, worker_id, outcome = message
+        sweep = self._sweeps.get(key[0])
+        state = sweep.leases.pop(key[1], None) if sweep is not None else None
+        if state is None:
+            # A reassigned shard's original owner finally reported
+            # (hang/drop recovery), or the owning sweep already finished
+            # or failed: first result won, drop this one.
+            self.cluster_stats.duplicates_dropped += 1
+            return
+        sweep.completions.put(("result", outcome))
+
+    def _lease_for(
+        self, key: Tuple[int, int]
+    ) -> Tuple[Optional[_SweepDispatch], Optional[_TaskState]]:
+        sweep = self._sweeps.get(key[0])
+        if sweep is None:
+            return None, None
+        return sweep, sweep.leases.get(key[1])
+
+    def _fail_sweep(self, sweep: _SweepDispatch, message: str) -> None:
+        """Fail one sweep, leaving every other sweep (and the cluster
+        itself) running.  Clearing the lease table turns the sweep's
+        in-flight results into counted duplicates."""
+        if sweep.failed:
+            return
+        sweep.failed = True
+        sweep.leases.clear()
+        sweep.completions.put(("failure", message))
 
     # ------------------------------------------------------------------
     # Fault recovery
@@ -500,31 +731,39 @@ class ClusterScheduler(ShardedScheduler):
         other shards that worker holds — no point waiting them out)."""
         now = time.monotonic()
         expired = [
-            (task_id, state)
-            for task_id, state in self._leases.items()
+            state
+            for sweep in self._sweeps.values()
+            for state in sweep.leases.values()
             if state.claim_expires is not None and now >= state.claim_expires
         ]
-        for task_id, state in expired:
+        for state in expired:
             self._mark_worker_dead(state.claimed_by)
 
     def _mark_worker_dead(self, worker_id: Optional[str]) -> None:
         if worker_id is None:  # pragma: no cover - defensive
             return
         self.cluster_stats.dead_workers.add(worker_id)
-        for task_id, state in list(self._leases.items()):
-            if state.claimed_by == worker_id:
-                self._schedule_retry(task_id, state)
+        for sweep in list(self._sweeps.values()):
+            for task_id, state in list(sweep.leases.items()):
+                if state.claimed_by == worker_id:
+                    self._schedule_retry(sweep, task_id, state)
 
     def _reap_local_workers(self) -> None:
         """Fast path for crashed *local* workers: process liveness beats
         waiting out the lease.  Respawns the slot at the next generation
-        when the service config allows."""
+        when the service config allows.  A zero exit code is a clean
+        leave — the stop sentinel or a retire pill — never a crash, so
+        it is neither marked dead nor respawned (this is what keeps the
+        reaper from resurrecting a deliberately retired worker when it
+        notices the death before the ``retired`` message drains)."""
         if self._closing:
             return
         for slot, process in list(self._local_workers.items()):
             if process.is_alive():
                 continue
             del self._local_workers[slot]
+            if process.exitcode == 0:
+                continue
             worker_id = self._worker_ids.get(slot)
             if worker_id is not None:
                 self._crashed.add(worker_id)
@@ -533,15 +772,19 @@ class ClusterScheduler(ShardedScheduler):
                 self._spawn_worker(slot)
                 self.cluster_stats.respawns += 1
 
-    def _schedule_retry(self, task_id: int, state: _TaskState) -> None:
+    def _schedule_retry(
+        self, sweep: _SweepDispatch, task_id: int, state: _TaskState
+    ) -> None:
         from repro.service.faults import retry_backoff
 
         if state.attempts >= self.service.retry_max_attempts:
-            self.close()
-            raise VerificationError(
-                f"shard {task_id} failed after {state.attempts} attempts "
-                f"(last worker: {state.claimed_by}) — giving up"
+            self._fail_sweep(
+                sweep,
+                f"shard {task_id} of sweep {sweep.sweep_id} failed after "
+                f"{state.attempts} attempts (last worker: {state.claimed_by}) "
+                f"— giving up",
             )
+            return
         state.attempts += 1
         state.claimed_by = None
         state.claim_expires = None
@@ -552,13 +795,57 @@ class ClusterScheduler(ShardedScheduler):
             seed=self.faults.seed if self.faults is not None else 0,
         )
         self.cluster_stats.retries += 1
-        heappush(self._requeue, (time.monotonic() + delay, task_id))
+        heappush(
+            self._requeue, (time.monotonic() + delay, sweep.sweep_id, task_id)
+        )
 
     def _flush_requeues(self) -> None:
         now = time.monotonic()
         while self._requeue and self._requeue[0][0] <= now:
-            _, task_id = heappop(self._requeue)
-            state = self._leases.get(task_id)
+            _, sweep_id, task_id = heappop(self._requeue)
+            sweep = self._sweeps.get(sweep_id)
+            state = sweep.leases.get(task_id) if sweep is not None else None
             if state is None:
-                continue  # resolved while waiting out the backoff
-            self._task_queue.put(("task", task_id, state.attempts, state.shard))
+                continue  # resolved (or sweep gone) while waiting out the backoff
+            self._task_queue.put(
+                ("task", (sweep_id, task_id), state.attempts, state.shard)
+            )
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+
+    def _autoscale_tick(self) -> None:
+        config = self.service.autoscale
+        if not config.enabled or not self.spawn_local_workers or self._closing:
+            return
+        # Pills in flight occupy queue slots and still-live-but-leaving
+        # workers occupy the pool; correct both out of the observation so
+        # a pending retirement is never double-counted.
+        depth = max(0, self._task_queue.qsize() - self._retires_pending)
+        workers = len(self._local_workers) - self._retires_pending
+        action = self._autoscaler.observe(depth, workers)
+        if action == "grow":
+            free = [
+                slot
+                for slot in range(max(config.max_workers, self.num_workers))
+                if slot not in self._local_workers
+            ]
+            if not free:  # pragma: no cover - pending retires hold slots
+                return
+            self._spawn_worker(min(free))
+            self.cluster_stats.scale_up_events += 1
+        elif action == "shrink":
+            self._retires_pending += 1
+            self._task_queue.put(("retire",))
+            self.cluster_stats.scale_down_events += 1
+
+    def _finish_retirement(self, worker_id: str) -> None:
+        self._retires_pending = max(0, self._retires_pending - 1)
+        slot = int(worker_id.split(":", 1)[0])
+        if self._worker_ids.get(slot) == worker_id:
+            process = self._local_workers.pop(slot, None)
+            if process is not None:
+                # The worker exits right after acknowledging; reap it so
+                # the slot is immediately reusable by a later grow.
+                process.join(timeout=2.0)

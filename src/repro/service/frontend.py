@@ -50,7 +50,12 @@ clip_max) -> EngineReport`` contract —
 :class:`~repro.engine.sharded.ShardedScheduler`, or
 :class:`~repro.service.cluster.ClusterScheduler` for multi-machine
 fan-out.  Engine calls run in the event loop's executor, so the loop
-keeps admitting and streaming while engines grind.
+keeps admitting and streaming while engines grind; a per-backend
+semaphore bounds them at ``service.max_concurrent_batches``
+simultaneous passes, so distinct coalescing groups — different models,
+epsilons or clip ranges — certify in parallel when the backend is
+concurrent-caller-safe (every scheduler above is), without ever turning
+the executor into an unbounded free-for-all.
 """
 
 from __future__ import annotations
@@ -58,8 +63,9 @@ from __future__ import annotations
 import asyncio
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -204,6 +210,9 @@ class FrontendStats:
     cache_hits: int = 0
     engine_cells: int = 0
     engine_batches: int = 0
+    #: Most engine passes ever in flight at once (across all backends);
+    #: ``service.max_concurrent_batches`` bounds it per backend.
+    concurrent_batches_peak: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -219,6 +228,7 @@ class FrontendStats:
             "cache_hits": self.cache_hits,
             "engine_cells": self.engine_cells,
             "engine_batches": self.engine_batches,
+            "concurrent_batches_peak": self.concurrent_batches_peak,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -239,16 +249,27 @@ class CertificationFrontend:
         self.service = service if service is not None else ServiceConfig()
         self.clock = clock
         self.stats = FrontendStats()
-        #: Every engine batch assembled, for coalescing-invariant audits:
-        #: ``{"group", "cells", "request_ids"}`` rows.
-        self.dispatch_log: List[Dict] = []
+        #: Engine batches assembled, for coalescing-invariant audits:
+        #: ``{"group", "cells", "request_ids"}`` rows.  Bounded by
+        #: ``service.dispatch_log_limit`` (oldest rows evicted) so a
+        #: long-lived frontend does not grow without bound.
+        self.dispatch_log: Deque[Dict] = deque(
+            maxlen=self.service.dispatch_log_limit
+        )
         self._entries: Dict[str, _ModelEntry] = {}
         self._groups: Dict[Tuple, List[_Cell]] = {}
         self._group_opened_at: Dict[Tuple, float] = {}
+        #: Handles of *unresolved* requests only — popped on terminal
+        #: resolution, so request state never accumulates.
         self._handles: Dict[str, RequestHandle] = {}
-        self._request_engine_cells: Dict[str, int] = {}
         self._dispatcher: Optional[asyncio.Task] = None
         self._batches: set = set()
+        #: One semaphore per registered backend object, lazily built:
+        #: ``service.max_concurrent_batches`` engine passes may run at
+        #: once per backend (two models sharing one backend share its
+        #: bound; distinct backends run independently).
+        self._batch_slots: Dict[int, asyncio.Semaphore] = {}
+        self._inflight_batches = 0
         self._wake: Optional[asyncio.Event] = None
         self._closed = False
 
@@ -338,7 +359,7 @@ class CertificationFrontend:
         request_id = uuid.uuid4().hex[:12]
         handle = RequestHandle(request_id, total=centers.shape[0])
         self._handles[request_id] = handle
-        self._request_engine_cells[request_id] = 0
+        engine_cells_admitted = 0
         self.stats.submitted += handle.total
         now = self.clock()
         deadline = now + deadline_seconds if deadline_seconds is not None else None
@@ -362,10 +383,7 @@ class CertificationFrontend:
                         ),
                     )
                     continue
-            if (
-                budget_cells is not None
-                and self._request_engine_cells[request_id] >= budget_cells
-            ):
+            if budget_cells is not None and engine_cells_admitted >= budget_cells:
                 self._resolve(
                     handle,
                     VerdictEvent(
@@ -375,7 +393,7 @@ class CertificationFrontend:
                     ),
                 )
                 continue
-            self._request_engine_cells[request_id] += 1
+            engine_cells_admitted += 1
             cell = _Cell(
                 request_id=request_id, index=index, query=query, group=group,
                 handle=handle, admitted_at=now, deadline=deadline,
@@ -387,6 +405,10 @@ class CertificationFrontend:
         self._ensure_dispatcher()
         if self._wake is not None:
             self._wake.set()
+        if handle.done.is_set():
+            # Fully resolved at admission (all hits, empty, or budget):
+            # nothing left to track.
+            self._handles.pop(request_id, None)
         return handle
 
     async def cancel(self, request_id: str) -> int:
@@ -458,10 +480,29 @@ class CertificationFrontend:
             )
 
     def _poll_timeout(self) -> Optional[float]:
+        """Exact sleep until the next scheduled event.
+
+        With no queued cells the dispatcher parks on the wake event.
+        Otherwise it sleeps precisely until the earliest of (a) a
+        group's coalescing window closing (``opened_at + window`` — the
+        moment the group becomes dispatchable) and (b) a queued cell's
+        deadline (the moment it must expire).  New admissions set the
+        wake event, so sleeping the full distance is safe — no periodic
+        polling.
+        """
         if not self._groups:
             return None
+        now = self.clock()
         window = self.service.coalesce_window_seconds
-        return max(0.001, min(0.02, window)) if window > 0 else 0.001
+        due = min(
+            self._group_opened_at.get(group, now) + window
+            for group in self._groups
+        )
+        for cells in self._groups.values():
+            for cell in cells:
+                if cell.deadline is not None and cell.deadline < due:
+                    due = cell.deadline
+        return max(0.0, due - now)
 
     async def _dispatch_loop(self) -> None:
         while not self._closed:
@@ -528,6 +569,13 @@ class CertificationFrontend:
                 self._batches.add(task)
                 task.add_done_callback(self._batches.discard)
 
+    def _batch_slot(self, backend: object) -> asyncio.Semaphore:
+        slot = self._batch_slots.get(id(backend))
+        if slot is None:
+            slot = asyncio.Semaphore(self.service.max_concurrent_batches)
+            self._batch_slots[id(backend)] = slot
+        return slot
+
     async def _run_batch(self, group: Tuple, batch: List[_Cell]) -> None:
         fingerprint, _signature, epsilon, clip_min, clip_max = group
         entry = self._entries[fingerprint]
@@ -535,12 +583,26 @@ class CertificationFrontend:
         labels = np.array([cell.query.target for cell in batch], dtype=int)
         loop = asyncio.get_running_loop()
         try:
-            report = await loop.run_in_executor(
-                None,
-                lambda: entry.backend.certify(
-                    xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
-                ),
-            )
+            # The per-backend semaphore bounds simultaneous engine
+            # passes at service.max_concurrent_batches — a scheduling
+            # bound, not a global executor free-for-all: other backends
+            # proceed, cache hits keep streaming, and at the default of
+            # 1 the pre-concurrency serialised behaviour is reproduced.
+            async with self._batch_slot(entry.backend):
+                self._inflight_batches += 1
+                self.stats.concurrent_batches_peak = max(
+                    self.stats.concurrent_batches_peak, self._inflight_batches
+                )
+                try:
+                    report = await loop.run_in_executor(
+                        None,
+                        lambda: entry.backend.certify(
+                            xs, labels, epsilon,
+                            clip_min=clip_min, clip_max=clip_max,
+                        ),
+                    )
+                finally:
+                    self._inflight_batches -= 1
         except Exception as error:
             for cell in batch:
                 self._resolve(
@@ -573,3 +635,7 @@ class CertificationFrontend:
             self.stats, event.status, getattr(self.stats, event.status) + 1
         )
         handle._push(event)
+        if handle.done.is_set():
+            # Terminal resolution reclaims the request's frontend state;
+            # the caller keeps streaming from the handle it already holds.
+            self._handles.pop(handle.request_id, None)

@@ -89,6 +89,72 @@ class TestDocTree:
                 assert other in text, f"docs/{name} does not link {other}"
 
 
+class TestConcurrencySection:
+    """The "Concurrent sweeps & autoscaling" section of docs/service.md
+    is load-bearing: it documents the per-sweep exactly-once contract
+    and every scaling knob, and README + architecture.md point at it."""
+
+    SECTION_HEADER = "## Concurrent sweeps & autoscaling"
+
+    def _section(self):
+        text = (REPO_ROOT / "docs" / "service.md").read_text(encoding="utf-8")
+        assert self.SECTION_HEADER in text, (
+            f"docs/service.md lost its {self.SECTION_HEADER!r} section"
+        )
+        return text.split(self.SECTION_HEADER, 1)[1].split("\n## ", 1)[0]
+
+    def test_section_documents_every_scaling_knob(self):
+        section = self._section()
+        for knob in ("max_concurrent_batches", "dispatch_log_limit",
+                     "autoscale"):
+            assert knob in section, f"service.md section does not document {knob}"
+        from dataclasses import fields
+
+        from repro.core.config import AutoscaleConfig
+
+        for field in fields(AutoscaleConfig):
+            assert field.name in section, (
+                f"service.md section does not document autoscale.{field.name}"
+            )
+
+    def test_section_states_the_contracts(self):
+        """The per-sweep exactly-once contract and the scaling semantics
+        must be stated, not just the knob names."""
+        section = self._section().lower()
+        for phrase in ("exactly-once", "per sweep", "retire", "generation",
+                       "scale_up_events", "scale_down_events"):
+            assert phrase in section, (
+                f"service.md concurrency section no longer states {phrase!r}"
+            )
+
+    def test_documented_knobs_are_real_config_fields(self):
+        from dataclasses import fields
+
+        from repro.core.config import AutoscaleConfig, ServiceConfig
+
+        service_fields = {field.name for field in fields(ServiceConfig)}
+        autoscale_fields = {field.name for field in fields(AutoscaleConfig)}
+        section = self._section()
+        table = section.split("| Knob |", 1)[1]
+        for cell in re.findall(r"\| `([\w.]+)`", table):
+            root = cell.split(".", 1)
+            if len(root) == 2:
+                assert root[0] == "autoscale" and root[1] in autoscale_fields, (
+                    f"docs name unknown autoscale knob {cell!r}"
+                )
+            else:
+                assert cell in service_fields, (
+                    f"docs name unknown ServiceConfig knob {cell!r}"
+                )
+
+    def test_readme_and_architecture_cross_link_the_section(self):
+        for name in ("README.md", "docs/architecture.md"):
+            text = (REPO_ROOT / name).read_text(encoding="utf-8")
+            assert "Concurrent sweeps" in text, (
+                f"{name} does not point at the concurrency section"
+            )
+
+
 class TestCrossReferenceTable:
     def test_benchmark_references_exist_and_are_complete(self):
         text = (REPO_ROOT / "docs" / "certification.md").read_text(encoding="utf-8")

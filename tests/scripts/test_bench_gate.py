@@ -63,6 +63,37 @@ class TestCheckRegressions:
         # The full-history scan still reports it for forensic use.
         assert len(gate.check_regressions(healed)) == 1
 
+    def test_qps_drop_beyond_the_noise_band_flags(self):
+        """Throughput metrics gate in the opposite direction: a drop
+        below the trailing median flags, a climb never does."""
+        runs = _history([50.0, 51.0, 49.5, 50.5, 50.0, 20.0], metric="aggregate_qps")
+        flags = gate.check_regressions(runs)
+        assert len(flags) == 1
+        assert "aggregate_qps" in flags[0]
+        assert "dropped" in flags[0]
+        climbing = _history([50.0, 51.0, 49.5, 50.5, 50.0, 90.0], metric="qps")
+        assert gate.check_regressions(climbing) == []
+
+    def test_qps_relative_floor_absorbs_jitter(self):
+        assert gate.check_regressions(_history([40.0] * 6 + [38.0], metric="qps")) == []
+        assert len(gate.check_regressions(_history([40.0] * 6 + [30.0], metric="qps"))) == 1
+
+    def test_latest_only_gates_each_series_on_its_own_newest_point(self):
+        """Histories whose runs alternate between scenarios (soak row,
+        mixed-traffic row) leave every other point nan per metric; the
+        CI gate must still police each series' last *present* sample."""
+        runs = []
+        for soak_time, mixed_qps in zip(
+            [4.0, 4.1, 3.9, 4.0, 4.05, 9.5], [30.0, 31.0, 29.5, 30.5, 30.0, 30.2]
+        ):
+            runs.append({"p99_time": soak_time})
+            runs.append({"aggregate_qps": mixed_qps})
+        # The newest run overall is the mixed row, but the soak series'
+        # own newest point (9.5) is the regression.
+        flags = gate.check_regressions({"bench": runs}, latest_only=True)
+        assert len(flags) == 1
+        assert "p99_time" in flags[0]
+
     def test_missing_points_are_skipped(self):
         runs = [{"sweep_time": t} for t in [4.0, 4.1, 3.9, 4.0]]
         runs.append({"other": 1.0})  # run without the metric

@@ -142,9 +142,10 @@ class TestHealthCheck:
 
 class TestExactlyOnce:
     def test_duplicate_results_are_dropped_first_wins(self, cluster_workload):
-        """A straggler result for an already-resolved task id (the hung
-        worker finally reporting) lands in the duplicate bin, never in
-        the waterfall."""
+        """A straggler result for an already-finished sweep's task (the
+        hung worker finally reporting) lands in the duplicate bin, never
+        in the waterfall — the router drops it by its (sweep, task)
+        stamp without any sweep having to be in flight."""
         model, xs, labels, config = cluster_workload
         with ClusterScheduler(
             model, config, num_workers=1, batch_size=4,
@@ -152,16 +153,30 @@ class TestExactlyOnce:
         ) as scheduler:
             report = scheduler.certify(xs[:4], labels[:4], EPSILON)
             assert all(r is not None for r in report.results)
-            # Forge a duplicate for the (now resolved) task 0 plus a
-            # heartbeat; the transport must skip both and time out
-            # waiting for real work rather than double-deliver.
-            scheduler._result_queue.put(("heartbeat", None, "9:9:9", time.time()))
-            scheduler._result_queue.put(("result", 0, "9:9:9", ([0], [], "box", 0.0, {})))
+            # Forge a duplicate for a task of the (now finished) sweep 0
+            # plus a heartbeat from an unknown worker; the router must
+            # bin the duplicate and count the heartbeat, double-
+            # delivering neither.
             before = scheduler.cluster_stats.duplicates_dropped
-            scheduler.timeout_seconds = 0.5
-            with pytest.raises(Exception):
-                scheduler._next_completed()
+            beats = scheduler.cluster_stats.heartbeats
+            scheduler._result_queue.put(("heartbeat", None, "9:9:9", time.time()))
+            scheduler._result_queue.put(
+                ("result", (0, 0), "9:9:9", ([0], [], "box", 0.0, {}))
+            )
+            deadline = time.monotonic() + 10.0
+            while (
+                scheduler.cluster_stats.duplicates_dropped < before + 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
             assert scheduler.cluster_stats.duplicates_dropped == before + 1
+            assert scheduler.cluster_stats.heartbeats >= beats + 1
+            # The forged straggler reached no sweep: a fresh certify
+            # still sees exactly its own verdicts.
+            again = scheduler.certify(xs[:4], labels[:4], EPSILON)
+            assert [r.outcome for r in again.results] == [
+                r.outcome for r in report.results
+            ]
 
     def test_every_cell_exactly_one_verdict_under_random_faults(
         self, cluster_workload, fault_free_verdicts

@@ -17,7 +17,6 @@ runs it in the bench-engines job with ``-m slow``.
 
 import asyncio
 import os
-import threading
 import time
 
 import numpy as np
@@ -33,22 +32,6 @@ SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "30"))
 #: sits well inside it by construction.
 DEADLINE_SECONDS = 10.0
 EPSILON = 0.03
-
-
-class _SerializedBackend:
-    """One engine pass at a time: ClusterScheduler's transport loop is
-    single-sweep, so concurrent executor-thread certify calls from the
-    frontend are serialized behind a lock."""
-
-    def __init__(self, scheduler):
-        self.scheduler = scheduler
-        self._lock = threading.Lock()
-
-    def certify(self, xs, labels, epsilon, clip_min=0.0, clip_max=1.0):
-        with self._lock:
-            return self.scheduler.certify(
-                xs, labels, epsilon, clip_min=clip_min, clip_max=clip_max
-            )
 
 
 @pytest.mark.slow
@@ -67,6 +50,10 @@ def test_soak_sustained_traffic_with_faults(tmp_path):
         retry_backoff_seconds=0.05,
         retry_backoff_factor=1.5,
         heartbeat_seconds=0.1,
+        # The scheduler is concurrent-caller-safe since the sweep
+        # multiplexing PR: the soak drives it with two engine passes in
+        # flight — no serialising wrapper.
+        max_concurrent_batches=2,
     )
     faults = FaultSpec(
         seed=7,
@@ -81,7 +68,7 @@ def test_soak_sustained_traffic_with_faults(tmp_path):
     async def drive(scheduler):
         frontend = CertificationFrontend(service=service)
         fingerprint = frontend.register_model(
-            model, config, backend=_SerializedBackend(scheduler), cache_dir=cache_dir
+            model, config, backend=scheduler, cache_dir=cache_dir
         )
         handles = []
         traffic_rng = np.random.default_rng(99)
